@@ -1,0 +1,562 @@
+(* Benchmark and reproduction harness.
+
+     dune exec bench/main.exe                 # everything (figures, Table 1,
+                                              # timings, ablations)
+     dune exec bench/main.exe -- --quick      # reduced campaign (CI-sized)
+     dune exec bench/main.exe -- --figures    # only the 12 paper figures
+     dune exec bench/main.exe -- --table1     # only Table 1
+     dune exec bench/main.exe -- --timings    # only the Bechamel timings
+     dune exec bench/main.exe -- --ablation   # only the ablation studies
+
+   For every figure and table of the paper's evaluation (§5) this
+   harness regenerates the corresponding data series and prints them,
+   writing gnuplot/.csv artefacts under results/. Absolute values depend
+   on the random draws; the reproduced object is the shape: which
+   heuristic wins where, and by roughly which factor. *)
+
+open Pipeline_model
+open Pipeline_core
+module E = Pipeline_experiments
+
+(* ------------------------------------------------------------------ *)
+(* Options                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type options = {
+  mutable figures : bool;
+  mutable table1 : bool;
+  mutable timings : bool;
+  mutable ablation : bool;
+  mutable pairs : int;
+  mutable points : int;
+  mutable seed : int;
+  mutable out : string;
+}
+
+let options =
+  {
+    figures = true;
+    table1 = true;
+    timings = true;
+    ablation = true;
+    pairs = 50;
+    points = 15;
+    seed = 2007;
+    out = "results";
+  }
+
+let select which =
+  (* The first explicit section flag turns the others off. *)
+  if options.figures && options.table1 && options.timings && options.ablation
+  then begin
+    options.figures <- false;
+    options.table1 <- false;
+    options.timings <- false;
+    options.ablation <- false
+  end;
+  which ()
+
+let parse_args () =
+  let spec =
+    [
+      ("--figures", Arg.Unit (fun () -> select (fun () -> options.figures <- true)),
+       " only regenerate the paper figures");
+      ("--table1", Arg.Unit (fun () -> select (fun () -> options.table1 <- true)),
+       " only regenerate Table 1");
+      ("--timings", Arg.Unit (fun () -> select (fun () -> options.timings <- true)),
+       " only run the Bechamel timings");
+      ("--ablation", Arg.Unit (fun () -> select (fun () -> options.ablation <- true)),
+       " only run the ablation studies");
+      ("--quick",
+       Arg.Unit
+         (fun () ->
+           options.pairs <- 10;
+           options.points <- 8),
+       " reduced campaign (10 pairs, 8 sweep points)");
+      ("--pairs", Arg.Int (fun v -> options.pairs <- v), "N app/platform pairs per point");
+      ("--points", Arg.Int (fun v -> options.points <- v), "N sweep points");
+      ("--seed", Arg.Int (fun v -> options.seed <- v), "N campaign seed");
+      ("--out", Arg.String (fun v -> options.out <- v), "DIR output directory");
+    ]
+  in
+  Arg.parse (Arg.align spec)
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %s" a)))
+    "dune exec bench/main.exe -- [options]"
+
+let section title =
+  Printf.printf "\n%s\n%s\n%s\n\n" (String.make 74 '=') title (String.make 74 '=')
+
+(* ------------------------------------------------------------------ *)
+(* Figures 2-7                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_figures () =
+  section
+    (Printf.sprintf
+       "PAPER FIGURES 2-7 (latency vs period; %d pairs, %d sweep points, seed %d)"
+       options.pairs options.points options.seed);
+  List.iter
+    (fun (label, _) ->
+      match
+        E.Campaign.run_paper_figure ~pairs:options.pairs
+          ~sweep_points:options.points ~seed:options.seed label
+      with
+      | None -> ()
+      | Some fig ->
+        print_endline (E.Report.figure_to_ascii fig);
+        print_newline ();
+        let paths = E.Report.write_figure ~dir:options.out fig in
+        List.iter (Printf.printf "  wrote %s\n") paths;
+        print_newline ())
+    (E.Campaign.paper_figures ());
+  (* Extension figure E5: the same campaign on fully heterogeneous
+     platforms (paper future work). *)
+  let e5 =
+    E.Het_campaign.figure ~pairs:(min options.pairs 20)
+      ~sweep_points:options.points ~seed:options.seed ~n:20 10
+  in
+  print_endline (E.Report.figure_to_ascii e5);
+  let paths = E.Report.write_figure ~dir:options.out e5 in
+  List.iter (Printf.printf "  wrote %s\n") paths;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's Table 1 (failure thresholds, p = 10), for side-by-side
+   comparison with the reproduced values. *)
+let paper_table1 = function
+  | E.Config.E1 ->
+    [ ("H1", [ 3.0; 3.3; 5.0; 5.0 ]);
+      ("H2", [ 3.0; 4.7; 9.0; 18.0 ]);
+      ("H3", [ 3.0; 4.0; 5.0; 5.0 ]);
+      ("H4", [ 3.3; 3.3; 6.0; 10.0 ]);
+      ("H5", [ 4.5; 6.0; 13.0; 25.0 ]);
+      ("H6", [ 4.5; 6.0; 13.0; 25.0 ]) ]
+  | E.Config.E2 ->
+    [ ("H1", [ 9.7; 10.0; 11.0; 11.0 ]);
+      ("H2", [ 10.3; 10.0; 12.0; 19.0 ]);
+      ("H3", [ 10.0; 10.0; 11.0; 11.0 ]);
+      ("H4", [ 11.3; 11.0; 13.0; 15.0 ]);
+      ("H5", [ 11.7; 15.0; 22.0; 32.0 ]);
+      ("H6", [ 11.7; 15.0; 22.0; 32.0 ]) ]
+  | E.Config.E3 ->
+    [ ("H1", [ 50.0; 70.0; 100.0; 250.0 ]);
+      ("H2", [ 50.0; 140.0; 450.0; 950.0 ]);
+      ("H3", [ 50.0; 90.0; 250.0; 400.0 ]);
+      ("H4", [ 100.0; 140.0; 300.0; 650.0 ]);
+      ("H5", [ 140.0; 270.0; 500.0; 1000.0 ]);
+      ("H6", [ 140.0; 270.0; 500.0; 1000.0 ]) ]
+  | E.Config.E4 ->
+    [ ("H1", [ 2.2; 2.3; 2.3; 2.3 ]);
+      ("H2", [ 2.4; 2.7; 3.7; 7.0 ]);
+      ("H3", [ 2.4; 2.7; 3.0; 4.0 ]);
+      ("H4", [ 2.8; 2.7; 3.0; 4.0 ]);
+      ("H5", [ 3.0; 4.0; 7.0; 11.0 ]);
+      ("H6", [ 3.0; 4.0; 7.0; 11.0 ]) ]
+
+let run_table1 () =
+  section
+    (Printf.sprintf
+       "TABLE 1: failure thresholds, p = 10 (measured vs paper; %d pairs)"
+       options.pairs);
+  let ns = [ 5; 10; 20; 40 ] in
+  List.iter
+    (fun experiment ->
+      let table =
+        E.Failure.table ~pairs:options.pairs ~seed:options.seed experiment ~p:10
+          ~ns
+      in
+      let reference = paper_table1 experiment in
+      Printf.printf "%s (%s)\n"
+        (E.Config.experiment_name experiment)
+        (E.Config.experiment_title experiment);
+      let header =
+        "Heur." :: List.map (fun n -> Printf.sprintf "n=%d" n) ns
+      in
+      let rows =
+        List.map
+          (fun (name, measured) ->
+            let paper = List.assoc name reference in
+            name
+            :: List.map2
+                 (fun m p -> Printf.sprintf "%.1f (%.1f)" m p)
+                 measured paper)
+          table.E.Failure.rows
+      in
+      print_endline (Pipeline_util.Table.render (header :: rows));
+      ignore (E.Report.write_table ~dir:options.out table);
+      print_newline ())
+    E.Config.all_experiments;
+  print_endline "  cell format: measured (paper)"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timings                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let representative_instance experiment =
+  let n = match experiment with E.Config.E1 | E.Config.E2 -> 40 | _ -> 20 in
+  let setup =
+    E.Config.default_setup ~pairs:1 ~seed:options.seed experiment ~n ~p:10
+  in
+  E.Workload.instance setup 0
+
+let timing_tests () =
+  let open Bechamel in
+  List.map
+    (fun experiment ->
+      let inst = representative_instance experiment in
+      let single = Pipeline_model.Instance.single_proc_period inst in
+      let lopt = Pipeline_model.Instance.optimal_latency inst in
+      let tests =
+        List.map
+          (fun (info : Registry.info) ->
+            let threshold =
+              match info.Registry.kind with
+              | Registry.Period_fixed -> single *. 0.6
+              | Registry.Latency_fixed -> lopt *. 1.5
+            in
+            Test.make ~name:info.Registry.id
+              (Staged.stage (fun () -> ignore (info.Registry.solve inst ~threshold))))
+          Registry.all
+      in
+      Test.make_grouped ~name:(E.Config.experiment_name experiment) tests)
+    E.Config.all_experiments
+
+let run_timings () =
+  section "BECHAMEL TIMINGS: one group per experiment family (n=40/20, p=10)";
+  let open Bechamel in
+  let open Toolkit in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let test = Test.make_grouped ~name:"heuristics" (timing_tests ()) in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> e
+        | _ -> nan
+      in
+      rows := (name, estimate) :: !rows)
+    results;
+  let sorted = List.sort compare !rows in
+  Printf.printf "%-44s %16s\n" "benchmark" "time per solve";
+  Printf.printf "%s\n" (String.make 62 '-');
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "-"
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else Printf.sprintf "%.1f us" (ns /. 1e3)
+      in
+      Printf.printf "%-44s %16s\n" name pretty)
+    sorted
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_fallback () =
+  Printf.printf
+    "Ablation 1: pure 3-exploration (paper) vs 2-way-split fallback extension\n";
+  Printf.printf
+    "(failure thresholds on E1, p = 10: lower = more robust; %d pairs)\n\n"
+    (min options.pairs 20);
+  let pairs = min options.pairs 20 in
+  let ns = [ 10; 20; 40 ] in
+  Printf.printf "%-22s" "heuristic";
+  List.iter (fun n -> Printf.printf "%10s" (Printf.sprintf "n=%d" n)) ns;
+  print_newline ();
+  List.iter
+    (fun id ->
+      match Registry.find id with
+      | None -> ()
+      | Some info ->
+        Printf.printf "%-22s" info.Registry.paper_name;
+        List.iter
+          (fun n ->
+            let setup =
+              E.Config.default_setup ~pairs ~seed:options.seed E.Config.E1 ~n
+                ~p:10
+            in
+            let batch = E.Workload.instances setup in
+            Printf.printf "%10.1f" (E.Failure.average_threshold info batch))
+          ns;
+        print_newline ())
+    [ "h2-3explo-mono"; "h2x-3explo-mono-fb"; "h3-3explo-bi"; "h3x-3explo-bi-fb" ]
+
+let ablation_overlap () =
+  Printf.printf
+    "\nAblation 2: one-port/no-overlap (paper model) vs multi-port overlap\n";
+  Printf.printf "(simulated steady-state period on mapped E2 instances)\n\n";
+  let rng = Pipeline_util.Rng.create options.seed in
+  let ratios = ref [] in
+  for i = 1 to 30 do
+    let n = 5 + Pipeline_util.Rng.int rng 30 in
+    let app = App_generator.generate rng (App_generator.e2 ~n) in
+    let platform = Platform_generator.comm_homogeneous rng ~p:10 in
+    let inst = Instance.make ~id:i app platform in
+    let threshold = Instance.single_proc_period inst *. 0.6 in
+    match Sp_mono_p.solve inst ~period:threshold with
+    | None -> ()
+    | Some sol ->
+      let run mode =
+        Pipeline_sim.Trace.steady_period
+          (Pipeline_sim.Runner.run ~mode inst sol.Solution.mapping ~datasets:150)
+      in
+      let no = run Pipeline_sim.Runner.One_port_no_overlap in
+      let ov = run Pipeline_sim.Runner.Multi_port_overlap in
+      if no > 0. then ratios := (ov /. no) :: !ratios
+  done;
+  match !ratios with
+  | [] -> Printf.printf "  (no mapped instance)\n"
+  | rs ->
+    Printf.printf
+      "  overlap period / one-port period: mean %.3f, min %.3f, max %.3f (%d runs)\n"
+      (Pipeline_util.Stats.mean rs)
+      (fst (Pipeline_util.Stats.min_max rs))
+      (snd (Pipeline_util.Stats.min_max rs))
+      (List.length rs);
+    Printf.printf
+      "  (< 1 everywhere: the paper's one-port/no-overlap cost model is\n\
+      \   conservative; equation (1) upper-bounds an overlapped execution.)\n"
+
+let ablation_baselines () =
+  Printf.printf
+    "\nAblation 3: heuristics vs baselines (E2, n = 40, p = 10, 20 instances)\n";
+  Printf.printf
+    "(average period after unconstrained splitting vs comm-oblivious and random)\n\n";
+  let setup =
+    E.Config.default_setup ~pairs:20 ~seed:options.seed E.Config.E2 ~n:40 ~p:10
+  in
+  let batch = E.Workload.instances setup in
+  let avg f =
+    let values = List.filter_map f batch in
+    Pipeline_util.Stats.mean values
+  in
+  let h5 =
+    avg (fun inst ->
+        Option.map
+          (fun (s : Solution.t) -> s.Solution.period)
+          (Sp_mono_l.solve inst ~latency:infinity))
+  in
+  let balanced =
+    avg (fun inst -> Some (Baseline.balanced_chains inst).Solution.period)
+  in
+  let random =
+    avg (fun inst ->
+        let rng = Pipeline_util.Rng.create (inst.Instance.seed + 1) in
+        Some (Baseline.random rng inst).Solution.period)
+  in
+  let single = avg (fun inst -> Some (Instance.single_proc_period inst)) in
+  Printf.printf "  %-34s %10.2f\n" "Sp mono L (unbounded budget)" h5;
+  Printf.printf "  %-34s %10.2f\n" "balanced chains (comm-oblivious)" balanced;
+  Printf.printf "  %-34s %10.2f\n" "random mapping" random;
+  Printf.printf "  %-34s %10.2f\n" "single fastest processor" single
+
+let ablation_deal () =
+  Printf.printf
+    "\nAblation 4: splitting vs deal (one dominant stage; E3-flavoured, p = 8)\n";
+  Printf.printf
+    "(min period with unbounded latency budget; the deal replicates the hot stage)\n\n";
+  let rng = Pipeline_util.Rng.create (options.seed + 13) in
+  let split_periods = ref [] and deal_periods = ref [] in
+  for i = 1 to 20 do
+    let n = 5 + Pipeline_util.Rng.int rng 10 in
+    let works =
+      Array.init n (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 5 20))
+    in
+    (* One hot stage dominating the rest. *)
+    works.(Pipeline_util.Rng.int rng n) <-
+      float_of_int (Pipeline_util.Rng.int_in rng 300 600);
+    let deltas =
+      Array.init (n + 1) (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 1 20))
+    in
+    let app = Application.make ~deltas works in
+    let platform = Platform_generator.comm_homogeneous rng ~p:8 in
+    let inst = Instance.make ~id:i app platform in
+    (match Sp_mono_l.solve inst ~latency:infinity with
+    | Some s -> split_periods := s.Solution.period :: !split_periods
+    | None -> ());
+    match Pipeline_deal.Deal_heuristic.minimise_period_under_latency inst ~latency:infinity with
+    | Some s -> deal_periods := s.Pipeline_deal.Deal_heuristic.period :: !deal_periods
+    | None -> ()
+  done;
+  Printf.printf "  %-34s %10.2f\n" "splitting only (Sp mono L)"
+    (Pipeline_util.Stats.mean !split_periods);
+  Printf.printf "  %-34s %10.2f\n" "splitting + round-robin deal"
+    (Pipeline_util.Stats.mean !deal_periods);
+  Printf.printf
+    "  (the deal escapes the single-stage bottleneck the paper's heuristics\n\
+    \   are stuck on; see lib/deal and DESIGN.md.)\n"
+
+let ablation_het () =
+  Printf.printf
+    "\nAblation 5: fully heterogeneous extension (future work of the paper)\n";
+  Printf.printf
+    "(min period, unbounded budget: het-aware splitting vs exhaustive optimum,\n\
+    \ 20 random fully-het instances, n <= 8, p <= 4)\n\n";
+  let rng = Pipeline_util.Rng.create (options.seed + 17) in
+  let ratios = ref [] in
+  for i = 1 to 20 do
+    let n = 2 + Pipeline_util.Rng.int rng 7 in
+    let p = 2 + Pipeline_util.Rng.int rng 3 in
+    let works =
+      Array.init n (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 1 20))
+    in
+    let deltas =
+      Array.init (n + 1) (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 1 30))
+    in
+    let app = Application.make ~deltas works in
+    let platform = Platform_generator.fully_heterogeneous rng ~p in
+    let inst = Instance.make ~id:i app platform in
+    let opt = (Pipeline_optimal.Exhaustive.min_period inst).Solution.period in
+    match
+      Pipeline_het.Het_heuristics.minimise_period_under_latency inst
+        ~latency:infinity
+    with
+    | Some sol -> ratios := (sol.Solution.period /. opt) :: !ratios
+    | None -> ()
+  done;
+  Printf.printf
+    "  het heuristic period / optimal period: mean %.3f, max %.3f (%d runs)\n"
+    (Pipeline_util.Stats.mean !ratios)
+    (snd (Pipeline_util.Stats.min_max !ratios))
+    (List.length !ratios)
+
+let ablation_robustness () =
+  Printf.printf
+    "\nAblation 6: robustness to computation-time jitter (E2, n = 20, p = 10)\n";
+  Printf.printf
+    "(simulated period / analytic period under multiplicative noise;\n\
+    \ mappings produced by each heuristic at 0.6 x single-machine period)\n\n";
+  let setup =
+    E.Config.default_setup ~pairs:10 ~seed:options.seed E.Config.E2 ~n:20 ~p:10
+  in
+  let batch = E.Workload.instances setup in
+  let levels = [ 0.; 0.1; 0.3; 0.5 ] in
+  Printf.printf "%-20s" "heuristic";
+  List.iter (fun l -> Printf.printf "%10s" (Printf.sprintf "eps=%.1f" l)) levels;
+  print_newline ();
+  List.iter
+    (fun (info : Registry.info) ->
+      if info.Registry.kind = Registry.Period_fixed then begin
+        let series =
+          E.Robustness.series ~datasets:200 ~noise_levels:levels info batch
+        in
+        Printf.printf "%-20s" info.Registry.paper_name;
+        List.iter
+          (fun (_, y) -> Printf.printf "%10.3f" y)
+          (Pipeline_util.Series.points series);
+        print_newline ()
+      end)
+    Registry.all
+
+let ablation_polish () =
+  Printf.printf
+    "\nAblation 7: local-search polish of the heuristics (E2, n = 12, p = 8)\n";
+  Printf.printf
+    "(average latency at a 0.5 x single-machine period threshold;\n\
+    \ polished = heuristic + steepest descent under the period constraint)\n\n";
+  let setup =
+    E.Config.default_setup ~pairs:15 ~seed:options.seed E.Config.E2 ~n:12 ~p:8
+  in
+  let batch = E.Workload.instances setup in
+  Printf.printf "%-20s %12s %12s %12s\n" "heuristic" "raw" "polished" "exact";
+  List.iter
+    (fun (info : Registry.info) ->
+      if info.Registry.kind = Registry.Period_fixed then begin
+        let raws = ref [] and polished = ref [] and exacts = ref [] in
+        List.iter
+          (fun inst ->
+            let threshold = Instance.single_proc_period inst *. 0.5 in
+            match info.Registry.solve inst ~threshold with
+            | None -> ()
+            | Some sol ->
+              raws := sol.Solution.latency :: !raws;
+              let better =
+                Pipeline_optimal.Local_search.improve
+                  ~objective:Pipeline_optimal.Local_search.Latency_then_period
+                  ~feasible:(fun s -> Solution.respects_period s threshold)
+                  inst sol
+              in
+              polished := better.Solution.latency :: !polished;
+              (match
+                 Pipeline_optimal.Bicriteria.min_latency_under_period inst
+                   ~period:threshold
+               with
+              | Some e -> exacts := e.Solution.latency :: !exacts
+              | None -> ()))
+          batch;
+        match !raws with
+        | [] -> ()
+        | _ ->
+          Printf.printf "%-20s %12.2f %12.2f %12.2f\n" info.Registry.paper_name
+            (Pipeline_util.Stats.mean !raws)
+            (Pipeline_util.Stats.mean !polished)
+            (Pipeline_util.Stats.mean !exacts)
+      end)
+    Registry.all
+
+let ablation_branch_bound () =
+  Printf.printf
+    "\nAblation 8: how suboptimal are the heuristics on large platforms?\n";
+  Printf.printf
+    "(E2, n = 12, p = 100: branch-and-bound with speed-symmetry pruning vs\n\
+    \ unconstrained splitting; 10 instances)\n\n";
+  let setup =
+    E.Config.default_setup ~pairs:10 ~seed:options.seed E.Config.E2 ~n:12 ~p:100
+  in
+  let batch = E.Workload.instances setup in
+  let gaps = ref [] and proven = ref 0 in
+  List.iter
+    (fun inst ->
+      match Sp_mono_l.solve inst ~latency:infinity with
+      | None -> ()
+      | Some h ->
+        let result =
+          Pipeline_optimal.Branch_bound.min_period ~node_budget:500_000
+            ~initial:h inst
+        in
+        if result.Pipeline_optimal.Branch_bound.proven_optimal then incr proven;
+        gaps :=
+          (h.Solution.period
+          /. result.Pipeline_optimal.Branch_bound.solution.Solution.period)
+          :: !gaps)
+    batch;
+  Printf.printf
+    "  heuristic period / B&B period: mean %.3f, max %.3f (%d/%d proven optimal)\n"
+    (Pipeline_util.Stats.mean !gaps)
+    (snd (Pipeline_util.Stats.min_max !gaps))
+    !proven (List.length !gaps)
+
+let run_ablation () =
+  section "ABLATIONS AND EXTENSIONS (design choices quantified)";
+  ablation_fallback ();
+  ablation_overlap ();
+  ablation_baselines ();
+  ablation_deal ();
+  ablation_het ();
+  ablation_robustness ();
+  ablation_polish ();
+  ablation_branch_bound ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  parse_args ();
+  Printf.printf
+    "Multi-criteria scheduling of pipeline workflows (Benoit et al., 2007)\n";
+  Printf.printf "Reproduction harness. Output directory: %s\n" options.out;
+  if options.figures then run_figures ();
+  if options.table1 then run_table1 ();
+  if options.ablation then run_ablation ();
+  if options.timings then run_timings ();
+  print_newline ();
+  print_endline "done."

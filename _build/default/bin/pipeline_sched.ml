@@ -1,0 +1,658 @@
+(* pipeline-sched: command-line driver for the bi-criteria pipeline
+   mapping library.
+
+     pipeline-sched solve      --works 4,8,2,6 --deltas 10,20,30,20,10 \
+                               --speeds 2,4,1 --period 9 --exact
+     pipeline-sched solve      --file app.pw --latency 30
+     pipeline-sched one-to-one --file app.pw --pareto
+     pipeline-sched deal       --file app.pw --period 5
+     pipeline-sched scalarised --file app.pw --alpha 0.3
+     pipeline-sched figure     "Figure 2(a)" --out results
+     pipeline-sched table1     --experiment E1 --procs 10
+     pipeline-sched campaign   --out results
+     pipeline-sched validate   --trials 200
+     pipeline-sched pareto     --file app.pw                            *)
+
+open Cmdliner
+open Pipeline_model
+open Pipeline_core
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsing                                             *)
+(* ------------------------------------------------------------------ *)
+
+let floats_conv =
+  let parse s =
+    try Ok (Array.of_list (List.map float_of_string (String.split_on_char ',' s)))
+    with _ -> Error (`Msg (Printf.sprintf "not a comma-separated float list: %s" s))
+  in
+  let print fmt a =
+    Format.pp_print_string fmt
+      (String.concat "," (Array.to_list (Array.map string_of_float a)))
+  in
+  Arg.conv (parse, print)
+
+let works_arg =
+  Arg.(
+    value
+    & opt (some floats_conv) None
+    & info [ "works" ] ~docv:"W1,..,WN" ~doc:"Stage computation weights.")
+
+let deltas_arg =
+  Arg.(
+    value
+    & opt (some floats_conv) None
+    & info [ "deltas" ] ~docv:"D0,..,DN"
+        ~doc:"Message sizes, one more entry than stages.")
+
+let speeds_arg =
+  Arg.(
+    value
+    & opt (some floats_conv) None
+    & info [ "speeds" ] ~docv:"S1,..,SP" ~doc:"Processor speeds.")
+
+let bandwidth_arg =
+  Arg.(value & opt float 10. & info [ "bandwidth"; "b" ] ~doc:"Link bandwidth.")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "file"; "f" ] ~docv:"FILE"
+        ~doc:"Load the instance from a file (see Instance_io's format).")
+
+let out_arg =
+  Arg.(value & opt string "results" & info [ "out"; "o" ] ~doc:"Output directory.")
+
+let pairs_arg =
+  Arg.(
+    value
+    & opt int 50
+    & info [ "pairs" ] ~doc:"Random application/platform pairs per point.")
+
+let points_arg =
+  Arg.(value & opt int 15 & info [ "points" ] ~doc:"Sweep points per heuristic.")
+
+let seed_arg = Arg.(value & opt int 2007 & info [ "seed" ] ~doc:"Campaign seed.")
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
+
+(* The instance comes either from --file or from the three array
+   options. *)
+let load_instance file works deltas speeds bandwidth =
+  match (file, works, deltas, speeds) with
+  | Some path, None, None, None -> (
+    match Instance_io.load path with
+    | Ok inst -> inst
+    | Error e -> die "%s: %s" path (Format.asprintf "%a" Instance_io.pp_error e))
+  | None, Some works, Some deltas, Some speeds ->
+    let app = Application.make ~deltas works in
+    let platform = Platform.comm_homogeneous ~bandwidth speeds in
+    Instance.make app platform
+  | _ ->
+    die "provide either --file, or all of --works/--deltas/--speeds"
+
+let instance_args = Term.(const load_instance $ file_arg $ works_arg $ deltas_arg $ speeds_arg $ bandwidth_arg)
+
+(* ------------------------------------------------------------------ *)
+(* solve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let period_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "period" ] ~doc:"Fixed period: minimise latency.")
+
+let latency_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "latency" ] ~doc:"Fixed latency: minimise period.")
+
+let solve_cmd =
+  let heuristic =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "heuristic" ] ~doc:"Run only this heuristic (id, H1..H6 or paper name).")
+  in
+  let exact =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Also run the exact subset-DP solver.")
+  in
+  let polish =
+    Arg.(
+      value & flag
+      & info [ "polish" ]
+          ~doc:"Post-optimise each heuristic solution by local search.")
+  in
+  let run inst period latency heuristic exact polish =
+    Format.printf "%a@." Instance.pp inst;
+    let kind, threshold =
+      match (period, latency) with
+      | Some p, None -> (Registry.Period_fixed, p)
+      | None, Some l -> (Registry.Latency_fixed, l)
+      | _ -> die "exactly one of --period / --latency is required"
+    in
+    if not (Platform.is_comm_homogeneous inst.Instance.platform) then begin
+      (* Fully heterogeneous platform: dispatch to the het extension. *)
+      let result =
+        match kind with
+        | Registry.Period_fixed ->
+          Pipeline_het.Het_heuristics.minimise_latency_under_period inst
+            ~period:threshold
+        | Registry.Latency_fixed ->
+          Pipeline_het.Het_heuristics.minimise_period_under_latency inst
+            ~latency:threshold
+      in
+      match result with
+      | None -> Format.printf "%-18s FAILED@." "het splitting"
+      | Some sol -> Format.printf "%-18s %a@." "het splitting" Solution.pp sol
+    end
+    else begin
+      let selected =
+        match heuristic with
+        | None -> List.filter (fun (i : Registry.info) -> i.kind = kind) Registry.all
+        | Some name -> (
+          match Registry.find name with
+          | Some info when info.Registry.kind = kind -> [ info ]
+          | Some _ -> die "heuristic %s does not match the threshold kind" name
+          | None -> die "unknown heuristic %s" name)
+      in
+      List.iter
+        (fun (info : Registry.info) ->
+          match info.Registry.solve inst ~threshold with
+          | None -> Format.printf "%-18s FAILED@." info.Registry.paper_name
+          | Some sol ->
+            Format.printf "%-18s %a@." info.Registry.paper_name Solution.pp sol;
+            if polish then begin
+              let objective, feasible =
+                match kind with
+                | Registry.Period_fixed ->
+                  ( Pipeline_optimal.Local_search.Latency_then_period,
+                    fun s -> Solution.respects_period s threshold )
+                | Registry.Latency_fixed ->
+                  ( Pipeline_optimal.Local_search.Period_then_latency,
+                    fun s -> Solution.respects_latency s threshold )
+              in
+              let better =
+                Pipeline_optimal.Local_search.improve ~objective ~feasible inst
+                  sol
+              in
+              Format.printf "%-18s %a@."
+                ("  + local search")
+                Solution.pp better
+            end)
+        selected;
+      if exact then begin
+        let sol =
+          match kind with
+          | Registry.Period_fixed ->
+            Pipeline_optimal.Bicriteria.min_latency_under_period inst
+              ~period:threshold
+          | Registry.Latency_fixed ->
+            Pipeline_optimal.Bicriteria.min_period_under_latency inst
+              ~latency:threshold
+        in
+        match sol with
+        | None -> Format.printf "%-18s infeasible@." "exact"
+        | Some sol -> Format.printf "%-18s %a@." "exact" Solution.pp sol
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Map one pipeline instance (het platforms use the het extension).")
+    Term.(
+      const run $ instance_args $ period_arg $ latency_arg $ heuristic $ exact
+      $ polish)
+
+(* ------------------------------------------------------------------ *)
+(* one-to-one                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let one_to_one_cmd =
+  let pareto = Arg.(value & flag & info [ "pareto" ] ~doc:"Print the full front.") in
+  let run inst period pareto =
+    Format.printf "%a@." Instance.pp inst;
+    if pareto then
+      List.iter
+        (fun (sol : Solution.t) -> Format.printf "%a@." Solution.pp sol)
+        (Pipeline_optimal.One_to_one.pareto inst)
+    else begin
+      let by_period = Pipeline_optimal.One_to_one.min_period inst in
+      let by_latency = Pipeline_optimal.One_to_one.min_latency inst in
+      Format.printf "%-14s %a@." "min period" Solution.pp by_period;
+      Format.printf "%-14s %a@." "min latency" Solution.pp by_latency;
+      match period with
+      | None -> ()
+      | Some threshold -> (
+        match
+          Pipeline_optimal.One_to_one.min_latency_under_period inst
+            ~period:threshold
+        with
+        | None -> Format.printf "%-14s infeasible at %g@." "constrained" threshold
+        | Some sol -> Format.printf "%-14s %a@." "constrained" Solution.pp sol)
+    end
+  in
+  Cmd.v
+    (Cmd.info "one-to-one"
+       ~doc:"Exact polynomial one-to-one mapping (bottleneck + Hungarian).")
+    Term.(const run $ instance_args $ period_arg $ pareto)
+
+(* ------------------------------------------------------------------ *)
+(* deal                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let deal_cmd =
+  let run inst period latency =
+    Format.printf "%a@." Instance.pp inst;
+    let print_solution = function
+      | None -> Format.printf "deal heuristic: FAILED@."
+      | Some (sol : Pipeline_deal.Deal_heuristic.solution) ->
+        Format.printf "deal heuristic: %s period=%g latency=%g@."
+          (Pipeline_deal.Deal_mapping.to_string sol.Pipeline_deal.Deal_heuristic.mapping)
+          sol.Pipeline_deal.Deal_heuristic.period
+          sol.Pipeline_deal.Deal_heuristic.latency
+    in
+    match (period, latency) with
+    | Some p, None ->
+      print_solution
+        (Pipeline_deal.Deal_heuristic.minimise_latency_under_period inst ~period:p)
+    | None, Some l ->
+      print_solution
+        (Pipeline_deal.Deal_heuristic.minimise_period_under_latency inst ~latency:l)
+    | _ -> die "exactly one of --period / --latency is required"
+  in
+  Cmd.v
+    (Cmd.info "deal"
+       ~doc:"Splitting + replication heuristic (the paper's deal-skeleton extension).")
+    Term.(const run $ instance_args $ period_arg $ latency_arg)
+
+(* ------------------------------------------------------------------ *)
+(* scalarised                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let scalarised_cmd =
+  let alpha =
+    Arg.(
+      value
+      & opt float 0.5
+      & info [ "alpha" ] ~doc:"Weight of the period in [0,1] (latency gets 1-alpha).")
+  in
+  let exact = Arg.(value & flag & info [ "exact" ] ~doc:"Also run the exact solver.") in
+  let run inst alpha exact =
+    Format.printf "%a@." Instance.pp inst;
+    let heur = Pipeline_optimal.Scalarised.heuristic inst ~alpha in
+    Format.printf "%-10s %a  (objective %g)@." "heuristic" Solution.pp heur
+      (Pipeline_optimal.Scalarised.value ~alpha heur);
+    if exact then begin
+      let best = Pipeline_optimal.Scalarised.optimal inst ~alpha in
+      Format.printf "%-10s %a  (objective %g)@." "exact" Solution.pp best
+        (Pipeline_optimal.Scalarised.value ~alpha best)
+    end
+  in
+  Cmd.v
+    (Cmd.info "scalarised"
+       ~doc:"Minimise alpha*period + (1-alpha)*latency.")
+    Term.(const run $ instance_args $ alpha $ exact)
+
+(* ------------------------------------------------------------------ *)
+(* figure                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let figure_cmd =
+  let label =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"LABEL" ~doc:"Figure label, e.g. 'Figure 2(a)'.")
+  in
+  let run label pairs points seed out =
+    if String.lowercase_ascii label = "e5" then begin
+      (* Extension figure: fully heterogeneous platforms. *)
+      let fig =
+        Pipeline_experiments.Het_campaign.figure ~pairs ~sweep_points:points
+          ~seed ~n:20 10
+      in
+      print_endline (Pipeline_experiments.Report.figure_to_ascii fig);
+      List.iter (Format.printf "wrote %s@.")
+        (Pipeline_experiments.Report.write_figure ~dir:out fig)
+    end
+    else
+    match
+      Pipeline_experiments.Campaign.run_paper_figure ~pairs ~sweep_points:points
+        ~seed label
+    with
+    | None ->
+      Format.printf "Unknown figure %S. Available:@." label;
+      List.iter
+        (fun (l, setup) ->
+          Format.printf "  %-12s %s@." l (Pipeline_experiments.Config.setup_label setup))
+        (Pipeline_experiments.Campaign.paper_figures ());
+      Format.printf "  %-12s extension: fully heterogeneous platforms@." "E5" 
+    | Some fig ->
+      print_endline (Pipeline_experiments.Report.figure_to_ascii fig);
+      let paths = Pipeline_experiments.Report.write_figure ~dir:out fig in
+      List.iter (Format.printf "wrote %s@.") paths
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Reproduce one paper figure.")
+    Term.(const run $ label $ pairs_arg $ points_arg $ seed_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* table1                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_conv =
+  let parse s =
+    match Pipeline_experiments.Config.experiment_of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg (Printf.sprintf "unknown experiment %s" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt e ->
+        Format.pp_print_string fmt (Pipeline_experiments.Config.experiment_name e) )
+
+let table1_cmd =
+  let experiment =
+    Arg.(
+      value
+      & opt (some experiment_conv) None
+      & info [ "experiment"; "e" ] ~doc:"Experiment family (E1..E4); default all.")
+  in
+  let p = Arg.(value & opt int 10 & info [ "procs" ] ~doc:"Number of processors.") in
+  let ns =
+    Arg.(
+      value
+      & opt (list int) [ 5; 10; 20; 40 ]
+      & info [ "ns" ] ~doc:"Stage counts (columns).")
+  in
+  let max_aggregate =
+    Arg.(
+      value
+      & flag
+      & info [ "max" ]
+          ~doc:"Report the worst per-instance boundary instead of the mean.")
+  in
+  let run experiment p ns max_aggregate pairs seed out =
+    let aggregate =
+      if max_aggregate then Pipeline_experiments.Failure.Max
+      else Pipeline_experiments.Failure.Mean
+    in
+    let experiments =
+      match experiment with
+      | Some e -> [ e ]
+      | None -> Pipeline_experiments.Config.all_experiments
+    in
+    List.iter
+      (fun e ->
+        let table =
+          Pipeline_experiments.Failure.table ~aggregate ~pairs ~seed e ~p ~ns
+        in
+        Format.printf "Failure thresholds, %s (%s), p = %d:@.%s@."
+          (Pipeline_experiments.Config.experiment_name e)
+          (Pipeline_experiments.Config.experiment_title e)
+          p
+          (Pipeline_experiments.Failure.render table);
+        let paths = Pipeline_experiments.Report.write_table ~dir:out table in
+        List.iter (Format.printf "wrote %s@.") paths)
+      experiments
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce the failure-threshold table (Table 1).")
+    Term.(
+      const run $ experiment $ p $ ns $ max_aggregate $ pairs_arg $ seed_arg
+      $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* campaign                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let campaign_cmd =
+  let run pairs points seed out =
+    List.iter
+      (fun (label, _) ->
+        match
+          Pipeline_experiments.Campaign.run_paper_figure ~pairs
+            ~sweep_points:points ~seed label
+        with
+        | None -> ()
+        | Some fig ->
+          print_endline (Pipeline_experiments.Report.figure_to_ascii fig);
+          let paths = Pipeline_experiments.Report.write_figure ~dir:out fig in
+          List.iter (Format.printf "wrote %s@.") paths)
+      (Pipeline_experiments.Campaign.paper_figures ());
+    List.iter
+      (fun e ->
+        let table =
+          Pipeline_experiments.Failure.table ~pairs ~seed e ~p:10
+            ~ns:[ 5; 10; 20; 40 ]
+        in
+        Format.printf "Failure thresholds, %s, p = 10:@.%s@."
+          (Pipeline_experiments.Config.experiment_name e)
+          (Pipeline_experiments.Failure.render table);
+        ignore (Pipeline_experiments.Report.write_table ~dir:out table))
+      Pipeline_experiments.Config.all_experiments
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run the full simulation campaign (all figures + tables).")
+    Term.(const run $ pairs_arg $ points_arg $ seed_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* validate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let validate_cmd =
+  let trials =
+    Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Random instances to check.")
+  in
+  let run trials seed =
+    let rng = Pipeline_util.Rng.create seed in
+    let worst = ref 0. in
+    for i = 1 to trials do
+      let n = 1 + Pipeline_util.Rng.int rng 20 in
+      let p = 1 + Pipeline_util.Rng.int rng 8 in
+      let app = App_generator.generate rng (App_generator.e2 ~n) in
+      let platform = Platform_generator.comm_homogeneous rng ~p in
+      let inst = Instance.make ~id:i app platform in
+      let threshold = Instance.single_proc_period inst *. 0.7 in
+      match Sp_mono_p.solve inst ~period:threshold with
+      | None -> ()
+      | Some sol ->
+        let report = Pipeline_sim.Validate.check ~datasets:200 inst sol.mapping in
+        worst :=
+          Float.max !worst
+            (Float.max report.Pipeline_sim.Validate.period_rel_error
+               report.Pipeline_sim.Validate.latency_rel_error);
+        if not (Pipeline_sim.Validate.agrees report) then
+          Format.printf "MISMATCH on instance %d: %a@." i Pipeline_sim.Validate.pp
+            report
+    done;
+    Format.printf
+      "validated %d random mapped instances; worst relative error %.2e@." trials
+      !worst
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Check the analytic cost model against the one-port simulator.")
+    Term.(const run $ trials $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    let print_group title infos =
+      Format.printf "%s@." title;
+      List.iter
+        (fun (i : Registry.info) ->
+          Format.printf "  %-22s %-24s %s@." i.Registry.id i.Registry.paper_name
+            (match i.Registry.kind with
+            | Registry.Period_fixed -> "period fixed, minimises latency"
+            | Registry.Latency_fixed -> "latency fixed, minimises period"))
+        infos
+    in
+    print_group "Paper heuristics (Table 1 order):" Registry.all;
+    print_group "Extensions:" Registry.extended;
+    print_group "Fully heterogeneous platforms:"
+      Pipeline_het.Het_heuristics.registry
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List every available heuristic.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* eval                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mapping_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mapping"; "m" ] ~docv:"MAP"
+        ~doc:"Explicit mapping, e.g. '1-3:2 4:0 5-6:1'.")
+
+let parse_mapping text =
+  match Mapping_io.of_string text with
+  | Ok mapping -> mapping
+  | Error e -> die "bad mapping: %s" e
+
+let eval_cmd =
+  let run inst mapping =
+    let mapping =
+      match mapping with
+      | Some text -> parse_mapping text
+      | None -> die "--mapping is required"
+    in
+    Format.printf "%a@." Instance.pp inst;
+    let s = Metrics.summary inst.Instance.app inst.Instance.platform mapping in
+    Format.printf "%s@.  %a@." (Mapping.to_string mapping) Metrics.pp_summary s;
+    let report = Pipeline_sim.Validate.check inst mapping in
+    Format.printf "  simulator: %a@." Pipeline_sim.Validate.pp report
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:"Evaluate an explicit mapping with the cost model and the simulator.")
+    Term.(const run $ instance_args $ mapping_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let datasets =
+    Arg.(value & opt int 50 & info [ "datasets" ] ~doc:"Data sets to feed.")
+  in
+  let noise =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "noise" ] ~doc:"Computation-time jitter amplitude in [0,1).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"BASE"
+          ~doc:"Write BASE.csv and BASE.json (Chrome trace) for the run.")
+  in
+  let run inst period mapping datasets noise trace_out seed =
+    Format.printf "%a@." Instance.pp inst;
+    let sol =
+      match mapping with
+      | Some text ->
+        Solution.of_mapping inst (parse_mapping text)
+      | None -> (
+        let threshold =
+          Option.value period ~default:(Instance.single_proc_period inst *. 0.85)
+        in
+        match Sp_mono_p.solve inst ~period:threshold with
+        | None -> die "no mapping achieves period %g" threshold
+        | Some sol -> sol)
+    in
+    begin
+      Format.printf "mapping: %a@." Solution.pp sol;
+      let trace = Pipeline_sim.Runner.run inst sol.Solution.mapping ~datasets in
+      Format.printf "@.%s@."
+        (Pipeline_sim.Trace.gantt ~width:76 trace);
+      let stats =
+        Pipeline_sim.Workload_sim.run
+          ~config:
+            {
+              Pipeline_sim.Workload_sim.default_config with
+              Pipeline_sim.Workload_sim.datasets;
+              noise =
+                (if noise = 0. then Pipeline_sim.Workload_sim.No_noise
+                 else Pipeline_sim.Workload_sim.Uniform_factor noise);
+              seed;
+            }
+          inst sol.Solution.mapping
+      in
+      Format.printf
+        "steady period %.3f (analytic %.3f, noise %.0f%%); latency mean %.2f          p95 %.2f max %.2f@."
+        stats.Pipeline_sim.Workload_sim.steady_period sol.Solution.period
+        (100. *. noise) stats.Pipeline_sim.Workload_sim.latency_mean
+        stats.Pipeline_sim.Workload_sim.latency_p95
+        stats.Pipeline_sim.Workload_sim.latency_max;
+      if datasets >= 10 then
+        Format.printf "@.latency distribution:@.%s"
+          (Pipeline_util.Histogram.render ~width:48
+             (Pipeline_util.Histogram.build ~bins:8
+                stats.Pipeline_sim.Workload_sim.latencies));
+      match trace_out with
+      | None -> ()
+      | Some base ->
+        Pipeline_util.Csv.to_file (base ^ ".csv") (Pipeline_sim.Trace.to_csv trace);
+        Pipeline_util.Csv.to_file (base ^ ".json")
+          (Pipeline_sim.Trace.to_chrome_json trace);
+        Format.printf "wrote %s.csv and %s.json@." base base
+    end
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Map with H1 and execute on the simulator (Gantt, stats, traces).")
+    Term.(
+      const run $ instance_args $ period_arg $ mapping_arg $ datasets $ noise
+      $ trace_out $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* pareto                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let pareto_cmd =
+  let run inst =
+    Format.printf "%a@." Instance.pp inst;
+    List.iter
+      (fun (sol : Solution.t) -> Format.printf "%a@." Solution.pp sol)
+      (Pipeline_optimal.Bicriteria.pareto inst)
+  in
+  Cmd.v
+    (Cmd.info "pareto" ~doc:"Exact period/latency Pareto front (exponential in p).")
+    Term.(const run $ instance_args)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "pipeline-sched" ~version:"1.0.0"
+      ~doc:"Bi-criteria mapping of pipeline workflows (Benoit et al., 2007)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            list_cmd;
+            solve_cmd;
+            one_to_one_cmd;
+            deal_cmd;
+            scalarised_cmd;
+            eval_cmd;
+            simulate_cmd;
+            figure_cmd;
+            table1_cmd;
+            campaign_cmd;
+            validate_cmd;
+            pareto_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/cluster_scaling.ml: App_generator Format Fun Instance List Option Pipeline_core Pipeline_model Pipeline_util Platform_generator Printf Registry Solution

@@ -1,0 +1,1 @@
+examples/genomics_pipeline.ml: Application Chains Format Instance List Mapping Pipeline_core Pipeline_model Pipeline_optimal Pipeline_sim Platform Printf Solution Sp_bi_l Sp_mono_l

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Application Format Instance List Mapping Metrics Pipeline_core Pipeline_model Pipeline_optimal Pipeline_sim Platform Registry Solution Sp_mono_p

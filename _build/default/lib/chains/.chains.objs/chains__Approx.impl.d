@@ -1,0 +1,1 @@
+lib/chains/approx.ml: Bounds Float Partition Prefix Probe

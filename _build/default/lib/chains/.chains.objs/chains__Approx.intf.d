@@ -1,0 +1,1 @@
+lib/chains/approx.mli: Partition

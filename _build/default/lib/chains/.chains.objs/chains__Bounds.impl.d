@@ -1,0 +1,1 @@
+lib/chains/bounds.ml: Float Partition Prefix Probe

@@ -1,0 +1,1 @@
+lib/chains/bounds.mli: Prefix

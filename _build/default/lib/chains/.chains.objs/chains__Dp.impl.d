@@ -1,0 +1,1 @@
+lib/chains/dp.ml: Array Float Partition Prefix

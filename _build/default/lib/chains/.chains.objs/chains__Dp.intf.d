@@ -1,0 +1,1 @@
+lib/chains/dp.mli: Partition

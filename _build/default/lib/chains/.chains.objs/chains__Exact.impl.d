@@ -1,0 +1,1 @@
+lib/chains/exact.ml: Array List Prefix Probe

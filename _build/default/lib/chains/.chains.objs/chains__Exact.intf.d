@@ -1,0 +1,1 @@
+lib/chains/exact.mli: Partition Prefix

@@ -1,0 +1,1 @@
+lib/chains/hetero.ml: Array Exact Float Hashtbl List Partition Pipeline_model Prefix Printf

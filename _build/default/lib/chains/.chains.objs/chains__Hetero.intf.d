@@ -1,0 +1,1 @@
+lib/chains/hetero.mli: Partition

@@ -1,0 +1,1 @@
+lib/chains/heuristic.ml: Float List Partition Prefix

@@ -1,0 +1,1 @@
+lib/chains/heuristic.mli: Partition

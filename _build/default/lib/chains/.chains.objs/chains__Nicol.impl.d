@@ -1,0 +1,1 @@
+lib/chains/nicol.ml: Array Float List Partition Prefix

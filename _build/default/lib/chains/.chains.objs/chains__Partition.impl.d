@@ -1,0 +1,1 @@
+lib/chains/partition.ml: Array Float Format List Pipeline_model Prefix String

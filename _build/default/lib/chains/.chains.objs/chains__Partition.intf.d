@@ -1,0 +1,1 @@
+lib/chains/partition.mli: Format Pipeline_model Prefix

@@ -1,0 +1,1 @@
+lib/chains/prefix.ml: Array Float

@@ -1,0 +1,1 @@
+lib/chains/probe.ml: List Partition Prefix

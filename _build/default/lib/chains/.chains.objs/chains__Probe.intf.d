@@ -1,0 +1,1 @@
+lib/chains/probe.mli: Partition Prefix

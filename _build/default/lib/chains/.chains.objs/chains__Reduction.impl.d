@@ -1,0 +1,1 @@
+lib/chains/reduction.ml: Array Hetero List Pipeline_model

@@ -1,0 +1,1 @@
+lib/chains/reduction.mli: Hetero

@@ -1,0 +1,1 @@
+lib/chains/to_mapping.ml: Array Hetero List Partition Pipeline_model

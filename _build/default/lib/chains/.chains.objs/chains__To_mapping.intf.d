@@ -1,0 +1,1 @@
+lib/chains/to_mapping.mli: Hetero Pipeline_model Prefix

@@ -1,0 +1,14 @@
+let solve ?(epsilon = 1e-6) a ~p =
+  if p < 1 then invalid_arg "Approx.solve: p must be >= 1";
+  if epsilon <= 0. then invalid_arg "Approx.solve: epsilon must be > 0";
+  let prefix = Prefix.make a in
+  let lo, hi = Bounds.span prefix ~p in
+  let lo = ref lo and hi = ref hi in
+  (* Invariant: hi is feasible, lo is a valid lower bound. *)
+  while !hi -. !lo > epsilon *. Float.max 1. !lo do
+    let mid = (!lo +. !hi) /. 2. in
+    if Probe.feasible prefix ~p ~bound:mid then hi := mid else lo := mid
+  done;
+  match Probe.partition prefix ~p ~bound:!hi with
+  | Some partition -> (Partition.bottleneck prefix partition, partition)
+  | None -> assert false (* hi stays feasible throughout *)

@@ -1,0 +1,13 @@
+(** (1+ε)-approximation for homogeneous chains-to-chains by bisection on
+    the bound (Iqbal, Int. J. Parallel Programming 1991).
+
+    Bisect the bottleneck value between the analytic bounds of {!Bounds},
+    probing feasibility greedily; stop when the bracket is within a
+    relative [ε]. [O(p log n · log(1/ε))] — independent of the number of
+    distinct candidate sums, unlike the exact parametric search, which
+    makes it the right tool for very long chains. *)
+
+val solve : ?epsilon:float -> float array -> p:int -> float * Partition.t
+(** [solve a ~p] returns a partition whose bottleneck is within a factor
+    [1 + epsilon] (default [1e-6]) of the optimum. Raises
+    [Invalid_argument] when [a] is empty, [p < 1] or [epsilon <= 0]. *)

@@ -1,0 +1,15 @@
+let lower prefix ~p =
+  if p < 1 then invalid_arg "Bounds.lower: p must be >= 1";
+  Float.max (Prefix.total prefix /. float_of_int p) (Prefix.max_element prefix)
+
+let upper prefix ~p =
+  let bound = lower prefix ~p +. Prefix.max_element prefix in
+  (* Greedy at [lower + max_element] always succeeds: each interval takes
+     at least [lower] worth of elements before overflowing, so at most p
+     intervals are needed; the realised bottleneck only improves on the
+     probe bound. *)
+  match Probe.partition prefix ~p ~bound with
+  | Some partition -> Partition.bottleneck prefix partition
+  | None -> bound (* unreachable; keep the analytic value as fallback *)
+
+let span prefix ~p = (lower prefix ~p, upper prefix ~p)

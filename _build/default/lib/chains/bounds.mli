@@ -1,0 +1,17 @@
+(** Analytic bounds for homogeneous chains-to-chains.
+
+    Cheap certificates used by the approximation scheme ({!Approx}) and
+    handy for sanity-checking any solver: the optimum always lies in
+    [\[lower, upper\]] with [upper ≤ 2·lower] for [greedy_upper]. *)
+
+val lower : Prefix.t -> p:int -> float
+(** [max(total/p, max element)] — no partition into [p] intervals can do
+    better. *)
+
+val upper : Prefix.t -> p:int -> float
+(** Bottleneck of the greedy partition probed at [lower + max element]
+    (always feasible): a valid upper bound within [lower + max_element],
+    hence at most twice the optimum. *)
+
+val span : Prefix.t -> p:int -> float * float
+(** [(lower, upper)] in one call. *)

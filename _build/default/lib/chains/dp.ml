@@ -1,0 +1,37 @@
+let solve a ~p =
+  if p < 1 then invalid_arg "Dp.solve: p must be >= 1";
+  let prefix = Prefix.make a in
+  let n = Prefix.n prefix in
+  let p = min p n in
+  (* best.(j).(k): bottleneck for the first k elements in <= j+1 intervals;
+     cut.(j).(k): last cut position for reconstruction (0 = no cut). *)
+  let best = Array.make_matrix p (n + 1) infinity in
+  let cut = Array.make_matrix p (n + 1) 0 in
+  for k = 1 to n do
+    best.(0).(k) <- Prefix.sum prefix 1 k
+  done;
+  for j = 1 to p - 1 do
+    best.(j).(0) <- 0.;
+    for k = 1 to n do
+      (* Either keep <= j intervals, or cut after some i >= 1. *)
+      best.(j).(k) <- best.(j - 1).(k);
+      cut.(j).(k) <- cut.(j - 1).(k);
+      for i = 1 to k - 1 do
+        let candidate = Float.max best.(j - 1).(i) (Prefix.sum prefix (i + 1) k) in
+        if candidate < best.(j).(k) then begin
+          best.(j).(k) <- candidate;
+          cut.(j).(k) <- i
+        end
+      done
+    done
+  done;
+  (* Reconstruct the cuts from the last row. *)
+  let rec collect j k acc =
+    if k = 0 then acc
+    else
+      let i = cut.(j).(k) in
+      if i = 0 then acc
+      else collect (max 0 (j - 1)) i (i :: acc)
+  in
+  let cuts = collect (p - 1) n [] in
+  (best.(p - 1).(n), Partition.of_cuts ~n cuts)

@@ -1,0 +1,16 @@
+(** Exact homogeneous chains-to-chains by parametric search.
+
+    The optimal bottleneck is necessarily the sum of some interval of
+    consecutive elements, so there are at most [n(n+1)/2] candidate
+    values. Sorting the candidates and binary-searching with the greedy
+    {!Probe} yields the optimum in [O(n² log n)] — the "Nicol-style"
+    scheme from the 1D-partitioning literature (Pinar & Aykanat 2004).
+    Faster on wide chains than {!Dp} and bit-for-bit robust (no floating
+    point threshold tuning: the probe is run only on realisable sums). *)
+
+val candidates : Prefix.t -> float array
+(** All distinct interval sums, sorted increasingly. O(n²) space. *)
+
+val solve : float array -> p:int -> float * Partition.t
+(** Same contract as {!Dp.solve}; the two agree on every instance (a
+    property the test suite checks). *)

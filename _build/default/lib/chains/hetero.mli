@@ -1,0 +1,50 @@
+(** Hetero-1D-Partition (paper §3, Definition 1).
+
+    Partition [a_1 … a_n] into at most [p] consecutive intervals and
+    injectively assign each interval a processor speed, minimising
+    [max_k (Σ_{i∈I_k} a_i) / s_σ(k)]. Theorem 1 proves the decision
+    version NP-complete, so the exact solvers here are exponential in [p]
+    — a processor-subset dynamic program — and are meant for the modest
+    [p] of the validation suite, while {!greedy} and
+    {!binary_search_greedy} are the polynomial heuristics.
+
+    Speeds are identified by their index in the [speeds] array; a
+    {!solution} reports which speed serves each interval. *)
+
+type solution = {
+  bottleneck : float;      (** achieved [max load/speed] *)
+  partition : Partition.t; (** the intervals, in chain order *)
+  assignment : int array;  (** [assignment.(j)] = index into [speeds] of
+                               the processor serving interval [j] *)
+}
+
+val objective : float array -> speeds:float array -> solution -> float
+(** Recompute the bottleneck of a solution from scratch (used by tests to
+    cross-check the solvers' reported value). *)
+
+val is_valid : n:int -> speeds:float array -> solution -> bool
+(** Structural check: valid partition, assignment within bounds and
+    injective, one speed per interval. *)
+
+val exact_dp : float array -> speeds:float array -> solution
+(** Optimal solution by dynamic programming over (prefix length,
+    processor subset): O(2^p · n² · p) time, O(2^p · n) space. Raises
+    [Invalid_argument] when [speeds] has more than 16 entries (the table
+    would not fit) or either input is empty. *)
+
+val decision : float array -> speeds:float array -> bound:float -> solution option
+(** Exact decision procedure: a solution with bottleneck [≤ bound], or
+    [None]. Subset DP specialised to the bound (prunes states whose
+    partial bottleneck already exceeds it). *)
+
+val greedy : float array -> speeds:float array -> bound:float -> solution option
+(** Polynomial heuristic probe: consume speeds from fastest to slowest,
+    each taking the longest prefix with [load/speed ≤ bound]. Sound (a
+    returned solution is valid and meets the bound) but incomplete — it
+    can miss feasible instances, as NP-hardness demands. *)
+
+val binary_search_greedy : float array -> speeds:float array -> solution
+(** Heuristic optimiser: binary search on the bound over the candidate
+    interval sums scaled by each speed, using {!greedy} as the probe.
+    Always returns a valid solution (the single-interval fallback on the
+    fastest speed is feasible for a large enough bound). *)

@@ -1,0 +1,60 @@
+let greedy_target a ~p =
+  if p < 1 then invalid_arg "Heuristic.greedy_target: p must be >= 1";
+  let prefix = Prefix.make a in
+  let n = Prefix.n prefix in
+  let p = min p n in
+  let target = Prefix.total prefix /. float_of_int p in
+  let cuts = ref [] and count = ref 1 and start = ref 1 in
+  let k = ref 1 in
+  while !k <= n && !count < p do
+    (* Would cutting after k leave the current interval closer to the
+       target than extending it by one more element? *)
+    let here = Prefix.sum prefix !start !k in
+    let extended =
+      if !k < n then Prefix.sum prefix !start (!k + 1) else infinity
+    in
+    if
+      !k < n
+      && Float.abs (here -. target) <= Float.abs (extended -. target)
+      && n - !k >= p - !count (* enough elements left for remaining intervals *)
+    then begin
+      cuts := !k :: !cuts;
+      incr count;
+      start := !k + 1
+    end;
+    incr k
+  done;
+  Partition.of_cuts ~n (List.rev !cuts)
+
+let recursive_bisection a ~p =
+  if p < 1 then invalid_arg "Heuristic.recursive_bisection: p must be >= 1";
+  let prefix = Prefix.make a in
+  let n = Prefix.n prefix in
+  (* Collect cut positions; [halve d e parts] partitions [d..e]. *)
+  let rec halve d e parts acc =
+    if parts <= 1 || d >= e then acc
+    else begin
+      let left_parts = (parts + 1) / 2 in
+      let right_parts = parts - left_parts in
+      (* Find the cut c in [d, e-1] minimising the imbalance between the
+         per-part averages of the two halves. *)
+      let best_c = ref d and best_cost = ref infinity in
+      for c = d to e - 1 do
+        (* Both halves must host at least one element per part. *)
+        if c - d + 1 >= left_parts && e - c >= right_parts then begin
+          let left = Prefix.sum prefix d c /. float_of_int left_parts in
+          let right = Prefix.sum prefix (c + 1) e /. float_of_int right_parts in
+          let cost = Float.abs (left -. right) in
+          if cost < !best_cost then begin
+            best_cost := cost;
+            best_c := c
+          end
+        end
+      done;
+      let c = !best_c in
+      let acc = halve d c left_parts (c :: acc) in
+      halve (c + 1) e right_parts acc
+    end
+  in
+  let cuts = List.sort_uniq compare (halve 1 n (min p n) []) in
+  Partition.of_cuts ~n cuts

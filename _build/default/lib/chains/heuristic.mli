@@ -1,0 +1,15 @@
+(** Classic linear-time heuristics for homogeneous chains-to-chains.
+
+    Neither is optimal; both are standard baselines in the 1D-partitioning
+    literature and serve as cheap seeds / sanity baselines next to the
+    exact algorithms. *)
+
+val greedy_target : float array -> p:int -> Partition.t
+(** Aim every interval at the ideal load [total/p]: scan left to right and
+    cut once adding the next element would move the current interval
+    further from the target than stopping (at most [p] intervals; the
+    remainder is merged into the last interval). *)
+
+val recursive_bisection : float array -> p:int -> Partition.t
+(** Split the chain at the most balanced cut, recurse with [⌈p/2⌉] and
+    [⌊p/2⌋] parts on the halves. At most [p] intervals. *)

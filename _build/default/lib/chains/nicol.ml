@@ -1,0 +1,56 @@
+let solve a ~p =
+  if p < 1 then invalid_arg "Nicol.solve: p must be >= 1";
+  let prefix = Prefix.make a in
+  let n = Prefix.n prefix in
+  let p = min p n in
+  (* memo.(k-1).(i-1): optimal bottleneck for elements i..n on k
+     processors; cut.(k-1).(i-1): end of the first interval in an optimal
+     split (i-1 encodes "empty suffix handled elsewhere"). *)
+  let memo = Array.make_matrix p n nan in
+  let cut = Array.make_matrix p n 0 in
+  let rec opt i k =
+    if i > n then 0.
+    else if k = 1 then Prefix.sum prefix i n
+    else begin
+      let cached = memo.(k - 1).(i - 1) in
+      if not (Float.is_nan cached) then cached
+      else begin
+        (* sum(i..e) grows with e; opt(e+1, k-1) shrinks: binary search
+           the first e where the first term dominates, then compare the
+           two candidates around the crossing. *)
+        let value e = Float.max (Prefix.sum prefix i e) (opt (e + 1) (k - 1)) in
+        let dominated e = Prefix.sum prefix i e >= opt (e + 1) (k - 1) in
+        let lo = ref i and hi = ref n in
+        if dominated i then hi := i
+        else begin
+          (* invariant: not (dominated lo), dominated hi (hi = n has an
+             empty remainder, so sum >= 0 = opt). *)
+          while !hi - !lo > 1 do
+            let mid = (!lo + !hi) / 2 in
+            if dominated mid then hi := mid else lo := mid
+          done
+        end;
+        let best_e = ref !hi and best = ref (value !hi) in
+        if !hi > i then begin
+          let candidate = value (!hi - 1) in
+          if candidate < !best then begin
+            best := candidate;
+            best_e := !hi - 1
+          end
+        end;
+        memo.(k - 1).(i - 1) <- !best;
+        cut.(k - 1).(i - 1) <- !best_e;
+        !best
+      end
+    end
+  in
+  let bottleneck = opt 1 p in
+  (* Reconstruct: walk the stored first-interval ends. *)
+  let rec cuts i k acc =
+    if i > n || k = 1 then List.rev acc
+    else begin
+      let e = cut.(k - 1).(i - 1) in
+      if e >= n then List.rev acc else cuts (e + 1) (k - 1) (e :: acc)
+    end
+  in
+  (bottleneck, Partition.of_cuts ~n (cuts 1 p []))

@@ -1,0 +1,13 @@
+(** Nicol's exact algorithm for homogeneous chains-to-chains.
+
+    A third, independently-derived exact solver (after {!Dp} and the
+    parametric search of {!Exact}), following Nicol's recursive scheme as
+    described by Pinar & Aykanat (2004): the optimal bottleneck for a
+    suffix and [k] processors is [min_e max(sum(i..e), opt(e+1, k-1))];
+    since the first term increases with [e] and the second decreases, the
+    minimum sits at their crossing, found by binary search. With
+    memoisation the cost is [O(np log n)] — and the test suite checks all
+    three solvers agree bit-for-bit. *)
+
+val solve : float array -> p:int -> float * Partition.t
+(** Same contract as {!Dp.solve}. *)

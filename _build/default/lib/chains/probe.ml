@@ -1,0 +1,37 @@
+let greedy_cuts prefix ~bound =
+  (* Returns the cut positions of the leftmost-greedy partition, or None
+     when some single element exceeds the bound. *)
+  let n = Prefix.n prefix in
+  if Prefix.max_element prefix > bound then None
+  else begin
+    let rec walk from acc =
+      if from > n then List.rev acc
+      else
+        let e = Prefix.longest_fitting prefix ~from ~budget:bound in
+        (* max_element <= bound guarantees e >= from. *)
+        if e >= n then List.rev acc else walk (e + 1) (e :: acc)
+    in
+    Some (walk 1 [])
+  end
+
+let min_intervals prefix ~bound =
+  if bound < 0. then None
+  else
+    match greedy_cuts prefix ~bound with
+    | None -> None
+    | Some cuts -> Some (List.length cuts + 1)
+
+let feasible prefix ~p ~bound =
+  if p < 1 then invalid_arg "Probe.feasible: p must be >= 1";
+  match min_intervals prefix ~bound with
+  | None -> false
+  | Some m -> m <= p
+
+let partition prefix ~p ~bound =
+  if p < 1 then invalid_arg "Probe.partition: p must be >= 1";
+  match greedy_cuts prefix ~bound with
+  | None -> None
+  | Some cuts ->
+    if List.length cuts + 1 <= p then
+      Some (Partition.of_cuts ~n:(Prefix.n prefix) cuts)
+    else None

@@ -1,0 +1,18 @@
+(** Greedy feasibility probe for the homogeneous chains-to-chains problem.
+
+    [PROBE(B)]: can [\[1..n\]] be partitioned into at most [p] consecutive
+    intervals with every interval sum at most [B]? Because elements are
+    non-negative, cutting each interval as late as possible is optimal, so
+    the greedy answer is exact. This is the classic building block of the
+    parametric-search algorithms surveyed by Pinar & Aykanat (2004). *)
+
+val feasible : Prefix.t -> p:int -> bound:float -> bool
+(** O(p log n). [p ≥ 1] required. *)
+
+val partition : Prefix.t -> p:int -> bound:float -> Partition.t option
+(** The leftmost-greedy witness partition (at most [p] intervals), or
+    [None] when infeasible. The witness may use fewer than [p] intervals. *)
+
+val min_intervals : Prefix.t -> bound:float -> int option
+(** Smallest number of intervals achieving bottleneck [≤ bound];
+    [None] when a single element already exceeds [bound]. *)

@@ -1,0 +1,165 @@
+module Interval = Pipeline_model.Interval
+
+type nmwts = { xs : int array; ys : int array; zs : int array }
+
+let make_nmwts ~xs ~ys ~zs =
+  let m = Array.length xs in
+  if m = 0 then invalid_arg "Reduction.make_nmwts: empty instance";
+  if Array.length ys <> m || Array.length zs <> m then
+    invalid_arg "Reduction.make_nmwts: xs, ys, zs must share their length";
+  let check a =
+    Array.iter
+      (fun v -> if v < 0 then invalid_arg "Reduction.make_nmwts: negative number")
+      a
+  in
+  check xs;
+  check ys;
+  check zs;
+  { xs; ys; zs }
+
+let m_of t = Array.length t.xs
+
+let big_m t =
+  let max_of a = Array.fold_left max 0 a in
+  max 1 (max (max_of t.xs) (max (max_of t.ys) (max_of t.zs)))
+
+let is_permutation m sigma =
+  Array.length sigma = m
+  &&
+  let seen = Array.make m false in
+  Array.for_all
+    (fun j ->
+      if j < 0 || j >= m || seen.(j) then false
+      else begin
+        seen.(j) <- true;
+        true
+      end)
+    sigma
+
+let verify_matching t ~sigma1 ~sigma2 =
+  let m = m_of t in
+  is_permutation m sigma1 && is_permutation m sigma2
+  &&
+  let ok = ref true in
+  for i = 0 to m - 1 do
+    if t.xs.(i) + t.ys.(sigma1.(i)) <> t.zs.(sigma2.(i)) then ok := false
+  done;
+  !ok
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) l in
+        List.map (fun perm -> x :: perm) (permutations rest))
+      l
+
+let solve_nmwts_brute t =
+  let m = m_of t in
+  if m > 6 then invalid_arg "Reduction.solve_nmwts_brute: m too large (max 6)";
+  let all = permutations (List.init m (fun i -> i)) in
+  let found = ref None in
+  List.iter
+    (fun p1 ->
+      if !found = None then
+        List.iter
+          (fun p2 ->
+            if !found = None then begin
+              let sigma1 = Array.of_list p1 and sigma2 = Array.of_list p2 in
+              if verify_matching t ~sigma1 ~sigma2 then
+                found := Some (sigma1, sigma2)
+            end)
+          all)
+    all;
+  !found
+
+(* Gadget constants (proof of Theorem 1). *)
+let constants t =
+  let bigm = big_m t in
+  let b = 2 * bigm and c = 5 * bigm and d = 7 * bigm in
+  (bigm, b, c, d)
+
+let instance t =
+  let m = m_of t in
+  let bigm, b, c, d = constants t in
+  let block = bigm + 3 in
+  let n = block * m in
+  let tasks = Array.make n 1. in
+  for i = 0 to m - 1 do
+    let base = i * block in
+    tasks.(base) <- float_of_int (b + t.xs.(i));
+    (* positions base+1 .. base+bigm stay 1. *)
+    tasks.(base + bigm + 1) <- float_of_int c;
+    tasks.(base + bigm + 2) <- float_of_int d
+  done;
+  let speeds = Array.make (3 * m) 0. in
+  for i = 0 to m - 1 do
+    speeds.(i) <- float_of_int (b + t.zs.(i));
+    speeds.(m + i) <- float_of_int (c + bigm - t.ys.(i));
+    speeds.(2 * m + i) <- float_of_int d
+  done;
+  (tasks, speeds)
+
+let solution_of_matching t ~sigma1 ~sigma2 =
+  if not (is_permutation (m_of t) sigma1 && is_permutation (m_of t) sigma2) then
+    invalid_arg "Reduction.solution_of_matching: not permutations";
+  let m = m_of t in
+  let bigm, _, _, _ = constants t in
+  let block = bigm + 3 in
+  let ivs = ref [] and procs = ref [] in
+  for i = 0 to m - 1 do
+    let base = i * block in
+    (* 1-based chain positions of the block: base+1 .. base+block. *)
+    let y = t.ys.(sigma1.(i)) in
+    let first_end = base + 1 + y in
+    ivs := Interval.make ~first:(base + 1) ~last:first_end :: !ivs;
+    procs := sigma2.(i) :: !procs;
+    ivs := Interval.make ~first:(first_end + 1) ~last:(base + bigm + 2) :: !ivs;
+    procs := (m + sigma1.(i)) :: !procs;
+    ivs := Interval.make ~first:(base + bigm + 3) ~last:(base + block) :: !ivs;
+    procs := (2 * m + i) :: !procs
+  done;
+  let tasks, speeds = instance t in
+  let partition = Array.of_list (List.rev !ivs) in
+  let assignment = Array.of_list (List.rev !procs) in
+  let sol : Hetero.solution = { bottleneck = 0.; partition; assignment } in
+  let bottleneck = Hetero.objective tasks ~speeds sol in
+  { sol with bottleneck }
+
+let eps = 1e-9
+
+let extract_matching t sol =
+  let m = m_of t in
+  let bigm, _, _, _ = constants t in
+  let block = bigm + 3 in
+  let Hetero.{ bottleneck; partition; assignment } = sol in
+  if bottleneck > 1. +. eps then None
+  else if Array.length partition <> 3 * m then None
+  else begin
+    let sigma1 = Array.make m (-1) and sigma2 = Array.make m (-1) in
+    let ok = ref true in
+    for i = 0 to m - 1 do
+      let base = i * block in
+      let iv1 = partition.(3 * i)
+      and iv2 = partition.((3 * i) + 1)
+      and iv3 = partition.((3 * i) + 2) in
+      (* Expected gadget structure: [A_i …ones] [ones… C] [D]. *)
+      if
+        Interval.first iv1 <> base + 1
+        || Interval.last iv2 <> base + bigm + 2
+        || Interval.first iv3 <> base + bigm + 3
+        || Interval.last iv3 <> base + block
+      then ok := false
+      else begin
+        let u1 = assignment.(3 * i) and u2 = assignment.((3 * i) + 1) in
+        if u1 < 0 || u1 >= m || u2 < m || u2 >= 2 * m then ok := false
+        else begin
+          sigma2.(i) <- u1;
+          sigma1.(i) <- u2 - m
+        end
+      end
+    done;
+    if !ok && verify_matching t ~sigma1 ~sigma2 then Some (sigma1, sigma2)
+    else None
+  end

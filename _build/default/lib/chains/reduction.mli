@@ -1,0 +1,59 @@
+(** The NP-completeness gadget of Theorem 1.
+
+    The paper reduces NUMERICAL MATCHING WITH TARGET SUMS (NMWTS) to
+    Hetero-1D-Partition: from [3m] numbers [x_i, y_i, z_i] (with
+    [Σx + Σy = Σz]) it builds [n = (M+3)·m] tasks
+
+    {v A_1 1…1 C D | A_2 1…1 C D | … | A_m 1…1 C D v}
+
+    with [M = max {x_i, y_i, z_i}], [B = 2M], [C = 5M], [D = 7M],
+    [A_i = B + x_i], [M] unit tasks per block, and [p = 3m] speeds
+    [s_i = B + z_i], [s_{m+i} = C + M - y_i], [s_{2m+i} = D]; the bound is
+    [K = 1].
+
+    This module constructs the gadget, maps NMWTS certificates to
+    bottleneck-1 solutions and back, and brute-forces small NMWTS
+    instances — together the ingredients for executing both directions of
+    the proof, which the test suite does on concrete instances. *)
+
+type nmwts = {
+  xs : int array;
+  ys : int array;
+  zs : int array;
+}
+(** An NMWTS instance; the three arrays must share their length [m] and
+    contain non-negative numbers. *)
+
+val make_nmwts : xs:int array -> ys:int array -> zs:int array -> nmwts
+(** Validates shapes and signs. Does {e not} require [Σx + Σy = Σz] (the
+    reduction is still well-defined; such instances are simply
+    unsatisfiable). *)
+
+val m_of : nmwts -> int
+val big_m : nmwts -> int
+(** [M = max_i {x_i, y_i, z_i}] (at least 1 so the unit-task blocks are
+    non-empty). *)
+
+val verify_matching : nmwts -> sigma1:int array -> sigma2:int array -> bool
+(** Are [sigma1], [sigma2] permutations of [0..m-1] with
+    [x_i + y_{sigma1(i)} = z_{sigma2(i)}] for all [i]? *)
+
+val solve_nmwts_brute : nmwts -> (int array * int array) option
+(** Exhaustive search over permutation pairs — O((m!)²), for gadget-sized
+    tests only ([m ≤ 6] enforced). *)
+
+val instance : nmwts -> float array * float array
+(** [(tasks, speeds)] of the Hetero-1D-Partition instance [I_2]. *)
+
+val solution_of_matching :
+  nmwts -> sigma1:int array -> sigma2:int array -> Hetero.solution
+(** The forward direction of the proof: from an NMWTS certificate, build
+    the bottleneck-[K = 1] solution (each block split as
+    [A_i + y_{σ1(i)} ones | rest of ones + C | D]). *)
+
+val extract_matching : nmwts -> Hetero.solution -> (int array * int array) option
+(** The converse direction: from any solution with bottleneck [≤ 1],
+    recover permutations [sigma1, sigma2] solving NMWTS. Returns [None]
+    when the solution's bottleneck exceeds 1 or its structure does not
+    match the gadget (which, per the proof, cannot happen for a real
+    bottleneck-1 solution). *)

@@ -1,0 +1,30 @@
+module M = Pipeline_model
+
+let instance_of_hetero a ~speeds =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "To_mapping.instance_of_hetero: empty chain";
+  let app = M.Application.make ~deltas:(Array.make (n + 1) 0.) a in
+  let platform = M.Platform.comm_homogeneous ~bandwidth:1. speeds in
+  M.Instance.make app platform
+
+let mapping_of_solution (sol : Hetero.solution) =
+  let n =
+    match Array.length sol.partition with
+    | 0 -> invalid_arg "To_mapping.mapping_of_solution: empty partition"
+    | m -> M.Interval.last sol.partition.(m - 1)
+  in
+  let pairs =
+    List.map2
+      (fun iv u -> (iv, u))
+      (Array.to_list sol.partition)
+      (Array.to_list sol.assignment)
+  in
+  M.Mapping.make ~n pairs
+
+let solution_of_mapping prefix ~speeds mapping =
+  let pairs = M.Mapping.intervals mapping in
+  let partition = Array.of_list (List.map fst pairs) in
+  let assignment = Array.of_list (List.map snd pairs) in
+  let per_interval = Array.map (fun u -> speeds.(u)) assignment in
+  let bottleneck = Partition.weighted_bottleneck prefix ~speeds:per_interval partition in
+  Hetero.{ bottleneck; partition; assignment }

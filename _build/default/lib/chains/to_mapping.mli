@@ -1,0 +1,22 @@
+(** The Theorem 2 bridge between Hetero-1D-Partition and pipeline mapping.
+
+    Any Hetero-1D-Partition instance becomes a period-minimisation
+    instance by taking [w_i = a_i], all [δ_i = 0] and [b = 1] on a
+    communication-homogeneous platform with the same speeds: the period
+    of an interval mapping then equals the weighted bottleneck of the
+    corresponding partition. These conversions make the equivalence
+    executable (and testable in both directions). *)
+
+val instance_of_hetero :
+  float array -> speeds:float array -> Pipeline_model.Instance.t
+(** Build the pipeline instance of the proof of Theorem 2. Zero-weight
+    elements are allowed (stages may have [w_i = 0]). *)
+
+val mapping_of_solution : Hetero.solution -> Pipeline_model.Mapping.t
+(** Interpret a solution's intervals and speed assignment as an interval
+    mapping (speed index = processor index). *)
+
+val solution_of_mapping :
+  Prefix.t -> speeds:float array -> Pipeline_model.Mapping.t -> Hetero.solution
+(** The converse: read a mapping back as a Hetero-1D solution, recomputing
+    the weighted bottleneck from the chain [Prefix.t]. *)

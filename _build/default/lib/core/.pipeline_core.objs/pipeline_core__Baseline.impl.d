@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Application Array Chains Fun Instance List Mapping Option Pipeline_model Pipeline_util Platform Solution

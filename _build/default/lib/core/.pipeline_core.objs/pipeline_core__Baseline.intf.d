@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Instance Pipeline_model Pipeline_util Solution

@@ -1,0 +1,1 @@
+lib/core/explo_bi.mli: Pipeline_model Solution

@@ -1,0 +1,1 @@
+lib/core/explo_fallback.mli: Pipeline_model Solution

@@ -1,0 +1,1 @@
+lib/core/explo_mono.mli: Pipeline_model Solution

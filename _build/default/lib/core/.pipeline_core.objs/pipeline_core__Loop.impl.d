@@ -1,0 +1,1 @@
+lib/core/loop.ml: Float List Split

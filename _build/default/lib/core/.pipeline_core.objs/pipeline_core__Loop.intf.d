@@ -1,0 +1,1 @@
+lib/core/loop.mli: Instance Pipeline_model Solution Split

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Explo_bi Explo_fallback Explo_mono Instance List Pipeline_model Solution Sp_bi_l Sp_bi_p Sp_mono_l Sp_mono_p String

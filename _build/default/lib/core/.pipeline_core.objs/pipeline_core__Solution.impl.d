@@ -1,0 +1,1 @@
+lib/core/solution.ml: Float Format Instance Mapping Metrics Pipeline_model

@@ -1,0 +1,1 @@
+lib/core/sp_bi_l.ml: Loop

@@ -1,0 +1,1 @@
+lib/core/sp_bi_p.ml: Float Instance Loop Pipeline_model Solution

@@ -1,0 +1,1 @@
+lib/core/sp_bi_p.mli: Pipeline_model Solution

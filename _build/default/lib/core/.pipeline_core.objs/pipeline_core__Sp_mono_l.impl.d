@@ -1,0 +1,1 @@
+lib/core/sp_mono_l.ml: Loop

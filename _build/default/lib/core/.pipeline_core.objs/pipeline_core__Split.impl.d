@@ -1,0 +1,1 @@
+lib/core/split.ml: Application Array Float Instance Interval List Mapping Pipeline_model Platform Solution

@@ -1,0 +1,1 @@
+lib/core/split.mli: Instance Pipeline_model Solution

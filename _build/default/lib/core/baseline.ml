@@ -1,0 +1,57 @@
+open Pipeline_model
+module Rng = Pipeline_util.Rng
+
+let random rng (inst : Instance.t) =
+  let n = Application.n inst.app and p = Platform.p inst.platform in
+  let m = 1 + Rng.int rng (min n p) in
+  let cuts =
+    if m = 1 then []
+    else begin
+      let positions = Array.init (n - 1) (fun i -> i + 1) in
+      Rng.shuffle rng positions;
+      List.sort compare (Array.to_list (Array.sub positions 0 (m - 1)))
+    end
+  in
+  let procs = Array.to_list (Array.sub (Rng.permutation rng p) 0 m) in
+  Solution.of_mapping inst (Mapping.of_cuts ~n ~cuts ~procs)
+
+let balanced_chains (inst : Instance.t) =
+  let n = Application.n inst.app and p = Platform.p inst.platform in
+  let works = Application.works inst.app in
+  let prefix = Chains.Prefix.make works in
+  let order = Platform.by_decreasing_speed inst.platform in
+  let best = ref None in
+  for m = 1 to min n p do
+    let _, partition = Chains.Dp.solve works ~p:m in
+    let k = Chains.Partition.size partition in
+    (* Heaviest interval -> fastest processor among the k fastest. *)
+    let loads = Chains.Partition.loads prefix partition in
+    let by_load = Array.init k Fun.id in
+    Array.stable_sort (fun a b -> compare loads.(b) loads.(a)) by_load;
+    let procs = Array.make k 0 in
+    Array.iteri (fun rank j -> procs.(j) <- order.(rank)) by_load;
+    let pairs =
+      List.map2
+        (fun iv u -> (iv, u))
+        (Array.to_list partition) (Array.to_list procs)
+    in
+    let sol = Solution.of_mapping inst (Mapping.make ~n pairs) in
+    match !best with
+    | Some b when b.Solution.period <= sol.Solution.period -> ()
+    | _ -> best := Some sol
+  done;
+  Option.get !best
+
+let one_to_one_greedy (inst : Instance.t) =
+  let n = Application.n inst.app and p = Platform.p inst.platform in
+  if n > p then None
+  else begin
+    let order = Platform.by_decreasing_speed inst.platform in
+    let stages = Array.init n (fun k -> k + 1) in
+    Array.stable_sort
+      (fun a b -> compare (Application.work inst.app b) (Application.work inst.app a))
+      stages;
+    let procs = Array.make n 0 in
+    Array.iteri (fun rank k -> procs.(k - 1) <- order.(rank)) stages;
+    Some (Solution.of_mapping inst (Mapping.one_to_one ~procs))
+  end

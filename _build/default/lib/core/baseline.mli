@@ -1,0 +1,26 @@
+(** Baseline mapping strategies.
+
+    None of these is from the paper; they calibrate the heuristics'
+    value. A heuristic that cannot beat a random mapping, or a
+    load-balancer that ignores communications, is not earning its
+    complexity — the comparison bench (`bench/main.exe --ablation`) and
+    the test suite both lean on these. *)
+
+open Pipeline_model
+
+val random : Pipeline_util.Rng.t -> Instance.t -> Solution.t
+(** A uniformly random interval count, random cut positions and random
+    distinct processors. Valid by construction; terrible on purpose. *)
+
+val balanced_chains : Instance.t -> Solution.t
+(** Communication-oblivious load balancing: for every interval count
+    [m ≤ min(n, p)], partition the stage weights with the exact
+    homogeneous chains-to-chains DP, hand the heaviest interval to the
+    fastest of the [m] fastest processors (and so on down), then score
+    the mapping with the {e real} cost model and keep the best period.
+    This is the natural adaptation of the classic 1D-partitioning
+    baseline to different-speed processors. *)
+
+val one_to_one_greedy : Instance.t -> Solution.t option
+(** LPT-style: heaviest stage onto the fastest processor, second onto the
+    second fastest, etc. [None] when [n > p]. *)

@@ -1,0 +1,3 @@
+let solve inst ~period =
+  Loop.minimise_latency_under_period ~gen:Loop.gen_three
+    ~select:Loop.select_bi inst ~period

@@ -1,0 +1,7 @@
+let solve_mono inst ~period =
+  Loop.minimise_latency_under_period ~gen:Loop.gen_three_with_fallback
+    ~select:Loop.select_mono inst ~period
+
+let solve_bi inst ~period =
+  Loop.minimise_latency_under_period ~gen:Loop.gen_three_with_fallback
+    ~select:Loop.select_bi inst ~period

@@ -1,0 +1,14 @@
+(** Extension (not in the paper): 3-exploration heuristics that fall back
+    to a 2-way split when the bottleneck interval has fewer than 3 stages
+    or a single unused processor remains.
+
+    The paper's pure 3-exploration gets stuck in exactly those states,
+    which is why its Table 1 failure thresholds are so much higher than
+    the splitting heuristics'. These variants remove that failure mode at
+    no asymptotic cost; the ablation bench quantifies the gain. *)
+
+val solve_mono : Pipeline_model.Instance.t -> period:float -> Solution.t option
+(** H2a with fallback. *)
+
+val solve_bi : Pipeline_model.Instance.t -> period:float -> Solution.t option
+(** H2b with fallback. *)

@@ -1,0 +1,16 @@
+open Pipeline_model
+
+type t = { mapping : Mapping.t; period : float; latency : float }
+
+let of_mapping (inst : Instance.t) mapping =
+  let s = Metrics.summary inst.app inst.platform mapping in
+  { mapping; period = s.Metrics.period; latency = s.Metrics.latency }
+
+let tol v threshold = v <= threshold +. (1e-9 *. Float.max 1. (Float.abs threshold))
+
+let respects_period t p = tol t.period p
+let respects_latency t l = tol t.latency l
+
+let pp fmt t =
+  Format.fprintf fmt "%s period=%g latency=%g" (Mapping.to_string t.mapping)
+    t.period t.latency

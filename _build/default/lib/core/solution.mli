@@ -1,0 +1,21 @@
+(** Result of a bi-criteria mapping heuristic: the mapping together with
+    its two objective values. *)
+
+open Pipeline_model
+
+type t = {
+  mapping : Mapping.t;
+  period : float;   (** equation (1) *)
+  latency : float;  (** equation (2) *)
+}
+
+val of_mapping : Instance.t -> Mapping.t -> t
+(** Evaluate both objectives with {!Pipeline_model.Metrics}. *)
+
+val respects_period : t -> float -> bool
+(** [respects_period s p] with a relative tolerance of 1e-9, so a solution
+    sitting exactly on the threshold is not rejected by rounding noise. *)
+
+val respects_latency : t -> float -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+open Pipeline_model
+
+let iterations = 25
+
+let attempt inst ~period ~cap =
+  Loop.minimise_latency_under_period ~latency_cap:cap ~gen:Loop.gen_two
+    ~select:Loop.select_bi inst ~period
+
+let solve inst ~period =
+  match attempt inst ~period ~cap:infinity with
+  | None -> None
+  | Some unconstrained ->
+    let optimal_latency = Instance.optimal_latency inst in
+    let best = ref unconstrained in
+    let lo = ref optimal_latency and hi = ref unconstrained.Solution.latency in
+    for _ = 1 to iterations do
+      if !hi -. !lo > 1e-12 *. Float.max 1. !hi then begin
+        let cap = (!lo +. !hi) /. 2. in
+        match attempt inst ~period ~cap with
+        | Some sol ->
+          if sol.Solution.latency < !best.Solution.latency then best := sol;
+          hi := cap
+        | None -> lo := cap
+      end
+    done;
+    Some !best

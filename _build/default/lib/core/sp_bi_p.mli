@@ -1,0 +1,14 @@
+(** H3 — "Sp bi P": splitting, bi-criteria, fixed period, with a binary
+    search over the authorised latency (§4.1).
+
+    Each trial fixes an authorised latency (between the optimal latency
+    and the latency of an unconstrained run) and attempts to reach the
+    prescribed period by 2-way splits selected with the
+    [Δlatency/Δperiod] ratio, discarding splits that would exceed the
+    authorised latency. While trials succeed, the authorised latency is
+    reduced — minimising the global latency of the final mapping. *)
+
+val iterations : int
+(** Number of bisection steps (25). *)
+
+val solve : Pipeline_model.Instance.t -> period:float -> Solution.t option

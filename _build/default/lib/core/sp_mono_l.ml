@@ -1,0 +1,3 @@
+let solve inst ~latency =
+  Loop.minimise_period_under_latency ~gen:Loop.gen_two ~select:Loop.select_mono
+    inst ~latency

@@ -1,0 +1,9 @@
+(** H4 — "Sp mono L": splitting, mono-criterion, fixed latency (§4.2).
+
+    Same splitting mechanism as H1, but the break condition is the
+    latency budget: splits are applied while they keep the latency within
+    the threshold, driving the period down as far as possible. *)
+
+val solve : Pipeline_model.Instance.t -> latency:float -> Solution.t option
+(** Minimised period under the latency threshold; [None] when even the
+    optimal latency exceeds the threshold. *)

@@ -1,0 +1,3 @@
+let solve inst ~period =
+  Loop.minimise_latency_under_period ~gen:Loop.gen_two ~select:Loop.select_mono
+    inst ~period

@@ -1,0 +1,219 @@
+open Pipeline_model
+
+type piece = { first : int; last : int; proc : int; cycle : float }
+
+type candidate = {
+  target : int;
+  pieces : piece list;
+  enrolled : int;
+  max_piece_cycle : float;
+  period : float;
+  latency : float;
+  dlatency : float;
+  ratio : float;
+}
+
+type part = { p_first : int; p_last : int; p_proc : int }
+
+type t = {
+  inst : Instance.t;
+  b : float;                (* common link (and I/O) bandwidth *)
+  order : int array;        (* processors by non-increasing speed *)
+  next_rank : int;          (* rank of the next unused processor *)
+  parts : part array;       (* intervals in pipeline order *)
+  cycles : float array;     (* cycle-time per interval *)
+  latency : float;
+}
+
+let common_bandwidth platform =
+  if not (Platform.is_comm_homogeneous platform) then
+    invalid_arg "Split.initial: heuristics require a comm-homogeneous platform";
+  Platform.io_bandwidth platform 0
+
+(* Cycle-time and latency contribution of stages [d..e] on processor u,
+   under the comm-homogeneous cost model. *)
+let piece_cycle inst b d e u =
+  let app = inst.Instance.app in
+  (Application.delta app (d - 1) /. b)
+  +. (Application.work_sum app d e /. Platform.speed inst.Instance.platform u)
+  +. (Application.delta app e /. b)
+
+let piece_contrib inst b d e u =
+  let app = inst.Instance.app in
+  (Application.delta app (d - 1) /. b)
+  +. (Application.work_sum app d e /. Platform.speed inst.Instance.platform u)
+
+let initial (inst : Instance.t) =
+  let b = common_bandwidth inst.platform in
+  let order = Platform.by_decreasing_speed inst.platform in
+  let n = Application.n inst.app in
+  let u = order.(0) in
+  let part = { p_first = 1; p_last = n; p_proc = u } in
+  let cycle = piece_cycle inst b 1 n u in
+  let latency =
+    piece_contrib inst b 1 n u +. (Application.delta inst.app n /. b)
+  in
+  {
+    inst;
+    b;
+    order;
+    next_rank = 1;
+    parts = [| part |];
+    cycles = [| cycle |];
+    latency;
+  }
+
+let instance t = t.inst
+let latency t = t.latency
+let intervals t = Array.length t.parts
+let unused t = Array.length t.order - t.next_rank
+
+let period t = Array.fold_left Float.max neg_infinity t.cycles
+
+let cycle t j =
+  if j < 0 || j >= intervals t then invalid_arg "Split.cycle: out of range";
+  t.cycles.(j)
+
+let length t j =
+  if j < 0 || j >= intervals t then invalid_arg "Split.length: out of range";
+  t.parts.(j).p_last - t.parts.(j).p_first + 1
+
+let bottleneck t =
+  let best = ref 0 in
+  Array.iteri (fun j c -> if c > t.cycles.(!best) then best := j) t.cycles;
+  !best
+
+let max_cycle_excluding t j =
+  let worst = ref neg_infinity in
+  Array.iteri (fun i c -> if i <> j then worst := Float.max !worst c) t.cycles;
+  !worst
+
+(* Build a candidate from the replacement pieces of interval [j], if every
+   piece improves on the interval's current cycle-time. *)
+let candidate_of_pieces t ~j ~enrolled ~max_excl ~old_contrib pieces =
+  let old_cycle = t.cycles.(j) in
+  let max_piece = List.fold_left (fun m p -> Float.max m p.cycle) neg_infinity pieces in
+  if max_piece >= old_cycle then None
+  else begin
+    let contrib =
+      List.fold_left
+        (fun acc p -> acc +. piece_contrib t.inst t.b p.first p.last p.proc)
+        0. pieces
+    in
+    let dlatency = contrib -. old_contrib in
+    let latency = t.latency +. dlatency in
+    let period = Float.max max_excl max_piece in
+    let ratio =
+      List.fold_left
+        (fun m p -> Float.max m (dlatency /. (old_cycle -. p.cycle)))
+        neg_infinity pieces
+    in
+    Some
+      {
+        target = j;
+        pieces;
+        enrolled;
+        max_piece_cycle = max_piece;
+        period;
+        latency;
+        dlatency;
+        ratio;
+      }
+  end
+
+let mk_piece t d e u = { first = d; last = e; proc = u; cycle = piece_cycle t.inst t.b d e u }
+
+let two_split_candidates t ~j =
+  if j < 0 || j >= intervals t then
+    invalid_arg "Split.two_split_candidates: out of range";
+  let part = t.parts.(j) in
+  if part.p_last = part.p_first || unused t < 1 then []
+  else begin
+    let u = part.p_proc and u' = t.order.(t.next_rank) in
+    let max_excl = max_cycle_excluding t j in
+    let old_contrib = piece_contrib t.inst t.b part.p_first part.p_last u in
+    let acc = ref [] in
+    for c = part.p_first to part.p_last - 1 do
+      let try_assign left_proc right_proc =
+        let left = mk_piece t part.p_first c left_proc in
+        let right = mk_piece t (c + 1) part.p_last right_proc in
+        match
+          candidate_of_pieces t ~j ~enrolled:1 ~max_excl ~old_contrib
+            [ left; right ]
+        with
+        | Some cand -> acc := cand :: !acc
+        | None -> ()
+      in
+      try_assign u u';
+      try_assign u' u
+    done;
+    List.rev !acc
+  end
+
+let three_split_candidates t ~j =
+  if j < 0 || j >= intervals t then
+    invalid_arg "Split.three_split_candidates: out of range";
+  let part = t.parts.(j) in
+  if part.p_last - part.p_first < 2 || unused t < 2 then []
+  else begin
+    let u = part.p_proc in
+    let u' = t.order.(t.next_rank) and u'' = t.order.(t.next_rank + 1) in
+    let max_excl = max_cycle_excluding t j in
+    let old_contrib = piece_contrib t.inst t.b part.p_first part.p_last u in
+    let acc = ref [] in
+    for c1 = part.p_first to part.p_last - 2 do
+      for c2 = c1 + 1 to part.p_last - 1 do
+        (* Processor j keeps one of the three parts; the other two go to
+           u' and u'' in both orders: six assignments per cut pair. *)
+        let assignments =
+          [
+            (u, u', u''); (u, u'', u');
+            (u', u, u''); (u'', u, u');
+            (u', u'', u); (u'', u', u);
+          ]
+        in
+        List.iter
+          (fun (pa, pb, pc) ->
+            let p1 = mk_piece t part.p_first c1 pa in
+            let p2 = mk_piece t (c1 + 1) c2 pb in
+            let p3 = mk_piece t (c2 + 1) part.p_last pc in
+            match
+              candidate_of_pieces t ~j ~enrolled:2 ~max_excl ~old_contrib
+                [ p1; p2; p3 ]
+            with
+            | Some cand -> acc := cand :: !acc
+            | None -> ())
+          assignments
+      done
+    done;
+    List.rev !acc
+  end
+
+let apply t cand =
+  let j = cand.target in
+  if j < 0 || j >= intervals t then invalid_arg "Split.apply: stale candidate";
+  let replacement =
+    List.map (fun p -> { p_first = p.first; p_last = p.last; p_proc = p.proc }) cand.pieces
+  in
+  let replacement_cycles = List.map (fun p -> p.cycle) cand.pieces in
+  let before = Array.to_list (Array.sub t.parts 0 j) in
+  let after = Array.to_list (Array.sub t.parts (j + 1) (intervals t - j - 1)) in
+  let cycles_before = Array.to_list (Array.sub t.cycles 0 j) in
+  let cycles_after = Array.to_list (Array.sub t.cycles (j + 1) (intervals t - j - 1)) in
+  {
+    t with
+    next_rank = t.next_rank + cand.enrolled;
+    parts = Array.of_list (before @ replacement @ after);
+    cycles = Array.of_list (cycles_before @ replacement_cycles @ cycles_after);
+    latency = cand.latency;
+  }
+
+let to_solution t =
+  let pairs =
+    Array.to_list
+      (Array.map
+         (fun p -> (Interval.make ~first:p.p_first ~last:p.p_last, p.p_proc))
+         t.parts)
+  in
+  let mapping = Mapping.make ~n:(Application.n t.inst.Instance.app) pairs in
+  Solution.of_mapping t.inst mapping

@@ -1,0 +1,1 @@
+lib/deal/deal_exhaustive.ml: Application Deal_heuristic Deal_mapping Deal_metrics Instance Interval List Pipeline_model Platform

@@ -1,0 +1,1 @@
+lib/deal/deal_exhaustive.mli: Deal_heuristic Instance Pipeline_model

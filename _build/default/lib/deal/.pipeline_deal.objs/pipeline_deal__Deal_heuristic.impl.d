@@ -1,0 +1,1 @@
+lib/deal/deal_heuristic.ml: Application Array Deal_mapping Deal_metrics Float Instance Interval List Mapping Pipeline_model Platform

@@ -1,0 +1,1 @@
+lib/deal/deal_heuristic.mli: Deal_mapping Instance Pipeline_model

@@ -1,0 +1,1 @@
+lib/deal/deal_mapping.ml: Array Format Hashtbl Interval List Mapping Pipeline_model Platform Printf String

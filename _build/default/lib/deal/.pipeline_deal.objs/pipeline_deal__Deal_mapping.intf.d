@@ -1,0 +1,1 @@
+lib/deal/deal_mapping.mli: Format Interval Mapping Pipeline_model Platform

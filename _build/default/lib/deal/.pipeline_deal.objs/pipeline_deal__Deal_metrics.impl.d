@@ -1,0 +1,1 @@
+lib/deal/deal_metrics.ml: Application Deal_mapping Float Instance Interval List Metrics Pipeline_model Platform

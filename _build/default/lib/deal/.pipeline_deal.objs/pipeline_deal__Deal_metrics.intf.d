@@ -1,0 +1,1 @@
+lib/deal/deal_metrics.mli: Deal_mapping Instance Mapping Pipeline_model

@@ -1,0 +1,1 @@
+lib/deal/deal_sim.ml: Application Array Deal_mapping Float Instance Interval Pipeline_model Platform

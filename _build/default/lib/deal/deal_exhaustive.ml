@@ -1,0 +1,72 @@
+open Pipeline_model
+
+(* Mappings where interval j gets a non-empty subset S_j of processors,
+   the S_j pairwise disjoint. Bounded by Σ_m C(n-1, m-1) · (p+1)^p as a
+   crude over-estimate; we compute a tighter product bound below. *)
+let count_estimate ~n ~p =
+  (* Each of the ≤ min(n,p) intervals picks a non-empty subset of the
+     remaining processors: bound by (2^p)^m summed over partition
+     counts. Crude but monotone — good enough for a guard. *)
+  let rec binom n k =
+    if k < 0 || k > n then 0.
+    else if k = 0 || k = n then 1.
+    else binom (n - 1) (k - 1) *. float_of_int n /. float_of_int k
+  in
+  let total = ref 0. in
+  for m = 1 to min n p do
+    total := !total +. (binom (n - 1) (m - 1) *. (2. ** float_of_int (p * m)))
+  done;
+  !total
+
+let guard = 1e6
+
+let min_period (inst : Instance.t) =
+  let n = Application.n inst.app and p = Platform.p inst.platform in
+  if count_estimate ~n ~p > guard then
+    invalid_arg "Deal_exhaustive.min_period: instance too large to enumerate";
+  let best = ref None in
+  let consider mapping =
+    let s = Deal_metrics.summary inst mapping in
+    let candidate =
+      {
+        Deal_heuristic.mapping;
+        period = s.Deal_metrics.period;
+        latency = s.Deal_metrics.latency;
+      }
+    in
+    match !best with
+    | Some b
+      when b.Deal_heuristic.period < candidate.Deal_heuristic.period
+           || (b.Deal_heuristic.period = candidate.Deal_heuristic.period
+              && b.Deal_heuristic.latency <= candidate.Deal_heuristic.latency) ->
+      ()
+    | _ -> best := Some candidate
+  in
+  (* Non-empty subsets of the free processor bitmask. *)
+  let subsets_of mask =
+    let rec submasks s acc = if s = 0 then acc else submasks ((s - 1) land mask) (s :: acc) in
+    submasks mask []
+  in
+  let procs_of_mask mask =
+    let rec collect u acc =
+      if u >= p then List.rev acc
+      else collect (u + 1) (if mask land (1 lsl u) <> 0 then u :: acc else acc)
+    in
+    collect 0 []
+  in
+  let rec assign d free acc =
+    if d > n then consider (Deal_mapping.make ~n (List.rev acc))
+    else
+      for e = d to n do
+        List.iter
+          (fun subset ->
+            assign (e + 1)
+              (free lxor subset)
+              ((Interval.make ~first:d ~last:e, procs_of_mask subset) :: acc))
+          (subsets_of free)
+      done
+  in
+  assign 1 ((1 lsl p) - 1) [];
+  match !best with
+  | Some sol -> sol
+  | None -> assert false (* the single-interval single-replica mapping exists *)

@@ -1,0 +1,18 @@
+(** Brute-force enumeration of deal mappings (validation only).
+
+    Enumerates every partition of the stages into consecutive intervals
+    and every assignment of disjoint non-empty processor sets to the
+    intervals, scoring with the round-robin cost model — the ground truth
+    for {!Deal_heuristic} on tiny instances. The search space is huge
+    (partitions × ordered set partitions of the processors), so a guard
+    rejects instances beyond [10^6] enumerated mappings. *)
+
+open Pipeline_model
+
+val count_estimate : n:int -> p:int -> float
+(** Upper bound on the number of deal mappings enumerated. *)
+
+val min_period : Instance.t -> Deal_heuristic.solution
+(** The deal mapping with the smallest round-robin period (ties broken by
+    latency). Raises [Invalid_argument] beyond the size guard or on
+    non-communication-homogeneous platforms. *)

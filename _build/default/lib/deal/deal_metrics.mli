@@ -1,0 +1,46 @@
+(** Cost model for deal mappings on communication-homogeneous platforms.
+
+    With interval [I_j] dealt round-robin over replicas [R_j]:
+
+    {ul
+    {- each replica [u] handles one data set in [r_j = |R_j|]; its
+       per-data-set cycle-time is the usual
+       [δ_in/b + W_j/s_u + δ_out/b], so the interval sustains one result
+       every [max_{u∈R_j} cycle(u) / r_j] — the {e period contribution}
+       under strict round-robin (the slowest replica paces its whole
+       round);}
+    {- a data set flows through exactly one replica per interval, and the
+       latency is a worst-case over data sets (§2), so the latency charges
+       each interval's worst replica:
+       [Σ_j (δ_in/b + W_j/max… )]… precisely
+       [Σ_j max_{u∈R_j}(δ_in/b + W_j/s_u) + δ_n/b].}}
+
+    {!period_weighted} additionally reports the period under {e weighted}
+    dealing (data sets distributed proportionally to replica speed),
+    where the interval's rate is the sum of its replicas' rates:
+    [1 / Σ_u 1/cycle(u)] — a lower bound no round-robin deal can beat.
+
+    Restricted to communication-homogeneous platforms (like the paper's
+    heuristics); raises [Invalid_argument] otherwise. *)
+
+open Pipeline_model
+
+val cycle_time : Instance.t -> Deal_mapping.t -> j:int -> u:int -> float
+(** Per-data-set cycle-time of replica [u] of interval [j]. *)
+
+val period : Instance.t -> Deal_mapping.t -> float
+(** Round-robin period: [max_j max_{u∈R_j} cycle(j,u) / r_j]. *)
+
+val period_weighted : Instance.t -> Deal_mapping.t -> float
+(** Weighted-deal period: [max_j 1 / Σ_{u∈R_j} 1/cycle(j,u)]. *)
+
+val latency : Instance.t -> Deal_mapping.t -> float
+(** Worst-path latency (see above). *)
+
+type summary = { period : float; latency : float; processors : int }
+
+val summary : Instance.t -> Deal_mapping.t -> summary
+
+val consistent_with_plain : Instance.t -> Mapping.t -> bool
+(** Sanity bridge: on an unreplicated mapping both cost models agree with
+    {!Pipeline_model.Metrics} (used by the tests). *)

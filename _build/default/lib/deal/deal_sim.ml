@@ -1,0 +1,89 @@
+open Pipeline_model
+
+type result = {
+  output_completions : float array;
+  steady_period : float;
+  first_latency : float;
+  max_latency : float;
+}
+
+let run (inst : Instance.t) mapping ~datasets =
+  if datasets < 1 then invalid_arg "Deal_sim.run: datasets must be >= 1";
+  if Deal_mapping.n mapping <> Application.n inst.app then
+    invalid_arg "Deal_sim.run: mapping does not match the application";
+  if not (Deal_mapping.valid_on mapping inst.platform) then
+    invalid_arg "Deal_sim.run: mapping does not fit the platform";
+  if not (Platform.is_comm_homogeneous inst.platform) then
+    invalid_arg "Deal_sim.run: requires a comm-homogeneous platform";
+  let b = Platform.io_bandwidth inst.platform 0 in
+  let app = inst.app in
+  let m = Deal_mapping.m mapping in
+  let replicas = Array.init m (fun j -> Array.of_list (Deal_mapping.replicas mapping j)) in
+  (* avail.(j).(i): when replica i of interval j is next free. *)
+  let avail = Array.init m (fun j -> Array.make (Array.length replicas.(j)) 0.) in
+  let first j = Interval.first (Deal_mapping.interval mapping j) in
+  let last j = Interval.last (Deal_mapping.interval mapping j) in
+  let in_time j = Application.delta app (first j - 1) /. b in
+  let out_time j = Application.delta app (last j) /. b in
+  let comp_time j i =
+    Application.work_sum app (first j) (last j)
+    /. Platform.speed inst.platform replicas.(j).(i)
+  in
+  let output_completions = Array.make datasets 0. in
+  let input_starts = Array.make datasets 0. in
+  for t = 0 to datasets - 1 do
+    for j = 0 to m - 1 do
+      let i = t mod Array.length replicas.(j) in
+      (* Input transfer: rendezvous with the upstream replica that
+         produced data set t (the source is always ready for j = 0). *)
+      let sender =
+        if j = 0 then None else Some (t mod Array.length replicas.(j - 1))
+      in
+      let sender_ready =
+        match sender with None -> 0. | Some i' -> avail.(j - 1).(i')
+      in
+      let start = Float.max sender_ready avail.(j).(i) in
+      let finish = start +. in_time j in
+      if j = 0 then input_starts.(t) <- start;
+      (match sender with
+      | None -> ()
+      | Some i' -> avail.(j - 1).(i') <- finish);
+      avail.(j).(i) <- finish +. comp_time j i
+    done;
+    (* Output transfer of the last interval's handling replica. *)
+    let i = t mod Array.length replicas.(m - 1) in
+    let finish = avail.(m - 1).(i) +. out_time (m - 1) in
+    avail.(m - 1).(i) <- finish;
+    output_completions.(t) <- finish
+  done;
+  (* Completions are not monotone (a fast replica overtakes a slow one),
+     so the throughput is read off the running maximum: after t data
+     sets, all of the first t results are out by [running_max.(t)]. *)
+  let running_max = Array.make datasets 0. in
+  let acc = ref neg_infinity in
+  Array.iteri
+    (fun t c ->
+      acc := Float.max !acc c;
+      running_max.(t) <- !acc)
+    output_completions;
+  let steady_period =
+    if datasets < 2 then 0.
+    else if datasets < 4 then
+      (running_max.(datasets - 1) -. running_max.(0)) /. float_of_int (datasets - 1)
+    else begin
+      let half = datasets / 2 in
+      (running_max.(datasets - 1) -. running_max.(half))
+      /. float_of_int (datasets - 1 - half)
+    end
+  in
+  let latency t = output_completions.(t) -. input_starts.(t) in
+  let max_latency = ref neg_infinity in
+  for t = 0 to datasets - 1 do
+    max_latency := Float.max !max_latency (latency t)
+  done;
+  {
+    output_completions;
+    steady_period;
+    first_latency = latency 0;
+    max_latency = !max_latency;
+  }

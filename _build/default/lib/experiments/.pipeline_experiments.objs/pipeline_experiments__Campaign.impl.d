@@ -1,0 +1,1 @@
+lib/experiments/campaign.ml: Config List Option Pipeline_core Pipeline_util Registry Sweep Workload

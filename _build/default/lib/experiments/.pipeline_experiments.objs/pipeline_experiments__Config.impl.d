@@ -1,0 +1,1 @@
+lib/experiments/config.ml: Pipeline_model Printf String

@@ -1,0 +1,1 @@
+lib/experiments/failure.ml: Config Float Instance List Pipeline_core Pipeline_model Pipeline_util Printf Registry Workload

@@ -1,0 +1,1 @@
+lib/experiments/failure.mli: Config Instance Pipeline_core Pipeline_model Registry

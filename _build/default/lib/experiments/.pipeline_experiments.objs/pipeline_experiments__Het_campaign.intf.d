@@ -1,0 +1,1 @@
+lib/experiments/het_campaign.mli: Campaign Instance Pipeline_model

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Buffer Campaign Char Config Failure Filename List Pipeline_util Printf String

@@ -1,0 +1,1 @@
+lib/experiments/robustness.ml: Instance List Metrics Option Pipeline_core Pipeline_model Pipeline_sim Pipeline_util

@@ -1,0 +1,1 @@
+lib/experiments/robustness.mli: Instance Mapping Pipeline_core Pipeline_model Pipeline_util

@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Application Float Instance List Pipeline_core Pipeline_model Pipeline_util Platform Registry Solution Sp_mono_l

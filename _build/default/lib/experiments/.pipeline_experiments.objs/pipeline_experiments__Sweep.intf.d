@@ -1,0 +1,1 @@
+lib/experiments/sweep.mli: Instance Pipeline_core Pipeline_model Pipeline_util Registry

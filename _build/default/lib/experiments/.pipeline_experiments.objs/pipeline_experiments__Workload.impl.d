@@ -1,0 +1,1 @@
+lib/experiments/workload.ml: App_generator Config Hashtbl Instance List Pipeline_model Pipeline_util Platform_generator

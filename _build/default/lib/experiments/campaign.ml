@@ -1,0 +1,49 @@
+open Pipeline_core
+
+let paper_figures ?pairs ?sweep_points ?seed () =
+  let setup e ~n ~p = Config.default_setup ?pairs ?sweep_points ?seed e ~n ~p in
+  [
+    ("Figure 2(a)", setup Config.E1 ~n:10 ~p:10);
+    ("Figure 2(b)", setup Config.E1 ~n:40 ~p:10);
+    ("Figure 3(a)", setup Config.E2 ~n:10 ~p:10);
+    ("Figure 3(b)", setup Config.E2 ~n:40 ~p:10);
+    ("Figure 4(a)", setup Config.E3 ~n:5 ~p:10);
+    ("Figure 4(b)", setup Config.E3 ~n:20 ~p:10);
+    ("Figure 5(a)", setup Config.E4 ~n:5 ~p:10);
+    ("Figure 5(b)", setup Config.E4 ~n:20 ~p:10);
+    ("Figure 6(a)", setup Config.E1 ~n:40 ~p:100);
+    ("Figure 6(b)", setup Config.E2 ~n:40 ~p:100);
+    ("Figure 7(a)", setup Config.E3 ~n:10 ~p:100);
+    ("Figure 7(b)", setup Config.E4 ~n:40 ~p:100);
+  ]
+
+type figure = {
+  label : string;
+  setup : Config.setup;
+  series : Pipeline_util.Series.t list;
+}
+
+let figure ?label (setup : Config.setup) =
+  let label = Option.value label ~default:(Config.setup_label setup) in
+  let instances = Workload.instances setup in
+  let period_lo, period_hi = Sweep.period_bounds instances in
+  let latency_lo, latency_hi = Sweep.latency_bounds instances in
+  let series =
+    List.map
+      (fun (info : Registry.info) ->
+        let lo, hi =
+          match info.kind with
+          | Registry.Period_fixed -> (period_lo, period_hi)
+          | Registry.Latency_fixed -> (latency_lo, latency_hi)
+        in
+        let thresholds = Sweep.grid ~lo ~hi ~points:setup.sweep_points in
+        Sweep.run info instances ~thresholds)
+      Registry.all
+  in
+  { label; setup; series }
+
+let run_paper_figure ?pairs ?sweep_points ?seed label =
+  let figures = paper_figures ?pairs ?sweep_points ?seed () in
+  match List.assoc_opt label figures with
+  | None -> None
+  | Some setup -> Some (figure ~label setup)

@@ -1,0 +1,25 @@
+(** The full CLUSTER'07 simulation campaign: one entry per paper figure,
+    plus Table 1 via {!Failure}. *)
+
+val paper_figures :
+  ?pairs:int -> ?sweep_points:int -> ?seed:int -> unit ->
+  (string * Config.setup) list
+(** The ten plots reported in the paper, keyed by their figure label:
+    Fig. 2(a/b) = E1 with n = 10/40, Fig. 3(a/b) = E2 with n = 10/40,
+    Fig. 4(a/b) = E3 with n = 5/20, Fig. 5(a/b) = E4 with n = 5/20 (all
+    [p = 10]); Fig. 6(a) = E1 n = 40, Fig. 6(b) = E2 n = 40,
+    Fig. 7(a) = E3 n = 10, Fig. 7(b) = E4 n = 40 (all [p = 100]). *)
+
+type figure = {
+  label : string;          (** e.g. ["Figure 2(a)"] *)
+  setup : Config.setup;
+  series : Pipeline_util.Series.t list;  (** one curve per heuristic *)
+}
+
+val figure : ?label:string -> Config.setup -> figure
+(** Run the sweeps of all six heuristics for a setup. *)
+
+val run_paper_figure :
+  ?pairs:int -> ?sweep_points:int -> ?seed:int -> string -> figure option
+(** Run a figure by its label (as listed by {!paper_figures});
+    [None] for an unknown label. *)

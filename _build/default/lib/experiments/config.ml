@@ -1,0 +1,51 @@
+module App_generator = Pipeline_model.App_generator
+
+type experiment = E1 | E2 | E3 | E4
+
+let all_experiments = [ E1; E2; E3; E4 ]
+
+let experiment_name = function E1 -> "E1" | E2 -> "E2" | E3 -> "E3" | E4 -> "E4"
+
+let experiment_title = function
+  | E1 -> "balanced comm/comp, homogeneous communications"
+  | E2 -> "balanced comm/comp, heterogeneous communications"
+  | E3 -> "large computations"
+  | E4 -> "small computations"
+
+let experiment_of_string s =
+  match String.lowercase_ascii s with
+  | "e1" -> Some E1
+  | "e2" -> Some E2
+  | "e3" -> Some E3
+  | "e4" -> Some E4
+  | _ -> None
+
+let app_spec experiment ~n =
+  match experiment with
+  | E1 -> App_generator.e1 ~n
+  | E2 -> App_generator.e2 ~n
+  | E3 -> App_generator.e3 ~n
+  | E4 -> App_generator.e4 ~n
+
+type setup = {
+  experiment : experiment;
+  n : int;
+  p : int;
+  pairs : int;
+  sweep_points : int;
+  seed : int;
+  bandwidth : float;
+}
+
+let default_setup ?(pairs = 50) ?(sweep_points = 15) ?(seed = 2007) experiment
+    ~n ~p =
+  if n < 1 || p < 1 || pairs < 1 || sweep_points < 2 then
+    invalid_arg "Config.default_setup: invalid parameters";
+  { experiment; n; p; pairs; sweep_points; seed; bandwidth = 10. }
+
+let paper_stage_counts = function
+  | E1 | E2 -> (10, 40)
+  | E3 | E4 -> (5, 20)
+
+let setup_label s =
+  Printf.sprintf "%s n=%d p=%d" (experiment_name s.experiment) s.n s.p

@@ -1,0 +1,43 @@
+(** Configuration of the simulation campaign (paper §5.1).
+
+    Four experiment families over random applications and random
+    communication-homogeneous platforms with [b = 10] and integer speeds
+    in [\[1, 20\]]; every measurement point averages 50 random
+    application/platform pairs. *)
+
+type experiment = E1 | E2 | E3 | E4
+
+val all_experiments : experiment list
+
+val experiment_name : experiment -> string
+(** ["E1"] … ["E4"]. *)
+
+val experiment_title : experiment -> string
+(** The paper's caption, e.g. ["balanced comm/comp, homogeneous
+    communications"]. *)
+
+val experiment_of_string : string -> experiment option
+
+val app_spec : experiment -> n:int -> Pipeline_model.App_generator.spec
+(** The δ/w distributions of the family. *)
+
+type setup = {
+  experiment : experiment;
+  n : int;            (** stages *)
+  p : int;            (** processors *)
+  pairs : int;        (** random application/platform pairs per point *)
+  sweep_points : int; (** thresholds per heuristic sweep *)
+  seed : int;         (** campaign seed — the same seed reproduces the
+                          same numbers bit-for-bit *)
+  bandwidth : float;  (** common link bandwidth *)
+}
+
+val default_setup : ?pairs:int -> ?sweep_points:int -> ?seed:int -> experiment -> n:int -> p:int -> setup
+(** Defaults: 50 pairs, 15 sweep points, seed 2007, [b = 10]. *)
+
+val paper_stage_counts : experiment -> int * int
+(** The two [n] values the paper plots for the family with [p = 10]
+    (E1/E2: 10 and 40; E3/E4: 5 and 20). *)
+
+val setup_label : setup -> string
+(** E.g. ["E2 n=40 p=10"]. *)

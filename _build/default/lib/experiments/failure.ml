@@ -1,0 +1,80 @@
+open Pipeline_model
+open Pipeline_core
+module Table = Pipeline_util.Table
+
+let instance_threshold ?(iterations = 40) (info : Registry.info) inst =
+  let succeeds threshold = info.solve inst ~threshold <> None in
+  (* Bracket the boundary: 0 always fails (periods and latencies are
+     positive), [hi] always succeeds. *)
+  let hi_start =
+    match info.kind with
+    | Registry.Period_fixed -> Instance.single_proc_period inst
+    | Registry.Latency_fixed -> Instance.optimal_latency inst
+  in
+  let lo = ref 0. and hi = ref (Float.max hi_start 1e-9) in
+  if not (succeeds !hi) then
+    (* Pathological: even the guaranteed-feasible threshold fails; widen
+       until success (finite instances always succeed eventually). *)
+    while not (succeeds !hi) do
+      hi := !hi *. 2.
+    done;
+  for _ = 1 to iterations do
+    let mid = (!lo +. !hi) /. 2. in
+    if succeeds mid then hi := mid else lo := mid
+  done;
+  !lo
+
+let average_threshold ?iterations (info : Registry.info) instances =
+  let total =
+    List.fold_left
+      (fun acc inst -> acc +. instance_threshold ?iterations info inst)
+      0. instances
+  in
+  total /. float_of_int (List.length instances)
+
+let max_threshold ?iterations (info : Registry.info) instances =
+  List.fold_left
+    (fun acc inst -> Float.max acc (instance_threshold ?iterations info inst))
+    0. instances
+
+type aggregate = Mean | Max
+
+type table = {
+  experiment : Config.experiment;
+  p : int;
+  ns : int list;
+  rows : (string * float list) list;
+}
+
+let table ?(aggregate = Mean) ?(pairs = 50) ?(seed = 2007) experiment ~p ~ns =
+  let batches =
+    List.map
+      (fun n ->
+        Workload.instances (Config.default_setup ~pairs ~seed experiment ~n ~p))
+      ns
+  in
+  let measure = match aggregate with
+    | Mean -> average_threshold ?iterations:None
+    | Max -> max_threshold ?iterations:None
+  in
+  let rows =
+    List.map
+      (fun (info : Registry.info) ->
+        (info.table_name, List.map (fun batch -> measure info batch) batches))
+      Registry.all
+  in
+  { experiment; p; ns; rows }
+
+let to_cells t =
+  let header =
+    "Heur." :: List.map (fun n -> Printf.sprintf "n=%d" n) t.ns
+  in
+  let body =
+    List.map
+      (fun (name, values) -> name :: List.map (Table.float_cell ~decimals:1) values)
+      t.rows
+  in
+  header :: body
+
+let render t = Table.render (to_cells t)
+let render_markdown t = Table.render_markdown (to_cells t)

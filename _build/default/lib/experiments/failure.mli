@@ -1,0 +1,46 @@
+(** Failure thresholds (paper Table 1).
+
+    The paper defines the failure threshold of a heuristic as the largest
+    fixed period (resp. latency) for which it cannot find a solution —
+    i.e. the boundary of its feasible region. Per instance the boundary
+    is located by bisection on the success predicate; the reported value
+    averages the per-instance boundaries over the batch, matching the
+    table's per-(experiment, n) cells. *)
+
+open Pipeline_model
+open Pipeline_core
+
+val instance_threshold : ?iterations:int -> Registry.info -> Instance.t -> float
+(** The largest failing threshold of one heuristic on one instance
+    (bisection, default 40 iterations). For latency-fixed heuristics this
+    converges to the optimal latency — H5 and H6 necessarily tie, which
+    is exactly the paper's "surprising" observation. *)
+
+val average_threshold :
+  ?iterations:int -> Registry.info -> Instance.t list -> float
+(** Batch average of {!instance_threshold}. *)
+
+val max_threshold : ?iterations:int -> Registry.info -> Instance.t list -> float
+(** Worst per-instance boundary over the batch — the alternative reading
+    of the paper's "largest value for which the heuristic was not able to
+    find a solution" (cf. EXPERIMENTS.md). *)
+
+type aggregate = Mean | Max
+
+type table = {
+  experiment : Config.experiment;
+  p : int;
+  ns : int list;                         (** columns *)
+  rows : (string * float list) list;     (** (table name, one value per n) *)
+}
+
+val table :
+  ?aggregate:aggregate ->
+  ?pairs:int -> ?seed:int -> Config.experiment -> p:int -> ns:int list -> table
+(** The full Table 1 block for one experiment (defaults: [Mean] aggregate,
+    50 pairs, seed 2007). *)
+
+val render : table -> string
+(** Aligned text rendering. *)
+
+val render_markdown : table -> string

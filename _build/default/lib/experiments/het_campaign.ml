@@ -1,0 +1,85 @@
+open Pipeline_model
+module Series = Pipeline_util.Series
+module Rng = Pipeline_util.Rng
+
+let instance ~seed ~n ~p i =
+  let tag = Hashtbl.hash (seed, "E5", n, p, i) in
+  let rng = Rng.create tag in
+  let app = App_generator.generate rng (App_generator.e2 ~n) in
+  let platform = Platform_generator.fully_heterogeneous rng ~p in
+  Instance.make ~id:i ~seed:tag app platform
+
+let instances ?(pairs = 50) ?(seed = 2007) ~n p =
+  List.init pairs (instance ~seed ~n ~p)
+
+(* Grid anchors valid on any platform class. *)
+let period_bounds batch =
+  let bounds inst =
+    let app = inst.Instance.app and platform = inst.Instance.platform in
+    let s_max = Platform.speed platform (Platform.fastest platform) in
+    let lo = ref 0. in
+    for k = 1 to Application.n app do
+      lo := Float.max !lo (Application.work app k /. s_max)
+    done;
+    (* The best single-processor mapping always succeeds. *)
+    let single = Pipeline_optimal.Latency.solve inst in
+    (!lo, single.Pipeline_core.Solution.period)
+  in
+  List.fold_left
+    (fun (lo, hi) inst ->
+      let l, h = bounds inst in
+      (Float.min lo l, Float.max hi h))
+    (infinity, neg_infinity) batch
+
+let latency_bounds batch =
+  List.fold_left
+    (fun (lo, hi) inst ->
+      let optimal =
+        (Pipeline_optimal.Latency.solve inst).Pipeline_core.Solution.latency
+      in
+      let unconstrained =
+        match
+          Pipeline_het.Het_heuristics.minimise_period_under_latency inst
+            ~latency:infinity
+        with
+        | Some sol -> Float.max optimal sol.Pipeline_core.Solution.latency
+        | None -> optimal
+      in
+      (Float.min lo optimal, Float.max hi unconstrained))
+    (infinity, neg_infinity) batch
+
+let baseline_point batch =
+  let sols =
+    List.map (fun inst -> Pipeline_core.Baseline.balanced_chains inst) batch
+  in
+  let avg f =
+    List.fold_left (fun acc s -> acc +. f s) 0. sols
+    /. float_of_int (List.length sols)
+  in
+  Series.make ~label:"balanced chains (baseline)"
+    [
+      ( avg (fun s -> s.Pipeline_core.Solution.period),
+        avg (fun s -> s.Pipeline_core.Solution.latency) );
+    ]
+
+let figure ?(pairs = 50) ?(sweep_points = 15) ?(seed = 2007) ~n p =
+  let batch = instances ~pairs ~seed ~n p in
+  let period_lo, period_hi = period_bounds batch in
+  let latency_lo, latency_hi = latency_bounds batch in
+  let series =
+    List.map
+      (fun (info : Pipeline_core.Registry.info) ->
+        let lo, hi =
+          match info.Pipeline_core.Registry.kind with
+          | Pipeline_core.Registry.Period_fixed -> (period_lo, period_hi)
+          | Pipeline_core.Registry.Latency_fixed -> (latency_lo, latency_hi)
+        in
+        let thresholds = Sweep.grid ~lo ~hi ~points:sweep_points in
+        Sweep.run info batch ~thresholds)
+      Pipeline_het.Het_heuristics.registry
+  in
+  {
+    Campaign.label = Printf.sprintf "Figure E5 (n=%d, p=%d)" n p;
+    setup = Config.default_setup ~pairs ~sweep_points ~seed Config.E2 ~n ~p;
+    series = series @ [ baseline_point batch ];
+  }

@@ -1,0 +1,21 @@
+(** Extension campaign E5: the paper's experiments transposed to fully
+    heterogeneous platforms (its §7 future work).
+
+    Random E2-style applications on platforms with per-link bandwidths
+    (integer speeds in [\[1,20\]], link bandwidths in [\[5,15\]] around
+    the paper's [b = 10]); the four het splitting heuristics of
+    {!Pipeline_het.Het_heuristics} are swept exactly like the paper's
+    figures, and the communication-oblivious baseline anchors the
+    comparison. *)
+
+open Pipeline_model
+
+val instances : ?pairs:int -> ?seed:int -> n:int -> int -> Instance.t list
+(** [instances ~n p] — deterministic batch of fully heterogeneous
+    instances. *)
+
+val figure :
+  ?pairs:int -> ?sweep_points:int -> ?seed:int -> n:int -> int -> Campaign.figure
+(** Latency-versus-period series for the four het heuristics (labelled
+    like the paper's legends), plus a single-point series for the
+    balanced-chains baseline at its achieved objectives. *)

@@ -1,0 +1,63 @@
+module U = Pipeline_util
+
+let slug s =
+  let buf = Buffer.create (String.length s) in
+  let last_dash = ref true in
+  String.iter
+    (fun c ->
+      match Char.lowercase_ascii c with
+      | ('a' .. 'z' | '0' .. '9') as l ->
+        Buffer.add_char buf l;
+        last_dash := false
+      | _ ->
+        if not !last_dash then begin
+          Buffer.add_char buf '-';
+          last_dash := true
+        end)
+    s;
+  let out = Buffer.contents buf in
+  if String.length out > 0 && out.[String.length out - 1] = '-' then
+    String.sub out 0 (String.length out - 1)
+  else out
+
+let figure_to_ascii (fig : Campaign.figure) =
+  let config =
+    {
+      U.Ascii_plot.default with
+      U.Ascii_plot.title =
+        Printf.sprintf "%s — %s (%s)" fig.Campaign.label
+          (Config.setup_label fig.Campaign.setup)
+          (Config.experiment_title fig.Campaign.setup.Config.experiment);
+      x_label = "Period";
+      y_label = "Latency";
+    }
+  in
+  U.Ascii_plot.render ~config fig.Campaign.series
+
+let figure_to_dat (fig : Campaign.figure) = U.Csv.dat_of_series fig.Campaign.series
+let figure_to_csv (fig : Campaign.figure) = U.Csv.csv_of_series fig.Campaign.series
+
+let write_figure ~dir (fig : Campaign.figure) =
+  let base = Filename.concat dir (slug fig.Campaign.label) in
+  let dat = base ^ ".dat" and csv = base ^ ".csv" in
+  U.Csv.to_file dat (figure_to_dat fig);
+  U.Csv.to_file csv (figure_to_csv fig);
+  [ dat; csv ]
+
+let write_table ~dir (table : Failure.table) =
+  let name =
+    Printf.sprintf "table1-%s-p%d"
+      (slug (Config.experiment_name table.Failure.experiment))
+      table.Failure.p
+  in
+  let base = Filename.concat dir name in
+  let txt = base ^ ".txt" and csv = base ^ ".csv" in
+  U.Csv.to_file txt (Failure.render table);
+  let rows =
+    List.map
+      (fun (h, values) -> h :: List.map (Printf.sprintf "%.2f") values)
+      table.Failure.rows
+  in
+  let header = "heuristic" :: List.map (Printf.sprintf "n=%d") table.Failure.ns in
+  U.Csv.to_file csv (U.Csv.csv_of_rows ~header rows);
+  [ txt; csv ]

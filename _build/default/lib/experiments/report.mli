@@ -1,0 +1,21 @@
+(** Rendering and persistence of campaign results: gnuplot [.dat] files,
+    CSV, and terminal ASCII plots, one artefact per reproduced figure or
+    table. *)
+
+val figure_to_ascii : Campaign.figure -> string
+(** The latency-versus-period plot rendered for the terminal. *)
+
+val figure_to_dat : Campaign.figure -> string
+(** gnuplot blocks (one per heuristic). *)
+
+val figure_to_csv : Campaign.figure -> string
+
+val write_figure : dir:string -> Campaign.figure -> string list
+(** Write [<dir>/<slug>.dat] and [<dir>/<slug>.csv]; returns the paths. *)
+
+val write_table : dir:string -> Failure.table -> string list
+(** Write the failure-threshold table as [.txt] and [.csv]. *)
+
+val slug : string -> string
+(** Filesystem-friendly name: lowercase, non-alphanumerics collapsed to
+    ['-']. *)

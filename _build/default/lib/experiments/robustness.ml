@@ -1,0 +1,49 @@
+open Pipeline_model
+
+let inflation ?(datasets = 300) ?(seed = 1) (inst : Instance.t) mapping ~noise =
+  let analytic = Metrics.period inst.app inst.platform mapping in
+  let config =
+    {
+      Pipeline_sim.Workload_sim.arrival = Pipeline_sim.Workload_sim.Saturated;
+      noise =
+        (if noise = 0. then Pipeline_sim.Workload_sim.No_noise
+         else Pipeline_sim.Workload_sim.Uniform_factor noise);
+      slowdowns = [];
+      datasets;
+      seed;
+    }
+  in
+  let stats = Pipeline_sim.Workload_sim.run ~config inst mapping in
+  stats.Pipeline_sim.Workload_sim.steady_period /. analytic
+
+let default_levels = [ 0.; 0.05; 0.1; 0.2; 0.3; 0.5 ]
+
+let series ?datasets ?(noise_levels = default_levels)
+    (info : Pipeline_core.Registry.info) instances =
+  let mapped =
+    List.filter_map
+      (fun inst ->
+        let threshold = Instance.single_proc_period inst *. 0.6 in
+        Option.map
+          (fun (sol : Pipeline_core.Solution.t) ->
+            (inst, sol.Pipeline_core.Solution.mapping))
+          (info.Pipeline_core.Registry.solve inst ~threshold))
+      instances
+  in
+  let points =
+    List.filter_map
+      (fun noise ->
+        match mapped with
+        | [] -> None
+        | _ ->
+          let values =
+            List.map
+              (fun (inst, mapping) ->
+                inflation ?datasets ~seed:(inst.Instance.seed + 7) inst mapping
+                  ~noise)
+              mapped
+          in
+          Some (noise, Pipeline_util.Stats.mean values))
+      noise_levels
+  in
+  Pipeline_util.Series.make ~label:info.Pipeline_core.Registry.paper_name points

@@ -1,0 +1,28 @@
+(** Robustness experiment (beyond the paper): how fast does a mapping's
+    achieved steady-state period degrade when stage computation times
+    jitter?
+
+    The analytic period (equation (1)) assumes exact costs. Under
+    multiplicative noise the pipeline's rendezvous structure lets delays
+    propagate, so the achieved period inflates beyond the analytic value.
+    This module measures the inflation factor per noise level, averaged
+    over a batch — one series per heuristic, plotted like the paper's
+    figures. *)
+
+open Pipeline_model
+
+val inflation :
+  ?datasets:int -> ?seed:int -> Instance.t -> Mapping.t -> noise:float -> float
+(** Simulated steady period under [Uniform_factor noise] divided by the
+    analytic period (≥ ~1 up to sampling error; exactly 1 at noise 0). *)
+
+val series :
+  ?datasets:int ->
+  ?noise_levels:float list ->
+  Pipeline_core.Registry.info ->
+  Instance.t list ->
+  Pipeline_util.Series.t
+(** For each noise level, the mean inflation of the mappings the given
+    period-fixed heuristic produces at a mid-range threshold (0.6 × the
+    single-processor period); instances where the heuristic fails are
+    skipped. Default levels: 0, 0.05, 0.1, 0.2, 0.3, 0.5. *)

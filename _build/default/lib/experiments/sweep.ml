@@ -1,0 +1,78 @@
+open Pipeline_model
+open Pipeline_core
+module Series = Pipeline_util.Series
+
+let period_lower_bound (inst : Instance.t) =
+  let app = inst.app and platform = inst.platform in
+  let s_max = Platform.speed platform (Platform.fastest platform) in
+  let b = Platform.io_bandwidth platform 0 in
+  let n = Application.n app in
+  (* Every stage's computation is paid somewhere, at best at full speed;
+     the first interval pays the pipeline input, the last one its
+     output. *)
+  let per_stage = ref 0. in
+  for k = 1 to n do
+    per_stage := Float.max !per_stage (Application.work_sum app k k /. s_max)
+  done;
+  let input_bound = (Application.delta app 0 /. b) +. (Application.work_sum app 1 1 /. s_max) in
+  let output_bound = (Application.delta app n /. b) +. (Application.work_sum app n n /. s_max) in
+  Float.max !per_stage (Float.max input_bound output_bound)
+
+let fold_bounds f instances =
+  match List.map f instances with
+  | [] -> invalid_arg "Sweep: empty batch"
+  | x :: xs ->
+    List.fold_left
+      (fun (lo, hi) (l, h) -> (Float.min lo l, Float.max hi h))
+      x xs
+
+let period_bounds instances =
+  fold_bounds
+    (fun inst -> (period_lower_bound inst, Instance.single_proc_period inst))
+    instances
+
+let latency_bounds instances =
+  fold_bounds
+    (fun inst ->
+      let lo = Instance.optimal_latency inst in
+      (* Unconstrained splitting shows how much latency a budget can
+         possibly use; beyond that the extra budget is idle. *)
+      let hi =
+        match Sp_mono_l.solve inst ~latency:infinity with
+        | Some sol -> Float.max lo sol.Solution.latency
+        | None -> lo
+      in
+      (lo, hi))
+    instances
+
+let grid ~lo ~hi ~points =
+  if points < 2 || hi <= lo then [ lo ]
+  else
+    List.init points (fun i ->
+        lo +. ((hi -. lo) *. float_of_int i /. float_of_int (points - 1)))
+
+let run (info : Registry.info) instances ~thresholds =
+  let point threshold =
+    let outcomes =
+      List.filter_map (fun inst -> info.solve inst ~threshold) instances
+    in
+    match outcomes with
+    | [] -> None
+    | _ ->
+      let count = float_of_int (List.length outcomes) in
+      let avg f = List.fold_left (fun acc s -> acc +. f s) 0. outcomes /. count in
+      let avg_period = avg (fun s -> s.Solution.period) in
+      let avg_latency = avg (fun s -> s.Solution.latency) in
+      (* Latency-versus-period plot: the fixed criterion sits on its own
+         axis, the other axis shows the averaged achievement. *)
+      (match info.kind with
+      | Registry.Period_fixed -> Some (threshold, avg_latency)
+      | Registry.Latency_fixed -> Some (avg_period, threshold))
+  in
+  Series.make ~label:info.paper_name (List.filter_map point thresholds)
+
+let success_rate (info : Registry.info) instances ~threshold =
+  let successes =
+    List.length (List.filter_map (fun inst -> info.solve inst ~threshold) instances)
+  in
+  float_of_int successes /. float_of_int (List.length instances)

@@ -1,0 +1,39 @@
+(** Threshold sweeps: one heuristic, one batch of instances, a common
+    grid of fixed periods (or latencies), averaged into a plot series.
+
+    Reproduces the paper's figures: every figure is a latency-versus-
+    period plot with one curve per heuristic. For a period-fixed
+    heuristic the abscissa is the fixed period and the ordinate the
+    average achieved latency; for a latency-fixed heuristic the ordinate
+    is the fixed latency and the abscissa the average achieved period.
+    Instances on which the heuristic fails at a given threshold do not
+    contribute to that point (the paper's failure-threshold narrative);
+    a point with no successful instance is dropped. *)
+
+open Pipeline_model
+open Pipeline_core
+
+val period_lower_bound : Instance.t -> float
+(** A cheap valid lower bound on any mapping's period: the largest
+    single-stage compute time on the fastest processor, combined with the
+    pipeline's unavoidable boundary communications. Used only to anchor
+    sweep grids. *)
+
+val period_bounds : Instance.t list -> float * float
+(** Common grid range for a batch: from the smallest lower bound to the
+    largest single-processor period (always feasible). *)
+
+val latency_bounds : Instance.t list -> float * float
+(** From the smallest optimal latency to the largest latency reached by
+    unconstrained splitting (the most any latency budget can use). *)
+
+val grid : lo:float -> hi:float -> points:int -> float list
+(** Evenly spaced inclusive grid. *)
+
+val run :
+  Registry.info -> Instance.t list -> thresholds:float list -> Pipeline_util.Series.t
+(** The averaged series of one heuristic over the batch, labelled with
+    the heuristic's paper name. *)
+
+val success_rate : Registry.info -> Instance.t list -> threshold:float -> float
+(** Fraction of the batch on which the heuristic finds a solution. *)

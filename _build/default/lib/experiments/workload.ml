@@ -1,0 +1,22 @@
+open Pipeline_model
+module Rng = Pipeline_util.Rng
+
+let instance (setup : Config.setup) i =
+  if i < 0 || i >= setup.pairs then invalid_arg "Workload.instance: out of range";
+  (* Derive an independent stream per (seed, experiment, n, p, i). *)
+  let tag =
+    Hashtbl.hash
+      ( setup.seed,
+        Config.experiment_name setup.experiment,
+        setup.n,
+        setup.p,
+        i )
+  in
+  let rng = Rng.create tag in
+  let app = App_generator.generate rng (Config.app_spec setup.experiment ~n:setup.n) in
+  let platform =
+    Platform_generator.comm_homogeneous ~bandwidth:setup.bandwidth rng ~p:setup.p
+  in
+  Instance.make ~id:i ~seed:tag app platform
+
+let instances (setup : Config.setup) = List.init setup.pairs (instance setup)

@@ -1,0 +1,11 @@
+(** Deterministic generation of the campaign's instance batches. *)
+
+open Pipeline_model
+
+val instances : Config.setup -> Instance.t list
+(** The [pairs] random application/platform pairs of a setup. Instance
+    [i] is drawn from an RNG stream derived from [(setup.seed, i)], so a
+    batch is reproducible and insensitive to evaluation order. *)
+
+val instance : Config.setup -> int -> Instance.t
+(** The [i]-th instance of the batch (0-based). *)

@@ -1,0 +1,1 @@
+lib/het/het_heuristics.ml: Application Float Fun Instance Interval List Mapping Metrics Option Pipeline_core Pipeline_model Platform Registry Solution

@@ -1,0 +1,1 @@
+lib/het/het_heuristics.mli: Instance Pipeline_core Pipeline_model Registry Solution

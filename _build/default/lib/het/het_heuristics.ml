@@ -1,0 +1,154 @@
+open Pipeline_model
+open Pipeline_core
+
+let threshold_met value threshold =
+  value <= threshold +. (1e-9 *. Float.max 1. (Float.abs threshold))
+
+(* Best single-processor mapping by latency (on het platforms speed alone
+   does not decide: I/O bandwidths matter). *)
+let initial (inst : Instance.t) =
+  let n = Application.n inst.app in
+  let best = ref None in
+  for u = 0 to Platform.p inst.platform - 1 do
+    let sol = Solution.of_mapping inst (Mapping.single ~n ~proc:u) in
+    match !best with
+    | Some b when b.Solution.latency <= sol.Solution.latency -> ()
+    | _ -> best := Some sol
+  done;
+  Option.get !best
+
+let unused_processors (inst : Instance.t) mapping =
+  let p = Platform.p inst.platform in
+  List.filter (fun u -> not (Mapping.uses mapping u)) (List.init p Fun.id)
+
+(* All 2-way splits of interval [j]: every cut, both orientations, every
+   unused processor; scored with the full cost model. *)
+let candidates (inst : Instance.t) (sol : Solution.t) ~j =
+  let mapping = sol.Solution.mapping in
+  let iv = Mapping.interval mapping j in
+  let kept = Mapping.proc mapping j in
+  let free = unused_processors inst mapping in
+  if Interval.length iv < 2 || free = [] then []
+  else begin
+    let acc = ref [] in
+    List.iter
+      (fun c ->
+        let left, right = Interval.split_at iv c in
+        List.iter
+          (fun u ->
+            List.iter
+              (fun parts ->
+                let mapping' = Mapping.replace mapping ~j parts in
+                acc := Solution.of_mapping inst mapping' :: !acc)
+              [ [ (left, kept); (right, u) ]; [ (left, u); (right, kept) ] ])
+          free)
+      (Interval.split_points iv);
+    !acc
+  end
+
+type select = Min_period | Min_ratio
+
+let better_period (a : Solution.t) (b : Solution.t) =
+  match compare a.Solution.period b.Solution.period with
+  | 0 -> a.Solution.latency < b.Solution.latency
+  | c -> c < 0
+
+(* Ratio rule on global objective values: latency paid per unit of
+   period gained, relative to the current solution. *)
+let ratio (current : Solution.t) (c : Solution.t) =
+  (c.Solution.latency -. current.Solution.latency)
+  /. (current.Solution.period -. c.Solution.period)
+
+let better_ratio current (a : Solution.t) (b : Solution.t) =
+  match compare (ratio current a) (ratio current b) with
+  | 0 -> better_period a b
+  | c -> c < 0
+
+let pick select current = function
+  | [] -> None
+  | first :: rest ->
+    let better =
+      match select with
+      | Min_period -> better_period
+      | Min_ratio -> better_ratio current
+    in
+    Some (List.fold_left (fun acc c -> if better c acc then c else acc) first rest)
+
+let bottleneck (inst : Instance.t) (sol : Solution.t) =
+  Metrics.bottleneck inst.app inst.platform sol.Solution.mapping
+
+let minimise_latency_under_period ?(select = Min_period) (inst : Instance.t)
+    ~period =
+  let rec refine (sol : Solution.t) =
+    if threshold_met sol.Solution.period period then Some sol
+    else begin
+      let j = bottleneck inst sol in
+      let improving =
+        List.filter
+          (fun (c : Solution.t) -> c.Solution.period < sol.Solution.period)
+          (candidates inst sol ~j)
+      in
+      match pick select sol improving with
+      | None -> None
+      | Some best -> refine best
+    end
+  in
+  refine (initial inst)
+
+let minimise_period_under_latency ?(select = Min_period) (inst : Instance.t)
+    ~latency =
+  let rec refine (sol : Solution.t) =
+    let j = bottleneck inst sol in
+    let improving =
+      List.filter
+        (fun (c : Solution.t) ->
+          c.Solution.period < sol.Solution.period
+          && threshold_met c.Solution.latency latency)
+        (candidates inst sol ~j)
+    in
+    match pick select sol improving with
+    | None -> sol
+    | Some best -> refine best
+  in
+  let sol = initial inst in
+  if threshold_met sol.Solution.latency latency then Some (refine sol) else None
+
+let registry =
+  [
+    {
+      Registry.id = "het-sp-mono-p";
+      paper_name = "Het split mono, P fix";
+      table_name = "HetP";
+      kind = Registry.Period_fixed;
+      solve =
+        (fun inst ~threshold ->
+          minimise_latency_under_period ~select:Min_period inst ~period:threshold);
+    };
+    {
+      Registry.id = "het-sp-bi-p";
+      paper_name = "Het split bi, P fix";
+      table_name = "HetPb";
+      kind = Registry.Period_fixed;
+      solve =
+        (fun inst ~threshold ->
+          minimise_latency_under_period ~select:Min_ratio inst ~period:threshold);
+    };
+    {
+      Registry.id = "het-sp-mono-l";
+      paper_name = "Het split mono, L fix";
+      table_name = "HetL";
+      kind = Registry.Latency_fixed;
+      solve =
+        (fun inst ~threshold ->
+          minimise_period_under_latency ~select:Min_period inst ~latency:threshold);
+    };
+    {
+      Registry.id = "het-sp-bi-l";
+      paper_name = "Het split bi, L fix";
+      table_name = "HetLb";
+      kind = Registry.Latency_fixed;
+      solve =
+        (fun inst ~threshold ->
+          minimise_period_under_latency ~select:Min_ratio inst ~latency:threshold);
+    };
+  ]

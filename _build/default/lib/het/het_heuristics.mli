@@ -1,0 +1,46 @@
+(** Splitting heuristics for {e fully heterogeneous} platforms — the
+    extension the paper lists as future work (§7: "It would be
+    interesting to deal with fully heterogeneous platforms").
+
+    On communication-homogeneous platforms an interval's cycle-time does
+    not depend on its neighbours, which is what makes the paper's
+    incremental splitting cheap. With per-link bandwidths that locality
+    is gone: moving a piece to another processor changes the boundary
+    transfer costs of the adjacent intervals too. These heuristics
+    therefore re-evaluate candidates with the full
+    {!Pipeline_model.Metrics} cost model (O(m) per candidate) and widen
+    the candidate pool: the piece handed away may go to {e any} unused
+    processor, not only the next fastest — on a heterogeneous network,
+    a slightly slower machine with fat links to its neighbours often
+    wins.
+
+    Both drivers start from the best single-processor mapping and split
+    the current bottleneck interval greedily, like the paper's H1/H5
+    pair. They accept any platform (on a communication-homogeneous one
+    they behave like a generalised H1/H5 with free processor choice). *)
+
+open Pipeline_model
+open Pipeline_core
+
+type select =
+  | Min_period  (** smallest resulting period, ties by latency (mono) *)
+  | Min_ratio   (** smallest latency increase per unit of period gained
+                    (the paper's bi-criteria rule, on global values) *)
+
+val minimise_latency_under_period :
+  ?select:select -> Instance.t -> period:float -> Solution.t option
+(** Split the bottleneck while the period exceeds the threshold
+    (default selection [Min_period]). [None] when stuck above the
+    threshold. *)
+
+val minimise_period_under_latency :
+  ?select:select -> Instance.t -> latency:float -> Solution.t option
+(** Split while an accepted candidate strictly lowers the period and
+    keeps the latency within budget. [None] when even the best
+    single-processor mapping violates the budget. *)
+
+val registry : Registry.info list
+(** The four het heuristics packaged as {!Pipeline_core.Registry.info}
+    records (ids [het-sp-mono-p], [het-sp-bi-p], [het-sp-mono-l],
+    [het-sp-bi-l]) so the sweep machinery of the experiment campaign can
+    drive them like the paper's heuristics. *)

@@ -1,0 +1,1 @@
+lib/model/app_generator.ml: Application Array Format Pipeline_util

@@ -1,0 +1,1 @@
+lib/model/app_generator.mli: Application Format Pipeline_util

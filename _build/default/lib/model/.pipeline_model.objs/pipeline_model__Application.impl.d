@@ -1,0 +1,1 @@
+lib/model/application.ml: Array Float Format List Option Printf String

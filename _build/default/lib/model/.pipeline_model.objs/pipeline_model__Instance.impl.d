@@ -1,0 +1,1 @@
+lib/model/instance.ml: Application Format Mapping Metrics Platform

@@ -1,0 +1,1 @@
+lib/model/instance.mli: Application Format Mapping Platform

@@ -1,0 +1,1 @@
+lib/model/instance_io.ml: Application Array Buffer Filename Format In_channel Instance List Out_channel Platform Printf String Sys

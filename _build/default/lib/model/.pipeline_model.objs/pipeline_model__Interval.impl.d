@@ -1,0 +1,1 @@
+lib/model/interval.ml: Format List Printf Stdlib

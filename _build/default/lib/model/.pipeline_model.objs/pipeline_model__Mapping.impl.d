@@ -1,0 +1,1 @@
+lib/model/mapping.ml: Array Format Hashtbl Interval List Platform Printf String

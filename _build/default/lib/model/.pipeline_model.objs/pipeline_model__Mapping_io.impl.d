@@ -1,0 +1,1 @@
+lib/model/mapping_io.ml: Interval List Mapping Printf String

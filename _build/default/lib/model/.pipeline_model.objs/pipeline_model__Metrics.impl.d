@@ -1,0 +1,1 @@
+lib/model/metrics.ml: Application Float Format Interval Mapping Platform

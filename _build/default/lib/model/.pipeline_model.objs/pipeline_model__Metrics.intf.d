@@ -1,0 +1,1 @@
+lib/model/metrics.mli: Application Format Mapping Platform

@@ -1,0 +1,1 @@
+lib/model/platform_generator.ml: Array Pipeline_util Platform

@@ -1,0 +1,1 @@
+lib/model/platform_generator.mli: Pipeline_util Platform

@@ -1,0 +1,1 @@
+lib/model/skeleton.ml: Application Array Format List Printf String

@@ -1,0 +1,1 @@
+lib/model/skeleton.mli: Application Format

@@ -1,0 +1,1 @@
+lib/model/transform.ml: Application Array Instance Interval List Mapping Option String

@@ -1,0 +1,1 @@
+lib/model/transform.mli: Application Instance Mapping

@@ -1,0 +1,32 @@
+module Rng = Pipeline_util.Rng
+
+type value_dist =
+  | Fixed of float
+  | Int_uniform of int * int
+  | Float_uniform of float * float
+
+type spec = { n : int; work : value_dist; delta : value_dist }
+
+let e1 ~n = { n; work = Int_uniform (1, 20); delta = Fixed 10. }
+let e2 ~n = { n; work = Int_uniform (1, 20); delta = Int_uniform (1, 100) }
+let e3 ~n = { n; work = Int_uniform (10, 1000); delta = Int_uniform (1, 20) }
+let e4 ~n = { n; work = Float_uniform (0.01, 10.); delta = Int_uniform (1, 20) }
+
+let draw rng = function
+  | Fixed v -> v
+  | Int_uniform (lo, hi) -> float_of_int (Rng.int_in rng lo hi)
+  | Float_uniform (lo, hi) -> Rng.float_in rng lo hi
+
+let generate rng spec =
+  if spec.n <= 0 then invalid_arg "App_generator.generate: n must be > 0";
+  let works = Array.init spec.n (fun _ -> draw rng spec.work) in
+  let deltas = Array.init (spec.n + 1) (fun _ -> draw rng spec.delta) in
+  Application.make ~deltas works
+
+let pp_dist fmt = function
+  | Fixed v -> Format.fprintf fmt "fixed %g" v
+  | Int_uniform (lo, hi) -> Format.fprintf fmt "int[%d,%d]" lo hi
+  | Float_uniform (lo, hi) -> Format.fprintf fmt "float[%g,%g]" lo hi
+
+let pp_spec fmt s =
+  Format.fprintf fmt "spec[n=%d; w=%a; d=%a]" s.n pp_dist s.work pp_dist s.delta

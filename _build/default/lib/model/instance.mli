@@ -1,0 +1,29 @@
+(** A problem instance: one application paired with one platform.
+
+    The experiment campaign manipulates (application, platform) pairs as a
+    unit — 50 random pairs per measurement point — so this tiny module
+    gives the pair a name, a seed for provenance, and the derived
+    quantities every solver needs. *)
+
+type t = {
+  id : int;                  (** instance number within its batch *)
+  seed : int;                (** RNG seed that produced it *)
+  app : Application.t;
+  platform : Platform.t;
+}
+
+val make : ?id:int -> ?seed:int -> Application.t -> Platform.t -> t
+(** [id] and [seed] default to 0. *)
+
+val single_proc_mapping : t -> Mapping.t
+(** Whole pipeline on the fastest processor: the latency-optimal mapping
+    (Lemma 1), and every heuristic's starting point. *)
+
+val optimal_latency : t -> float
+(** Latency of {!single_proc_mapping}. *)
+
+val single_proc_period : t -> float
+(** Period of {!single_proc_mapping} — the trivially achievable period,
+    i.e. the largest threshold any period-fixing sweep needs to consider. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,217 @@
+type error = { line : int; message : string }
+
+let pp_error fmt e = Format.fprintf fmt "line %d: %s" e.line e.message
+
+exception Parse of error
+
+let fail line message = raise (Parse { line; message })
+
+(* A tokenised, comment-stripped line. *)
+type line = { number : int; tokens : string list }
+
+let tokenise text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i raw ->
+         let without_comment =
+           match String.index_opt raw '#' with
+           | Some pos -> String.sub raw 0 pos
+           | None -> raw
+         in
+         let tokens =
+           String.split_on_char ' ' without_comment
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.filter (fun t -> t <> "")
+         in
+         { number = i + 1; tokens })
+  |> List.filter (fun l -> l.tokens <> [])
+
+let float_of_token line t =
+  match float_of_string_opt t with
+  | Some v -> v
+  | None -> fail line (Printf.sprintf "expected a number, got %S" t)
+
+let int_of_token line t =
+  match int_of_string_opt t with
+  | Some v -> v
+  | None -> fail line (Printf.sprintf "expected an integer, got %S" t)
+
+let floats line tokens = Array.of_list (List.map (float_of_token line) tokens)
+
+type platform_kind = Comm_hom | Fully_het
+
+type accumulator = {
+  mutable n : int option;
+  mutable labels : string array option;
+  mutable works : float array option;
+  mutable deltas : float array option;
+  mutable kind : platform_kind option;
+  mutable bandwidth : float option;
+  mutable io_bandwidth : float option;
+  mutable speeds : float array option;
+  mutable links : (int * int * float) list;
+  mutable ios : (int * float) list;
+}
+
+let empty () =
+  {
+    n = None;
+    labels = None;
+    works = None;
+    deltas = None;
+    kind = None;
+    bandwidth = None;
+    io_bandwidth = None;
+    speeds = None;
+    links = [];
+    ios = [];
+  }
+
+let consume acc { number; tokens } =
+  match tokens with
+  | [ "pipeline"; n ] -> acc.n <- Some (int_of_token number n)
+  | "labels" :: labels -> acc.labels <- Some (Array.of_list labels)
+  | "works" :: values -> acc.works <- Some (floats number values)
+  | "deltas" :: values -> acc.deltas <- Some (floats number values)
+  | [ "platform"; "comm-hom" ] -> acc.kind <- Some Comm_hom
+  | [ "platform"; "fully-het" ] -> acc.kind <- Some Fully_het
+  | [ "platform"; other ] ->
+    fail number (Printf.sprintf "unknown platform kind %S" other)
+  | [ "bandwidth"; b ] -> acc.bandwidth <- Some (float_of_token number b)
+  | [ "io-bandwidth"; b ] -> acc.io_bandwidth <- Some (float_of_token number b)
+  | "speeds" :: values -> acc.speeds <- Some (floats number values)
+  | [ "link"; u; v; b ] ->
+    acc.links <-
+      (int_of_token number u, int_of_token number v, float_of_token number b)
+      :: acc.links
+  | [ "io"; u; b ] ->
+    acc.ios <- (int_of_token number u, float_of_token number b) :: acc.ios
+  | key :: _ -> fail number (Printf.sprintf "unknown or malformed entry %S" key)
+  | [] -> ()
+
+let require line what = function
+  | Some v -> v
+  | None -> fail line (Printf.sprintf "missing %s" what)
+
+let build acc =
+  let n = require 0 "'pipeline <n>'" acc.n in
+  let works = require 0 "'works'" acc.works in
+  let deltas = require 0 "'deltas'" acc.deltas in
+  if Array.length works <> n then fail 0 "works must list n values";
+  if Array.length deltas <> n + 1 then fail 0 "deltas must list n+1 values";
+  (match acc.labels with
+  | Some l when Array.length l <> n -> fail 0 "labels must list n names"
+  | _ -> ());
+  let app =
+    try Application.make ?labels:acc.labels ~deltas works
+    with Invalid_argument m -> fail 0 m
+  in
+  let speeds = require 0 "'speeds'" acc.speeds in
+  let p = Array.length speeds in
+  let platform =
+    match require 0 "'platform'" acc.kind with
+    | Comm_hom ->
+      let bandwidth = require 0 "'bandwidth'" acc.bandwidth in
+      (try
+         Platform.comm_homogeneous ?io_bandwidth:acc.io_bandwidth ~bandwidth
+           speeds
+       with Invalid_argument m -> fail 0 m)
+    | Fully_het ->
+      let bandwidths = Array.make_matrix p p 0. in
+      List.iter
+        (fun (u, v, b) ->
+          if u < 0 || u >= p || v < 0 || v >= p || u = v then
+            fail 0 (Printf.sprintf "link %d %d: bad processor pair" u v);
+          bandwidths.(u).(v) <- b;
+          bandwidths.(v).(u) <- b)
+        acc.links;
+      for u = 0 to p - 1 do
+        for v = u + 1 to p - 1 do
+          if bandwidths.(u).(v) = 0. then
+            fail 0 (Printf.sprintf "missing 'link %d %d <b>'" u v)
+        done
+      done;
+      let io_bandwidths =
+        match acc.ios with
+        | [] -> None
+        | ios ->
+          let io = Array.make p 0. in
+          List.iter
+            (fun (u, b) ->
+              if u < 0 || u >= p then fail 0 (Printf.sprintf "io %d: bad processor" u);
+              io.(u) <- b)
+            ios;
+          Array.iteri
+            (fun u b -> if b = 0. then fail 0 (Printf.sprintf "missing 'io %d <b>'" u))
+            io;
+          Some io
+      in
+      (try Platform.fully_heterogeneous ?io_bandwidths ~bandwidths speeds
+       with Invalid_argument m -> fail 0 m)
+  in
+  Instance.make app platform
+
+let of_string text =
+  match
+    let acc = empty () in
+    List.iter (consume acc) (tokenise text);
+    build acc
+  with
+  | inst -> Ok inst
+  | exception Parse e -> Error e
+
+let float_list a =
+  String.concat " " (Array.to_list (Array.map (Printf.sprintf "%.17g") a))
+
+let to_string (inst : Instance.t) =
+  let app = inst.app and platform = inst.platform in
+  let n = Application.n app and p = Platform.p platform in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "pipeline %d\n" n);
+  let labels = List.init n (fun k -> Application.label app (k + 1)) in
+  let default_labels = List.init n (fun k -> Printf.sprintf "S%d" (k + 1)) in
+  if labels <> default_labels then
+    Buffer.add_string buf (Printf.sprintf "labels %s\n" (String.concat " " labels));
+  Buffer.add_string buf (Printf.sprintf "works %s\n" (float_list (Application.works app)));
+  Buffer.add_string buf
+    (Printf.sprintf "deltas %s\n" (float_list (Application.deltas app)));
+  if Platform.is_comm_homogeneous platform then begin
+    Buffer.add_string buf "platform comm-hom\n";
+    Buffer.add_string buf
+      (Printf.sprintf "bandwidth %.17g\n"
+         (if p > 1 then Platform.bandwidth platform 0 1
+          else Platform.io_bandwidth platform 0));
+    Buffer.add_string buf
+      (Printf.sprintf "speeds %s\n" (float_list (Platform.speeds platform)))
+  end
+  else begin
+    Buffer.add_string buf "platform fully-het\n";
+    Buffer.add_string buf
+      (Printf.sprintf "speeds %s\n" (float_list (Platform.speeds platform)));
+    for u = 0 to p - 1 do
+      for v = u + 1 to p - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf "link %d %d %.17g\n" u v (Platform.bandwidth platform u v))
+      done
+    done;
+    for u = 0 to p - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "io %d %.17g\n" u (Platform.io_bandwidth platform u))
+    done
+  end;
+  Buffer.contents buf
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error message -> Error { line = 0; message }
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let save path inst =
+  mkdir_p (Filename.dirname path);
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string inst))

@@ -1,0 +1,48 @@
+(** Textual instance files.
+
+    A small line-oriented format so applications and platforms can be
+    versioned, shared and fed to the CLI:
+
+    {v
+# transcoding chain on the lab cluster
+pipeline 4
+labels   parse filter join emit      # optional
+works    4 8 2 6
+deltas   10 20 30 20 10
+platform comm-hom
+bandwidth 10
+speeds   2 4 1
+io-bandwidth 10                      # optional, defaults to bandwidth
+    v}
+
+    Fully heterogeneous platforms replace [bandwidth] with one
+    [link u v b] line per processor pair (symmetric; unspecified pairs
+    are an error) and optionally [io u b] lines:
+
+    {v
+platform fully-het
+speeds 2 4
+link 0 1 5
+io 0 8
+io 1 8
+    v}
+
+    ['#'] starts a comment; blank lines are ignored; keys may appear in
+    any order after [pipeline]/[platform]. {!to_string} and {!of_string}
+    round-trip. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val of_string : string -> (Instance.t, error) result
+(** Parse an instance; the error carries the 1-based offending line. *)
+
+val to_string : Instance.t -> string
+(** Serialise an instance (canonical key order, no comments). *)
+
+val load : string -> (Instance.t, error) result
+(** Read a file ([Sys_error]s are turned into an [error] on line 0). *)
+
+val save : string -> Instance.t -> unit
+(** Write a file, creating parent directories. *)

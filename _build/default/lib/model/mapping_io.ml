@@ -1,0 +1,64 @@
+let to_string mapping =
+  Mapping.intervals mapping
+  |> List.map (fun (iv, u) ->
+         let first = Interval.first iv and last = Interval.last iv in
+         if first = last then Printf.sprintf "%d:%d" first u
+         else Printf.sprintf "%d-%d:%d" first last u)
+  |> String.concat " "
+
+let parse_token token =
+  match String.split_on_char ':' token with
+  | [ range; proc ] -> (
+    let proc =
+      match int_of_string_opt proc with
+      | Some u when u >= 0 -> Ok u
+      | _ -> Error (Printf.sprintf "bad processor in %S" token)
+    in
+    let range =
+      match String.split_on_char '-' range with
+      | [ single ] -> (
+        match int_of_string_opt single with
+        | Some k -> Ok (k, k)
+        | None -> Error (Printf.sprintf "bad stage in %S" token))
+      | [ first; last ] -> (
+        match (int_of_string_opt first, int_of_string_opt last) with
+        | Some f, Some l -> Ok (f, l)
+        | _ -> Error (Printf.sprintf "bad range in %S" token))
+      | _ -> Error (Printf.sprintf "bad range in %S" token)
+    in
+    match (range, proc) with
+    | Ok (f, l), Ok u -> Ok (f, l, u)
+    | Error e, _ | _, Error e -> Error e)
+  | _ -> Error (Printf.sprintf "expected FIRST-LAST:PROC, got %S" token)
+
+let of_string text =
+  let tokens =
+    String.split_on_char ' ' text
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.concat_map (String.split_on_char ',')
+    |> List.filter (fun t -> t <> "")
+  in
+  if tokens = [] then Error "empty mapping"
+  else begin
+    let rec parse_all acc = function
+      | [] -> Ok (List.rev acc)
+      | token :: rest -> (
+        match parse_token token with
+        | Ok triple -> parse_all (triple :: acc) rest
+        | Error e -> Error e)
+    in
+    match parse_all [] tokens with
+    | Error e -> Error e
+    | Ok triples -> (
+      let n =
+        List.fold_left (fun acc (_, last, _) -> max acc last) 0 triples
+      in
+      match
+        Mapping.make ~n
+          (List.map
+             (fun (f, l, u) -> (Interval.make ~first:f ~last:l, u))
+             triples)
+      with
+      | mapping -> Ok mapping
+      | exception Invalid_argument message -> Error message)
+  end

@@ -1,0 +1,12 @@
+(** Compact textual mappings.
+
+    The format is one token per interval, space-separated, in pipeline
+    order: [FIRST-LAST:PROC] (or [STAGE:PROC] for singletons), e.g.
+    ["1-3:2 4:0 5-6:1"]. Used by the CLI to pass explicit mappings in and
+    print them out in a machine-readable way. *)
+
+val to_string : Mapping.t -> string
+
+val of_string : string -> (Mapping.t, string) result
+(** Parses and validates (partition shape, distinct processors); the
+    error is a human-readable message. *)

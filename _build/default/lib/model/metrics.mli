@@ -1,0 +1,48 @@
+(** Cost model: period and latency of an interval mapping
+    (paper §2, equations (1) and (2)).
+
+    For a mapping into intervals [I_j = [d_j, e_j]] run on [alloc(j)]:
+
+    {ul
+    {- the {e cycle-time} of interval [j] is
+       [δ_{d_j-1}/b_in + (Σ_{i∈I_j} w_i)/s_alloc(j) + δ_{e_j}/b_out];}
+    {- the {e period} is the largest cycle-time (equation (1)); its inverse
+       is the throughput;}
+    {- the {e latency} charges, for each interval, its input communication
+       and its computation, plus the final output [δ_n] (equation (2));
+       inter-processor communications are paid once, on the receiving side.}}
+
+    On a communication-homogeneous platform every [b_in]/[b_out] equals the
+    common bandwidth [b], which recovers the paper's formulas verbatim. On
+    a fully heterogeneous platform the boundary transfers use the actual
+    link between the two enrolled processors, and the pipeline's external
+    input/output use the processors' I/O bandwidth — the natural extension
+    the paper leaves as future work.
+
+    All functions raise [Invalid_argument] when the mapping does not match
+    the application's stage count or references processors outside the
+    platform. *)
+
+val cycle_time : Application.t -> Platform.t -> Mapping.t -> int -> float
+(** [cycle_time app platform mapping j] is the cycle-time of interval [j]
+    (0-based). *)
+
+val period : Application.t -> Platform.t -> Mapping.t -> float
+(** Equation (1): the largest interval cycle-time. *)
+
+val bottleneck : Application.t -> Platform.t -> Mapping.t -> int
+(** Index of an interval achieving the period (smallest index on ties). *)
+
+val latency : Application.t -> Platform.t -> Mapping.t -> float
+(** Equation (2). *)
+
+type summary = {
+  period : float;
+  latency : float;
+  intervals : int;  (** number of enrolled processors *)
+}
+
+val summary : Application.t -> Platform.t -> Mapping.t -> summary
+(** Both objectives in one traversal. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,26 @@
+module Rng = Pipeline_util.Rng
+
+let random_speeds rng ~p ~speed_min ~speed_max =
+  if p <= 0 then invalid_arg "Platform_generator: p must be > 0";
+  if speed_min < 1 || speed_max < speed_min then
+    invalid_arg "Platform_generator: bad speed range";
+  Array.init p (fun _ -> float_of_int (Rng.int_in rng speed_min speed_max))
+
+let comm_homogeneous ?(bandwidth = 10.) ?(speed_min = 1) ?(speed_max = 20) rng ~p =
+  let speeds = random_speeds rng ~p ~speed_min ~speed_max in
+  Platform.comm_homogeneous ~bandwidth speeds
+
+let fully_heterogeneous ?(bandwidth_min = 5) ?(bandwidth_max = 15) ?(speed_min = 1)
+    ?(speed_max = 20) rng ~p =
+  if bandwidth_min < 1 || bandwidth_max < bandwidth_min then
+    invalid_arg "Platform_generator: bad bandwidth range";
+  let speeds = random_speeds rng ~p ~speed_min ~speed_max in
+  let bandwidths = Array.make_matrix p p 0. in
+  for u = 0 to p - 1 do
+    for v = u + 1 to p - 1 do
+      let b = float_of_int (Rng.int_in rng bandwidth_min bandwidth_max) in
+      bandwidths.(u).(v) <- b;
+      bandwidths.(v).(u) <- b
+    done
+  done;
+  Platform.fully_heterogeneous ~bandwidths speeds

@@ -1,0 +1,28 @@
+(** Random platforms matching the paper's experimental setting (§5.1):
+    communication-homogeneous platforms with [b = 10] and integer speeds
+    uniform in [\[1, 20\]], plus a fully heterogeneous generator used by
+    the extension experiments. *)
+
+val comm_homogeneous :
+  ?bandwidth:float ->
+  ?speed_min:int ->
+  ?speed_max:int ->
+  Pipeline_util.Rng.t ->
+  p:int ->
+  Platform.t
+(** [comm_homogeneous rng ~p] draws [p] integer speeds uniform in
+    [\[speed_min, speed_max\]] (defaults 1 and 20) with all links of
+    capacity [bandwidth] (default 10). *)
+
+val fully_heterogeneous :
+  ?bandwidth_min:int ->
+  ?bandwidth_max:int ->
+  ?speed_min:int ->
+  ?speed_max:int ->
+  Pipeline_util.Rng.t ->
+  p:int ->
+  Platform.t
+(** Integer speeds in [\[speed_min, speed_max\]] (defaults 1, 20) and a
+    symmetric matrix of integer link bandwidths in
+    [\[bandwidth_min, bandwidth_max\]] (defaults 5, 15, centred on the
+    paper's [b = 10]). *)

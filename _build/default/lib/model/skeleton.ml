@@ -1,0 +1,48 @@
+type node = { label : string; work : float; out : float; replicable : bool }
+
+type t = node list (* non-empty, in pipeline order *)
+
+let stage label ~work ~out = [ { label; work; out; replicable = false } ]
+
+let deal t = List.map (fun node -> { node with replicable = true }) t
+
+let pipeline = function
+  | [] -> invalid_arg "Skeleton.pipeline: empty pipeline"
+  | parts -> List.concat parts
+
+let stages t = List.map (fun node -> (node.label, node.work, node.out)) t
+
+let length = List.length
+
+let to_application ?(input = 0.) t =
+  let n = length t in
+  let works = Array.make n 0. and deltas = Array.make (n + 1) 0. in
+  let labels = Array.make n "" in
+  deltas.(0) <- input;
+  List.iteri
+    (fun i node ->
+      works.(i) <- node.work;
+      deltas.(i + 1) <- node.out;
+      labels.(i) <- node.label)
+    t;
+  Application.make ~labels ~deltas works
+
+let deal_stages t =
+  List.concat
+    (List.mapi (fun i node -> if node.replicable then [ i + 1 ] else []) t)
+
+let of_application app =
+  let n = Application.n app in
+  List.init n (fun i ->
+      {
+        label = Application.label app (i + 1);
+        work = Application.work app (i + 1);
+        out = Application.delta app (i + 1);
+        replicable = false;
+      })
+
+let pp fmt t =
+  let part node =
+    if node.replicable then Printf.sprintf "deal(%s)" node.label else node.label
+  in
+  Format.pp_print_string fmt (String.concat " >> " (List.map part t))

@@ -1,0 +1,55 @@
+(** Algorithmic-skeleton front end.
+
+    The paper frames pipeline mapping as a service to skeleton libraries
+    (§1: the programmer composes known patterns; the runtime maps them).
+    This module is that front end: a tiny combinator language for
+    describing a pipeline of named stages — with optional [deal]
+    annotations marking stages the programmer allows to be replicated —
+    that compiles to the flat {!Application} the solvers consume.
+
+    {[
+      let workflow =
+        Skeleton.(
+          pipeline
+            [
+              stage "decode" ~work:55. ~out:6.2;
+              stage "scale" ~work:30. ~out:3.1;
+              deal (stage "encode" ~work:140. ~out:0.5);
+              stage "mux" ~work:6. ~out:0.4;
+            ])
+
+      let app = Skeleton.to_application ~input:0.8 workflow
+      let replicable = Skeleton.deal_stages workflow  (* [3] *)
+    ]} *)
+
+type t
+
+val stage : string -> work:float -> out:float -> t
+(** A named stage: [work] operations, output message of size [out]. *)
+
+val deal : t -> t
+(** Mark a stage (or every stage of a sub-pipeline) as replicable by a
+    deal skeleton. Idempotent. *)
+
+val pipeline : t list -> t
+(** Sequential composition. Raises [Invalid_argument] on the empty
+    list. Nested pipelines are flattened. *)
+
+val stages : t -> (string * float * float) list
+(** The flat [(label, work, out)] list, in order. *)
+
+val length : t -> int
+
+val to_application : ?input:float -> t -> Application.t
+(** Compile to the solvers' representation; [input] is [δ_0]
+    (default 0). *)
+
+val deal_stages : t -> int list
+(** 1-based indices of the stages marked replicable, in order. *)
+
+val of_application : Application.t -> t
+(** Lift a flat application back (stage labels preserved); [δ_0] is
+    dropped (pass it back via [~input] when re-compiling). *)
+
+val pp : Format.formatter -> t -> unit
+(** E.g. ["decode >> scale >> deal(encode) >> mux"]. *)

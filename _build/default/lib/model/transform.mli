@@ -1,0 +1,36 @@
+(** Application transformations.
+
+    {!coarsen} fuses consecutive stages into groups, shrinking [n] so
+    the exponential exact solvers (or the heuristics, on very deep
+    pipelines) become cheap — at the cost of restricting cut positions to
+    group boundaries. The key property, checked by the test suite: a
+    mapping of the coarsened application and its {!refine_mapping} lift
+    have {e identical} period and latency on the original application,
+    because group-boundary communications and group work sums are
+    preserved exactly. Coarse solutions are therefore feasible (possibly
+    suboptimal) solutions of the original instance.
+
+    {!scale} converts units (e.g. Mcycles to Gcycles, MB to GB) without
+    changing the mapping problem's structure. *)
+
+val coarsen : factor:int -> Application.t -> Application.t
+(** Fuse groups of [factor] consecutive stages (the last group may be
+    smaller). Group work = sum of its stages; the messages at group
+    boundaries survive, interior ones disappear. [factor ≥ 1]. Labels
+    are joined with ["+"]. *)
+
+val refine_mapping : factor:int -> n:int -> Mapping.t -> Mapping.t
+(** Lift a mapping of the coarsened application (with [⌈n/factor⌉]
+    stages) back onto the original [n] stages. Raises [Invalid_argument]
+    when shapes do not line up. *)
+
+val coarse_solve :
+  factor:int ->
+  solve:(Instance.t -> Mapping.t option) ->
+  Instance.t ->
+  Mapping.t option
+(** Solve the coarsened instance with [solve] and lift the result. *)
+
+val scale : ?work:float -> ?data:float -> Application.t -> Application.t
+(** Multiply all works by [work] and all message sizes by [data]
+    (defaults 1). Factors must be strictly positive. *)

@@ -1,0 +1,1 @@
+lib/optimal/bicriteria.ml: Application Array Instance List Mapping Pipeline_core Pipeline_model Platform Solution Subset_dp

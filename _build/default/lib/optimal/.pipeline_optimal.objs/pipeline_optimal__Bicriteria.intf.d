@@ -1,0 +1,1 @@
+lib/optimal/bicriteria.mli: Instance Pipeline_core Pipeline_model Solution

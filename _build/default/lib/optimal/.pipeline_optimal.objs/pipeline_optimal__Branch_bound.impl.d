@@ -1,0 +1,1 @@
+lib/optimal/branch_bound.ml: Application Array Float Hashtbl Instance Interval List Mapping Option Pipeline_core Pipeline_model Platform Solution Sp_mono_l

@@ -1,0 +1,1 @@
+lib/optimal/branch_bound.mli: Instance Pipeline_core Pipeline_model Solution

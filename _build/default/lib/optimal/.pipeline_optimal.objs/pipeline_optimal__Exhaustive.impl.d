@@ -1,0 +1,1 @@
+lib/optimal/exhaustive.ml: Application Array Instance List Mapping Pipeline_core Pipeline_model Platform Solution

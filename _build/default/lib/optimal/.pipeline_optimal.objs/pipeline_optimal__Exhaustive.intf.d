@@ -1,0 +1,1 @@
+lib/optimal/exhaustive.mli: Instance Mapping Pipeline_core Pipeline_model Solution

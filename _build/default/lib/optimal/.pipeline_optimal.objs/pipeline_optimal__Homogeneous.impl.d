@@ -1,0 +1,1 @@
+lib/optimal/homogeneous.ml: Application Array Float Fun Instance List Mapping Pipeline_core Pipeline_model Platform Solution

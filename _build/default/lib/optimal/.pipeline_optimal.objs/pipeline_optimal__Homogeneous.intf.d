@@ -1,0 +1,1 @@
+lib/optimal/homogeneous.mli: Instance Pipeline_core Pipeline_model Platform Solution

@@ -1,0 +1,1 @@
+lib/optimal/latency.ml: Application Instance Mapping Option Pipeline_core Pipeline_model Platform

@@ -1,0 +1,1 @@
+lib/optimal/latency.mli: Pipeline_core Pipeline_model

@@ -1,0 +1,1 @@
+lib/optimal/local_search.ml: Array Instance Interval List Mapping Pipeline_core Pipeline_model Platform Solution

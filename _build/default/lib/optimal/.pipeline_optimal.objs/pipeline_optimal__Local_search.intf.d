@@ -1,0 +1,1 @@
+lib/optimal/local_search.mli: Instance Mapping Pipeline_core Pipeline_model Solution

@@ -1,0 +1,1 @@
+lib/optimal/one_to_one.ml: Application Array Float Fun Instance List Mapping Pipeline_core Pipeline_model Pipeline_util Platform Solution

@@ -1,0 +1,1 @@
+lib/optimal/one_to_one.mli: Instance Pipeline_core Pipeline_model Solution

@@ -1,0 +1,1 @@
+lib/optimal/scalarised.ml: Bicriteria Instance List Option Pipeline_core Pipeline_model Platform Registry Solution

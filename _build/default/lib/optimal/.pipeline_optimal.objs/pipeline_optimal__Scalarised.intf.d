@@ -1,0 +1,1 @@
+lib/optimal/scalarised.mli: Instance Pipeline_core Pipeline_model Registry Solution

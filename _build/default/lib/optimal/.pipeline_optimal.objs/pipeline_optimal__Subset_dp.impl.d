@@ -1,0 +1,1 @@
+lib/optimal/subset_dp.ml: Array Float Pipeline_model Printf

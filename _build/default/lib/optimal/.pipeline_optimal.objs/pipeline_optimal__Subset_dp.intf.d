@@ -1,0 +1,1 @@
+lib/optimal/subset_dp.mli: Pipeline_model

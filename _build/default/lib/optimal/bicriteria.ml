@@ -1,0 +1,102 @@
+open Pipeline_model
+open Pipeline_core
+
+let costs (inst : Instance.t) =
+  if not (Platform.is_comm_homogeneous inst.platform) then
+    invalid_arg "Bicriteria: requires a comm-homogeneous platform";
+  let b = Platform.io_bandwidth inst.platform 0 in
+  let app = inst.app in
+  let cycle ~d ~e ~u =
+    (Application.delta app (d - 1) /. b)
+    +. (Application.work_sum app d e /. Platform.speed inst.platform u)
+    +. (Application.delta app e /. b)
+  in
+  let contrib ~d ~e ~u =
+    (Application.delta app (d - 1) /. b)
+    +. (Application.work_sum app d e /. Platform.speed inst.platform u)
+  in
+  (b, cycle, contrib)
+
+let solution_of_assignment (inst : Instance.t) assignment =
+  let mapping = Mapping.make ~n:(Application.n inst.app) assignment in
+  Solution.of_mapping inst mapping
+
+let min_period (inst : Instance.t) =
+  let _, cycle, _ = costs inst in
+  let n = Application.n inst.app and p = Platform.p inst.platform in
+  let _, assignment = Subset_dp.minimise_bottleneck ~n ~p ~cost:cycle in
+  solution_of_assignment inst assignment
+
+let min_latency_under_period (inst : Instance.t) ~period =
+  let _, cycle, contrib = costs inst in
+  let n = Application.n inst.app and p = Platform.p inst.platform in
+  match
+    Subset_dp.minimise_sum_under_cap ~n ~p ~cap_cost:cycle ~sum_cost:contrib
+      ~cap:period
+  with
+  | None -> None
+  | Some (_, assignment) -> Some (solution_of_assignment inst assignment)
+
+(* All values an interval cycle-time can take: the candidate periods. *)
+let candidate_periods (inst : Instance.t) =
+  let _, cycle, _ = costs inst in
+  let n = Application.n inst.app and p = Platform.p inst.platform in
+  let acc = ref [] in
+  for d = 1 to n do
+    for e = d to n do
+      for u = 0 to p - 1 do
+        acc := cycle ~d ~e ~u :: !acc
+      done
+    done
+  done;
+  List.sort_uniq compare !acc
+
+let min_period_under_latency (inst : Instance.t) ~latency =
+  let candidates = Array.of_list (candidate_periods inst) in
+  let feasible period =
+    match min_latency_under_period inst ~period with
+    | Some sol when Solution.respects_latency sol latency -> Some sol
+    | _ -> None
+  in
+  let count = Array.length candidates in
+  if count = 0 then None
+  else begin
+    (* Binary search for the smallest candidate period whose latency-
+       optimal mapping fits the latency budget (feasibility is monotone
+       in the period threshold). *)
+    let lo = ref 0 and hi = ref (count - 1) in
+    if feasible candidates.(!hi) = None then None
+    else begin
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if feasible candidates.(mid) <> None then hi := mid else lo := mid + 1
+      done;
+      feasible candidates.(!lo)
+    end
+  end
+
+let pareto (inst : Instance.t) =
+  let candidates = candidate_periods inst in
+  let points =
+    List.filter_map
+      (fun period -> min_latency_under_period inst ~period)
+      candidates
+  in
+  (* Keep non-dominated points: sweeping by increasing period, retain
+     strictly decreasing latencies. *)
+  let sorted =
+    List.sort_uniq
+      (fun a b ->
+        match compare a.Solution.period b.Solution.period with
+        | 0 -> compare a.Solution.latency b.Solution.latency
+        | c -> c)
+      points
+  in
+  let rec prune best_latency = function
+    | [] -> []
+    | sol :: rest ->
+      if sol.Solution.latency < best_latency then
+        sol :: prune sol.Solution.latency rest
+      else prune best_latency rest
+  in
+  prune infinity sorted

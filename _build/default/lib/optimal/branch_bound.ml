@@ -1,0 +1,151 @@
+open Pipeline_model
+open Pipeline_core
+
+type result = {
+  solution : Solution.t;
+  proven_optimal : bool;
+  nodes : int;
+}
+
+let min_period ?(node_budget = 1_000_000) ?initial (inst : Instance.t) =
+  if not (Platform.is_comm_homogeneous inst.platform) then
+    invalid_arg "Branch_bound: requires a comm-homogeneous platform";
+  let app = inst.app and platform = inst.platform in
+  let n = Application.n app and p = Platform.p platform in
+  let b = Platform.io_bandwidth platform 0 in
+  let speeds = Platform.speeds platform in
+  (* Representatives per distinct speed, fastest first; count per speed. *)
+  let order = Platform.by_decreasing_speed platform in
+  let free_count = Hashtbl.create 16 in
+  Array.iter
+    (fun u ->
+      let s = speeds.(u) in
+      Hashtbl.replace free_count s (1 + Option.value ~default:0 (Hashtbl.find_opt free_count s)))
+    order;
+  let distinct_speeds =
+    List.sort_uniq (fun a b -> compare b a) (Array.to_list speeds)
+  in
+  (* A representative processor index per speed, consumed fastest-first
+     within each class. *)
+  let members = Hashtbl.create 16 in
+  Array.iter
+    (fun u ->
+      let s = speeds.(u) in
+      Hashtbl.replace members s
+        (u :: Option.value ~default:[] (Hashtbl.find_opt members s)))
+    (Array.of_list (List.rev (Array.to_list order)));
+  let take_member s =
+    match Hashtbl.find_opt members s with
+    | Some (u :: rest) ->
+      Hashtbl.replace members s rest;
+      u
+    | _ -> assert false
+  in
+  let put_member s u =
+    Hashtbl.replace members s (u :: Option.value ~default:[] (Hashtbl.find_opt members s))
+  in
+  let free_speed_sum =
+    ref (Array.fold_left ( +. ) 0. speeds)
+  in
+  let max_free_speed () =
+    List.fold_left
+      (fun acc s ->
+        if Option.value ~default:0 (Hashtbl.find_opt free_count s) > 0 then
+          Float.max acc s
+        else acc)
+      0. distinct_speeds
+  in
+  (* Suffix data. *)
+  let suffix_work = Array.make (n + 2) 0. in
+  for k = n downto 1 do
+    suffix_work.(k) <- suffix_work.(k + 1) +. Application.work app k
+  done;
+  let suffix_max_work = Array.make (n + 2) 0. in
+  for k = n downto 1 do
+    suffix_max_work.(k) <- Float.max suffix_max_work.(k + 1) (Application.work app k)
+  done;
+  (* Incumbent. *)
+  let initial_solution =
+    match initial with
+    | Some sol -> sol
+    | None -> (
+      match Sp_mono_l.solve inst ~latency:infinity with
+      | Some sol -> sol
+      | None -> Solution.of_mapping inst (Instance.single_proc_mapping inst))
+  in
+  let best = ref initial_solution in
+  let best_period = ref initial_solution.Solution.period in
+  let nodes = ref 0 in
+  let exhausted = ref false in
+  let tol = 1e-12 in
+  (* Depth-first search: stages d..n remain, [current] is the max cycle so
+     far, [partial] the reversed assignment. *)
+  let rec branch d current partial =
+    if !nodes >= node_budget then exhausted := true
+    else begin
+      incr nodes;
+      if d > n then begin
+        if current < !best_period -. tol then begin
+          best_period := current;
+          best :=
+            Solution.of_mapping inst (Mapping.make ~n (List.rev partial))
+        end
+      end
+      else begin
+        (* Capacity + per-stage lower bounds on the remaining suffix. *)
+        let s_max = max_free_speed () in
+        let lower =
+          if s_max = 0. then infinity
+          else
+            (* Valid bounds on the remaining suffix: total capacity; the
+               heaviest remaining stage at the best free speed; the next
+               interval's unavoidable input transfer plus its first
+               stage. (Adding δ_in to the capacity bound would be wrong:
+               the bottleneck interval need not be the one paying δ_in.) *)
+            List.fold_left Float.max current
+              [
+                suffix_work.(d) /. !free_speed_sum;
+                suffix_max_work.(d) /. s_max;
+                (Application.delta app (d - 1) /. b)
+                +. (Application.work app d /. s_max);
+              ]
+        in
+        if lower < !best_period -. tol then
+          List.iter
+            (fun s ->
+              if Option.value ~default:0 (Hashtbl.find_opt free_count s) > 0
+              then begin
+                (* Enrol one representative of this speed class. *)
+                Hashtbl.replace free_count s
+                  (Option.get (Hashtbl.find_opt free_count s) - 1);
+                free_speed_sum := !free_speed_sum -. s;
+                let u = take_member s in
+                let din = Application.delta app (d - 1) /. b in
+                let e = ref d in
+                let stop = ref false in
+                while not !stop && !e <= n do
+                  let work = Application.work_sum app d !e in
+                  (* Monotone part of the cycle: prune the whole e-loop
+                     once input + compute alone exceed the incumbent. *)
+                  if din +. (work /. s) >= !best_period -. tol then stop := true
+                  else begin
+                    let cycle = din +. (work /. s) +. (Application.delta app !e /. b) in
+                    let current' = Float.max current cycle in
+                    if current' < !best_period -. tol then
+                      branch (!e + 1) current'
+                        ((Interval.make ~first:d ~last:!e, u) :: partial);
+                    incr e
+                  end
+                done;
+                put_member s u;
+                free_speed_sum := !free_speed_sum +. s;
+                Hashtbl.replace free_count s
+                  (1 + Option.get (Hashtbl.find_opt free_count s))
+              end)
+            distinct_speeds
+      end
+    end
+  in
+  branch 1 neg_infinity [];
+  ignore p;
+  { solution = !best; proven_optimal = not !exhausted; nodes = !nodes }

@@ -1,0 +1,34 @@
+(** Anytime branch-and-bound period minimisation for communication-
+    homogeneous platforms.
+
+    The processor-subset DP ({!Bicriteria}) is exact but limited to
+    [p ≤ 16]. This solver explores interval/processor assignments
+    left-to-right with pruning, and is effective far beyond that:
+
+    {ul
+    {- {e speed symmetry}: equal-speed processors are interchangeable, so
+       only one representative per distinct speed is branched on — with
+       the paper's integer speeds in [\[1, 20\]], a [p = 100] platform
+       branches over at most 20 choices per interval;}
+    {- {e capacity bound}: the remaining stages need at least
+       [W_rem / Σ free speeds] plus their unavoidable input transfer;}
+    {- {e incumbent seeding} from the paper's splitting heuristic.}}
+
+    The search is {e anytime}: it returns its best mapping when the node
+    budget runs out, together with a flag telling whether optimality was
+    proven (budget not exhausted). *)
+
+open Pipeline_model
+open Pipeline_core
+
+type result = {
+  solution : Solution.t;
+  proven_optimal : bool;
+  nodes : int;  (** nodes explored *)
+}
+
+val min_period : ?node_budget:int -> ?initial:Solution.t -> Instance.t -> result
+(** [min_period inst] with a default budget of 1,000,000 nodes. [initial]
+    seeds the incumbent (default: unconstrained splitting, falling back
+    to the single fastest processor). Raises [Invalid_argument] on
+    non-communication-homogeneous platforms. *)

@@ -1,0 +1,116 @@
+open Pipeline_model
+open Pipeline_core
+
+let rec binomial n k =
+  if k < 0 || k > n then 0.
+  else if k = 0 || k = n then 1.
+  else binomial (n - 1) (k - 1) *. float_of_int n /. float_of_int k
+
+let count_mappings ~n ~p =
+  let total = ref 0. in
+  for m = 1 to min n p do
+    let partitions = binomial (n - 1) (m - 1) in
+    let arrangements = ref 1. in
+    for i = 0 to m - 1 do
+      arrangements := !arrangements *. float_of_int (p - i)
+    done;
+    total := !total +. (partitions *. !arrangements)
+  done;
+  !total
+
+let guard = 1e7
+
+let iter_mappings (inst : Instance.t) f =
+  let n = Application.n inst.app and p = Platform.p inst.platform in
+  if count_mappings ~n ~p > guard then
+    invalid_arg "Exhaustive.iter_mappings: instance too large to enumerate";
+  let with_cuts cuts =
+    let m = List.length cuts + 1 in
+    let used = Array.make p false in
+    let rec assign k procs_rev =
+      if k = m then
+        f (Mapping.of_cuts ~n ~cuts ~procs:(List.rev procs_rev))
+      else
+        for u = 0 to p - 1 do
+          if not used.(u) then begin
+            used.(u) <- true;
+            assign (k + 1) (u :: procs_rev);
+            used.(u) <- false
+          end
+        done
+    in
+    assign 0 []
+  in
+  (* Choose the internal cut positions: every subset of [1..n-1] of size
+     m-1 for every m up to min(n, p). *)
+  let rec choose_cuts start chosen_rev remaining =
+    if remaining = 0 then with_cuts (List.rev chosen_rev)
+    else
+      for c = start to n - 1 - (remaining - 1) do
+        choose_cuts (c + 1) (c :: chosen_rev) (remaining - 1)
+      done
+  in
+  for m = 1 to min n p do
+    choose_cuts 1 [] (m - 1)
+  done
+
+let fold_solutions inst f init =
+  let acc = ref init in
+  iter_mappings inst (fun mapping -> acc := f !acc (Solution.of_mapping inst mapping));
+  !acc
+
+let best_by measure inst =
+  match
+    fold_solutions inst
+      (fun acc sol ->
+        match acc with
+        | Some best when measure best <= measure sol -> acc
+        | _ -> Some sol)
+      None
+  with
+  | Some sol -> sol
+  | None -> assert false (* at least the single-interval mappings exist *)
+
+let min_period inst = best_by (fun s -> s.Solution.period) inst
+let min_latency inst = best_by (fun s -> s.Solution.latency) inst
+
+let min_latency_under_period inst ~period =
+  fold_solutions inst
+    (fun acc sol ->
+      if not (Solution.respects_period sol period) then acc
+      else
+        match acc with
+        | Some best when best.Solution.latency <= sol.Solution.latency -> acc
+        | _ -> Some sol)
+    None
+
+let min_period_under_latency inst ~latency =
+  fold_solutions inst
+    (fun acc sol ->
+      if not (Solution.respects_latency sol latency) then acc
+      else
+        match acc with
+        | Some best when best.Solution.period <= sol.Solution.period -> acc
+        | _ -> Some sol)
+    None
+
+let pareto inst =
+  let points =
+    fold_solutions inst (fun acc sol -> sol :: acc) []
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare a.Solution.period b.Solution.period with
+        | 0 -> compare a.Solution.latency b.Solution.latency
+        | c -> c)
+      points
+  in
+  let rec prune best_latency = function
+    | [] -> []
+    | sol :: rest ->
+      if sol.Solution.latency < best_latency then
+        sol :: prune sol.Solution.latency rest
+      else prune best_latency rest
+  in
+  prune infinity sorted

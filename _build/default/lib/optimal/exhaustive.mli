@@ -1,0 +1,28 @@
+(** Brute-force enumeration of every interval mapping.
+
+    Enumerates all partitions of [\[1..n\]] into [m] intervals and all
+    injective assignments of [m] processors, scoring each with the full
+    {!Pipeline_model.Metrics} cost model — so, unlike {!Bicriteria}, it
+    also works on fully heterogeneous platforms. Cost grows as
+    [Σ_m C(n-1, m-1) · p!/(p-m)!]; a guard rejects instances whose
+    estimated enumeration exceeds [10^7] mappings. Validation only. *)
+
+open Pipeline_model
+open Pipeline_core
+
+val count_mappings : n:int -> p:int -> float
+(** Estimated number of interval mappings of the instance size. *)
+
+val iter_mappings : Instance.t -> (Mapping.t -> unit) -> unit
+(** Enumerate every interval mapping (raises [Invalid_argument] when the
+    estimate exceeds the guard). *)
+
+val min_period : Instance.t -> Solution.t
+val min_latency : Instance.t -> Solution.t
+
+val min_latency_under_period : Instance.t -> period:float -> Solution.t option
+val min_period_under_latency : Instance.t -> latency:float -> Solution.t option
+
+val pareto : Instance.t -> Solution.t list
+(** Non-dominated (period, latency) mappings, sorted by increasing
+    period. *)

@@ -1,0 +1,34 @@
+(** Polynomial exact solvers for {e fully homogeneous} platforms — the
+    Subhlok–Vondran setting (PPoPP'95 / SPAA'96) that the paper extends.
+
+    When all processors have the same speed, interval mappings no longer
+    need a processor assignment (any [m ≤ p] distinct processors do), so
+    the exponential subset DP collapses to a chains-style dynamic program
+    over (prefix, number of intervals): [O(n²p)] for the period and for
+    the latency under a period cap. These solvers are exact and fast —
+    and double as an independent oracle for {!Bicriteria} on platforms
+    with equal speeds, which the test suite exploits.
+
+    All functions raise [Invalid_argument] if the platform's processors
+    do not all have the same speed or the platform is not communication
+    homogeneous. *)
+
+open Pipeline_model
+open Pipeline_core
+
+val check_fully_homogeneous : Platform.t -> unit
+(** Raises [Invalid_argument] unless all speeds and all bandwidths are
+    equal. *)
+
+val min_period : Instance.t -> Solution.t
+(** Smallest achievable period, in [O(n²p)]. *)
+
+val min_latency_under_period : Instance.t -> period:float -> Solution.t option
+(** Smallest latency among mappings of period [≤ period], in [O(n²p)]. *)
+
+val min_period_under_latency : Instance.t -> latency:float -> Solution.t option
+(** Binary search over the [O(n²)] candidate periods on top of
+    {!min_latency_under_period}. *)
+
+val pareto : Instance.t -> Solution.t list
+(** The exact period/latency front, sweeping candidate periods. *)

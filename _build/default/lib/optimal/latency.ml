@@ -1,0 +1,12 @@
+open Pipeline_model
+
+let solve (inst : Instance.t) =
+  let n = Application.n inst.app in
+  let best = ref None in
+  for u = 0 to Platform.p inst.platform - 1 do
+    let sol = Pipeline_core.Solution.of_mapping inst (Mapping.single ~n ~proc:u) in
+    match !best with
+    | Some b when b.Pipeline_core.Solution.latency <= sol.latency -> ()
+    | _ -> best := Some sol
+  done;
+  Option.get !best

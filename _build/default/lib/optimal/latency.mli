@@ -1,0 +1,8 @@
+(** Optimal latency (Lemma 1): map the whole pipeline onto a fastest
+    processor. Polynomial — in fact O(p). *)
+
+val solve : Pipeline_model.Instance.t -> Pipeline_core.Solution.t
+(** The latency-optimal mapping and its objectives. Works on any platform
+    class: on fully heterogeneous platforms the candidate single-processor
+    mappings are scored with the exact cost model and the best is kept
+    (speed alone no longer decides, since I/O bandwidths may differ). *)

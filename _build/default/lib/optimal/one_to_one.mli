@@ -1,0 +1,35 @@
+(** Exact polynomial solvers for {e one-to-one} mappings (paper §2),
+    where every stage runs on its own processor (requires [n ≤ p]).
+
+    With singleton intervals the cycle-time of stage [k] on processor [u]
+    is fixed ([(δ_{k-1} + δ_k)/b + w_k/s_u] on a communication-homogeneous
+    platform), so:
+
+    {ul
+    {- minimising the period is a {e bottleneck assignment} problem —
+       solved by a binary search over the [O(np)] candidate cycle-times
+       with a Hopcroft–Karp feasibility matching;}
+    {- minimising the latency (or the latency under a period bound) is a
+       {e min-sum assignment} problem — solved by the Hungarian
+       algorithm.}}
+
+    Both are polynomial: the NP-hardness of Theorem 2 comes from interval
+    mappings, and this module makes that frontier concrete. Functions
+    raise [Invalid_argument] on non-communication-homogeneous platforms
+    or when [n > p]. *)
+
+open Pipeline_model
+open Pipeline_core
+
+val min_period : Instance.t -> Solution.t
+(** Optimal one-to-one period (bottleneck assignment). *)
+
+val min_latency : Instance.t -> Solution.t
+(** Optimal one-to-one latency (min-sum assignment). *)
+
+val min_latency_under_period : Instance.t -> period:float -> Solution.t option
+(** Smallest one-to-one latency among assignments whose every stage
+    cycle-time is [≤ period]. *)
+
+val pareto : Instance.t -> Solution.t list
+(** Exact one-to-one period/latency front. *)

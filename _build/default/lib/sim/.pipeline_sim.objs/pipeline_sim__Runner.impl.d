@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Application Array Float Instance Interval List Mapping Op Pipeline_model Platform Trace

@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Instance Mapping Pipeline_model Trace

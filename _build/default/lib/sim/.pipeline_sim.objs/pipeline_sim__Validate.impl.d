@@ -1,0 +1,1 @@
+lib/sim/validate.ml: Float Format Instance Metrics Pipeline_model Runner Trace

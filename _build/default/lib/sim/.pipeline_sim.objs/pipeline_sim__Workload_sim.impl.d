@@ -1,0 +1,1 @@
+lib/sim/workload_sim.ml: Application Array Des Float Instance Interval List Mapping Pipeline_model Pipeline_util Platform

@@ -1,0 +1,1 @@
+lib/sim/workload_sim.mli: Instance Mapping Pipeline_model

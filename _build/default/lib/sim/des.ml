@@ -1,0 +1,66 @@
+type t = {
+  mutable clock : float;
+  events : (t -> unit) Heap.t;
+}
+
+let create () = { clock = 0.; events = Heap.create () }
+let now t = t.clock
+
+let schedule_at t ~time handler =
+  if Float.is_nan time || time < t.clock then
+    invalid_arg "Des.schedule_at: time in the past";
+  Heap.push t.events ~priority:time handler
+
+let schedule t ~delay handler =
+  if not (Float.is_finite delay) || delay < 0. then
+    invalid_arg "Des.schedule: delay must be finite and >= 0";
+  schedule_at t ~time:(t.clock +. delay) handler
+
+let run ?(until = infinity) t =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.events with
+    | None -> continue := false
+    | Some (time, _) when time > until -> continue := false
+    | Some _ ->
+      (match Heap.pop t.events with
+      | Some (time, handler) ->
+        t.clock <- time;
+        handler t
+      | None -> continue := false)
+  done
+
+let pending t = Heap.size t.events
+
+module Resource = struct
+  type des = t
+
+  type t = {
+    des : des;
+    mutable busy : bool;
+    waiters : (des -> unit) Queue.t;
+  }
+
+  let create des = { des; busy = false; waiters = Queue.create () }
+
+  let grant r continuation =
+    (* Deliver through the event queue so continuations never run inside
+       the caller's stack frame (keeps ordering deterministic). *)
+    schedule r.des ~delay:0. continuation
+
+  let acquire r continuation =
+    if r.busy then Queue.add continuation r.waiters
+    else begin
+      r.busy <- true;
+      grant r continuation
+    end
+
+  let release r =
+    if not r.busy then invalid_arg "Des.Resource.release: not held";
+    match Queue.take_opt r.waiters with
+    | Some continuation -> grant r continuation
+    | None -> r.busy <- false
+
+  let held r = r.busy
+  let queue_length r = Queue.length r.waiters
+end

@@ -1,0 +1,77 @@
+type 'a entry = { priority : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable length : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; length = 0; next_seq = 0 }
+let size t = t.length
+let is_empty t = t.length = 0
+
+let before a b =
+  a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let grow t entry =
+  let capacity = Array.length t.data in
+  if t.length = capacity then begin
+    let fresh = Array.make (max 8 (2 * capacity)) entry in
+    Array.blit t.data 0 fresh 0 t.length;
+    t.data <- fresh
+  end
+
+let push t ~priority value =
+  if Float.is_nan priority then invalid_arg "Heap.push: nan priority";
+  let entry = { priority; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.data.(t.length) <- entry;
+  t.length <- t.length + 1;
+  (* Sift up. *)
+  let i = ref (t.length - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    before t.data.(!i) t.data.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.data.(!i) in
+    t.data.(!i) <- t.data.(parent);
+    t.data.(parent) <- tmp;
+    i := parent
+  done
+
+let peek t =
+  if t.length = 0 then None
+  else Some (t.data.(0).priority, t.data.(0).value)
+
+let pop t =
+  if t.length = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.length <- t.length - 1;
+    if t.length > 0 then begin
+      t.data.(0) <- t.data.(t.length);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let left = (2 * !i) + 1 and right = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if left < t.length && before t.data.(left) t.data.(!smallest) then
+          smallest := left;
+        if right < t.length && before t.data.(right) t.data.(!smallest) then
+          smallest := right;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.data.(!i) in
+          t.data.(!i) <- t.data.(!smallest);
+          t.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.priority, top.value)
+  end

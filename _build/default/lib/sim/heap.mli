@@ -1,0 +1,19 @@
+(** Binary min-heap keyed by time, with FIFO tie-breaking.
+
+    The event queue of the discrete-event kernel ({!Des}). Entries pushed
+    with equal priority pop in insertion order, which keeps simulations
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:float -> 'a -> unit
+(** Raises [Invalid_argument] on a [nan] priority. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Smallest priority (earliest inserted on ties), or [None] when empty. *)
+
+val peek : 'a t -> (float * 'a) option

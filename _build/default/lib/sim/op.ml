@@ -1,0 +1,21 @@
+type kind = Receive | Compute | Send
+
+type t = {
+  kind : kind;
+  interval : int;
+  proc : int;
+  dataset : int;
+  start : float;
+  finish : float;
+}
+
+let duration t = t.finish -. t.start
+
+let kind_to_string = function
+  | Receive -> "recv"
+  | Compute -> "comp"
+  | Send -> "send"
+
+let pp fmt t =
+  Format.fprintf fmt "%s[iv=%d p=%d ds=%d %g..%g]" (kind_to_string t.kind)
+    t.interval t.proc t.dataset t.start t.finish

@@ -1,0 +1,19 @@
+(** One scheduled operation of a simulated pipeline execution. *)
+
+type kind =
+  | Receive  (** input transfer into the interval (paid on the link) *)
+  | Compute  (** the interval's computation *)
+  | Send     (** output transfer out of the interval *)
+
+type t = {
+  kind : kind;
+  interval : int; (** interval index [j] (0-based) *)
+  proc : int;     (** processor executing the operation *)
+  dataset : int;  (** dataset number (0-based) *)
+  start : float;
+  finish : float;
+}
+
+val duration : t -> float
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

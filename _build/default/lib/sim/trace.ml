@@ -1,0 +1,135 @@
+type t = {
+  datasets : int;
+  intervals : int;
+  procs : int array;
+  ops : Op.t array; (* sorted by start time *)
+  input_starts : float array;
+  output_completions : float array;
+}
+
+let make ~datasets ~intervals ~procs ops =
+  if datasets < 1 then invalid_arg "Trace.make: datasets must be >= 1";
+  if Array.length procs <> intervals then
+    invalid_arg "Trace.make: procs must list one processor per interval";
+  let arr = Array.of_list ops in
+  Array.iter
+    (fun (op : Op.t) ->
+      if op.Op.interval < 0 || op.Op.interval >= intervals then
+        invalid_arg "Trace.make: op with unknown interval";
+      if op.Op.dataset < 0 || op.Op.dataset >= datasets then
+        invalid_arg "Trace.make: op with unknown dataset")
+    arr;
+  Array.stable_sort (fun (a : Op.t) b -> compare a.Op.start b.Op.start) arr;
+  let input_starts = Array.make datasets infinity in
+  let output_completions = Array.make datasets neg_infinity in
+  Array.iter
+    (fun (op : Op.t) ->
+      let d = op.Op.dataset in
+      input_starts.(d) <- Float.min input_starts.(d) op.Op.start;
+      output_completions.(d) <- Float.max output_completions.(d) op.Op.finish)
+    arr;
+  { datasets; intervals; procs; ops = arr; input_starts; output_completions }
+
+let datasets t = t.datasets
+let intervals t = t.intervals
+let ops t = Array.to_list t.ops
+
+let makespan t = Array.fold_left (fun m (op : Op.t) -> Float.max m op.Op.finish) 0. t.ops
+
+let check_dataset t d =
+  if d < 0 || d >= t.datasets then invalid_arg "Trace: dataset out of range"
+
+let input_start t d =
+  check_dataset t d;
+  t.input_starts.(d)
+
+let output_completion t d =
+  check_dataset t d;
+  t.output_completions.(d)
+
+let latency t d = output_completion t d -. input_start t d
+
+let max_latency t =
+  let worst = ref neg_infinity in
+  for d = 0 to t.datasets - 1 do
+    worst := Float.max !worst (latency t d)
+  done;
+  !worst
+
+let steady_period t =
+  let k = t.datasets in
+  if k < 2 then 0.
+  else if k < 4 then
+    (t.output_completions.(k - 1) -. t.output_completions.(0))
+    /. float_of_int (k - 1)
+  else
+    let half = k / 2 in
+    (t.output_completions.(k - 1) -. t.output_completions.(half))
+    /. float_of_int (k - 1 - half)
+
+let busy_time t ~proc =
+  Array.fold_left
+    (fun acc (op : Op.t) ->
+      if op.Op.proc = proc then acc +. Op.duration op else acc)
+    0. t.ops
+
+let utilisation t ~proc =
+  let total = makespan t in
+  if total <= 0. then 0. else busy_time t ~proc /. total
+
+let gantt ?(width = 100) t =
+  let total = makespan t in
+  if total <= 0. then "(empty trace)"
+  else begin
+    let scale x = int_of_float (x /. total *. float_of_int (width - 1)) in
+    let buf = Buffer.create 1024 in
+    Array.iteri
+      (fun j proc ->
+        let row = Bytes.make width '.' in
+        Array.iter
+          (fun (op : Op.t) ->
+            if op.Op.interval = j then begin
+              let c =
+                match op.Op.kind with
+                | Op.Receive -> 'r'
+                | Op.Compute -> 'c'
+                | Op.Send -> 's'
+              in
+              for x = scale op.Op.start to min (width - 1) (scale op.Op.finish) do
+                Bytes.set row x c
+              done
+            end)
+          t.ops;
+        Buffer.add_string buf (Printf.sprintf "P%-3d |%s|\n" proc (Bytes.to_string row)))
+      t.procs;
+    Buffer.add_string buf
+      (Printf.sprintf "%5s 0%*s%.2f\n" "" (width - 2) "" total);
+    Buffer.contents buf
+  end
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "kind,interval,proc,dataset,start,finish\n";
+  Array.iter
+    (fun (op : Op.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%d,%d,%g,%g\n"
+           (Op.kind_to_string op.Op.kind)
+           op.Op.interval op.Op.proc op.Op.dataset op.Op.start op.Op.finish))
+    t.ops;
+  Buffer.contents buf
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  Array.iteri
+    (fun i (op : Op.t) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s ds%d\",\"cat\":\"iv%d\",\"ph\":\"X\",\"ts\":%g,\"dur\":%g,\"pid\":0,\"tid\":%d}"
+           (Op.kind_to_string op.Op.kind)
+           op.Op.dataset op.Op.interval op.Op.start (Op.duration op) op.Op.proc))
+    t.ops;
+  Buffer.add_string buf "]";
+  Buffer.contents buf

@@ -1,0 +1,54 @@
+(** Execution trace of a simulated run and its derived measurements. *)
+
+type t
+
+val make :
+  datasets:int -> intervals:int -> procs:int array -> Op.t list -> t
+(** [procs.(j)] is the processor of interval [j]; the operations may be
+    given in any order. Raises [Invalid_argument] when [datasets < 1] or
+    an op refers to an unknown interval/dataset. *)
+
+val datasets : t -> int
+val intervals : t -> int
+val ops : t -> Op.t list
+(** Operations sorted by start time (stable). *)
+
+val makespan : t -> float
+(** Finish time of the last operation. *)
+
+val input_start : t -> int -> float
+(** Start of the first operation of a dataset (its initial input
+    transfer). *)
+
+val output_completion : t -> int -> float
+(** Finish of the final output transfer of a dataset. *)
+
+val latency : t -> int -> float
+(** [output_completion - input_start] of a dataset. *)
+
+val max_latency : t -> float
+(** The paper's latency: the worst dataset response time. *)
+
+val steady_period : t -> float
+(** Asymptotic inter-completion time: the slope of output completions
+    over the second half of the run (requires at least 4 datasets for a
+    meaningful estimate; falls back to the overall average otherwise). *)
+
+val busy_time : t -> proc:int -> float
+(** Total time the processor spends in operations. *)
+
+val utilisation : t -> proc:int -> float
+(** [busy_time / makespan]; [0.] for processors outside the mapping. *)
+
+val gantt : ?width:int -> t -> string
+(** ASCII Gantt chart, one row per enrolled processor: ['r'] receive,
+    ['c'] compute, ['s'] send, ['.'] idle. Width defaults to 100
+    columns. *)
+
+val to_csv : t -> string
+(** One line per operation: [kind,interval,proc,dataset,start,finish]. *)
+
+val to_chrome_json : t -> string
+(** Chrome trace-event JSON (load via chrome://tracing or Perfetto):
+    complete events (["ph":"X"]), one track per processor, one simulated
+    time unit rendered as one microsecond. *)

@@ -1,0 +1,202 @@
+open Pipeline_model
+module Rng = Pipeline_util.Rng
+
+type arrival = Saturated | Periodic of float | Poisson of float
+
+type noise = No_noise | Uniform_factor of float
+
+type slowdown = { at : float; proc : int; factor : float }
+
+type config = {
+  arrival : arrival;
+  noise : noise;
+  slowdowns : slowdown list;
+  datasets : int;
+  seed : int;
+}
+
+let default_config =
+  { arrival = Saturated; noise = No_noise; slowdowns = []; datasets = 200; seed = 0 }
+
+type stats = {
+  completed : int;
+  makespan : float;
+  steady_period : float;
+  throughput : float;
+  latency_mean : float;
+  latency_p95 : float;
+  latency_max : float;
+  sojourn_max : float;
+  latencies : float list;
+}
+
+(* One-slot synchronisation cell for a (boundary, data set) rendezvous:
+   whichever side arrives second fires the pending continuation. *)
+type cell =
+  | Empty
+  | Offered          (* sender ready, receiver not yet *)
+  | Waiting of (Des.t -> unit)  (* receiver ready, sender not yet *)
+  | Fired
+
+let run ?(config = default_config) (inst : Instance.t) mapping =
+  if config.datasets < 1 then invalid_arg "Workload_sim.run: datasets must be >= 1";
+  if Mapping.n mapping <> Application.n inst.app then
+    invalid_arg "Workload_sim.run: mapping does not match the application";
+  if not (Mapping.valid_on mapping inst.platform) then
+    invalid_arg "Workload_sim.run: mapping does not fit the platform";
+  (match config.noise with
+  | Uniform_factor e when not (e >= 0. && e < 1.) ->
+    invalid_arg "Workload_sim.run: noise amplitude must be in [0,1)"
+  | _ -> ());
+  (match config.arrival with
+  | (Periodic r | Poisson r) when not (r > 0. && Float.is_finite r) ->
+    invalid_arg "Workload_sim.run: rate must be finite and > 0"
+  | _ -> ());
+  List.iter
+    (fun s ->
+      if not (s.factor > 0. && Float.is_finite s.factor) || s.at < 0. then
+        invalid_arg "Workload_sim.run: invalid slowdown event")
+    config.slowdowns;
+  let app = inst.app and platform = inst.platform in
+  let m = Mapping.m mapping in
+  let k = config.datasets in
+  let rng = Rng.create config.seed in
+  (* Pre-draw arrivals and noise so evaluation order cannot perturb the
+     streams. *)
+  let arrivals =
+    match config.arrival with
+    | Saturated -> Array.make k 0.
+    | Periodic period -> Array.init k (fun t -> float_of_int t *. period)
+    | Poisson rate ->
+      let acc = ref 0. in
+      Array.init k (fun _ ->
+          (* Exponential inter-arrival via inverse transform. *)
+          let u = 1. -. Rng.float rng 1. in
+          acc := !acc +. (-.log u /. rate);
+          !acc)
+  in
+  let factors =
+    Array.init m (fun _ ->
+        Array.init k (fun _ ->
+            match config.noise with
+            | No_noise -> 1.
+            | Uniform_factor e -> Rng.float_in rng (1. -. e) (1. +. e)))
+  in
+  let first j = Interval.first (Mapping.interval mapping j) in
+  let last j = Interval.last (Mapping.interval mapping j) in
+  let in_bandwidth j =
+    if j = 0 then Platform.io_bandwidth platform (Mapping.proc mapping 0)
+    else
+      Platform.bandwidth platform (Mapping.proc mapping (j - 1)) (Mapping.proc mapping j)
+  in
+  let out_bandwidth j =
+    if j = m - 1 then Platform.io_bandwidth platform (Mapping.proc mapping j)
+    else
+      Platform.bandwidth platform (Mapping.proc mapping j) (Mapping.proc mapping (j + 1))
+  in
+  let in_time j = Application.delta app (first j - 1) /. in_bandwidth j in
+  let out_time j = Application.delta app (last j) /. out_bandwidth j in
+  (* Effective speed multiplier of a processor at a given time. *)
+  let speed_factor u at =
+    List.fold_left
+      (fun acc s -> if s.proc = u && s.at <= at then acc *. s.factor else acc)
+      1. config.slowdowns
+  in
+  let comp_time j t ~at =
+    let u = Mapping.proc mapping j in
+    Application.work_sum app (first j) (last j)
+    /. (Platform.speed platform u *. speed_factor u at)
+    *. factors.(j).(t)
+  in
+  (* Rendezvous cells for the m-1 internal boundaries. *)
+  let cells = Array.init (max 0 (m - 1)) (fun _ -> Array.make k Empty) in
+  (* Sender-side completion continuations (the send op blocks the
+     upstream process until the transfer ends). *)
+  let send_done = Array.init (max 0 (m - 1)) (fun _ -> Array.make k None) in
+  let first_transfer_start = Array.make k nan in
+  let completions = Array.make k nan in
+  let des = Des.create () in
+  (* The interval processes. Each is a chain of continuations; interval j
+     handles data sets in order. *)
+  let rec start_dataset j t des =
+    if t < k then begin
+      if j = 0 then begin
+        let at = Float.max (Des.now des) arrivals.(t) in
+        Des.schedule_at des ~time:at (fun des ->
+            first_transfer_start.(t) <- Des.now des;
+            transfer_in j t des)
+      end
+      else begin
+        let boundary = j - 1 in
+        match cells.(boundary).(t) with
+        | Offered ->
+          cells.(boundary).(t) <- Fired;
+          transfer_in j t des
+        | Empty -> cells.(boundary).(t) <- Waiting (fun des -> transfer_in j t des)
+        | Waiting _ | Fired -> assert false
+      end
+    end
+  and transfer_in j t des =
+    Des.schedule des ~delay:(in_time j) (fun des ->
+        (* The upstream send completes with the transfer. *)
+        if j > 0 then begin
+          match send_done.(j - 1).(t) with
+          | Some continuation ->
+            send_done.(j - 1).(t) <- None;
+            Des.schedule des ~delay:0. continuation
+          | None -> assert false (* the sender blocked before offering *)
+        end;
+        Des.schedule des ~delay:(comp_time j t ~at:(Des.now des)) (fun des ->
+            after_compute j t des))
+  and after_compute j t des =
+    if j = m - 1 then
+      Des.schedule des ~delay:(out_time j) (fun des ->
+          completions.(t) <- Des.now des;
+          start_dataset j (t + 1) des)
+    else begin
+      (* Offer the data downstream and block until the transfer ends. *)
+      send_done.(j).(t) <- Some (fun des -> start_dataset j (t + 1) des);
+      match cells.(j).(t) with
+      | Waiting continuation ->
+        cells.(j).(t) <- Fired;
+        Des.schedule des ~delay:0. continuation
+      | Empty -> cells.(j).(t) <- Offered
+      | Offered | Fired -> assert false
+    end
+  in
+  for j = 0 to m - 1 do
+    start_dataset j 0 des
+  done;
+  Des.run des;
+  (* Measurements. *)
+  let running_max = Array.make k 0. in
+  let acc = ref neg_infinity in
+  Array.iteri
+    (fun t c ->
+      acc := Float.max !acc c;
+      running_max.(t) <- !acc)
+    completions;
+  let makespan = running_max.(k - 1) in
+  let steady_period =
+    if k < 2 then 0.
+    else if k < 4 then (running_max.(k - 1) -. running_max.(0)) /. float_of_int (k - 1)
+    else begin
+      let half = k / 2 in
+      (running_max.(k - 1) -. running_max.(half)) /. float_of_int (k - 1 - half)
+    end
+  in
+  let latencies =
+    Array.to_list (Array.init k (fun t -> completions.(t) -. first_transfer_start.(t)))
+  in
+  let sojourns = Array.init k (fun t -> completions.(t) -. arrivals.(t)) in
+  {
+    completed = k;
+    makespan;
+    steady_period;
+    throughput = (if makespan > 0. then float_of_int k /. makespan else infinity);
+    latency_mean = Pipeline_util.Stats.mean latencies;
+    latency_p95 = Pipeline_util.Stats.percentile 0.95 latencies;
+    latency_max = snd (Pipeline_util.Stats.min_max latencies);
+    sojourn_max = Array.fold_left Float.max neg_infinity sojourns;
+    latencies;
+  }

@@ -1,0 +1,68 @@
+(** Stochastic pipeline execution on the event-driven kernel ({!Des}).
+
+    The paper's evaluation is purely analytic and deterministic; a
+    deployed schedule faces arrival processes and computation-time
+    jitter. This simulator executes a mapping under the one-port,
+    no-overlap discipline of {!Runner} but with:
+
+    {ul
+    {- an {e arrival process} for the data sets — saturated (all ready at
+       time 0, the paper's implicit regime), periodic, or Poisson;}
+    {- multiplicative {e computation-time noise}, drawn independently per
+       (interval, data set) from a seeded stream, modelling OS jitter and
+       data-dependent stage costs.}}
+
+    With no noise and saturated arrivals it reproduces {!Runner} (and
+    therefore equations (1)–(2)) exactly — a property the test suite
+    checks — so measured degradations are attributable to the stochastic
+    ingredients alone. *)
+
+open Pipeline_model
+
+type arrival =
+  | Saturated          (** every data set available at time 0 *)
+  | Periodic of float  (** one data set every given time units *)
+  | Poisson of float   (** exponential inter-arrivals with the given rate *)
+
+type noise =
+  | No_noise
+  | Uniform_factor of float
+      (** computation times scaled by a uniform factor in
+          [\[1-ε, 1+ε\]]; [ε] must be in [\[0, 1)] *)
+
+type slowdown = {
+  at : float;      (** simulated time the event takes effect *)
+  proc : int;      (** affected processor *)
+  factor : float;  (** speed multiplier from then on (0 < factor);
+                       0.5 halves the speed, 2.0 is an upgrade *)
+}
+(** A permanent speed change — a thermal throttle, a co-scheduled job, a
+    frequency boost. Computations {e starting} after [at] run at the new
+    speed; multiple events on one processor compose. *)
+
+type config = {
+  arrival : arrival;
+  noise : noise;
+  slowdowns : slowdown list;
+  datasets : int;
+  seed : int;  (** drives arrivals and noise; same seed, same run *)
+}
+
+val default_config : config
+(** Saturated, no noise, no slowdowns, 200 data sets, seed 0. *)
+
+type stats = {
+  completed : int;
+  makespan : float;          (** completion of the last data set *)
+  steady_period : float;     (** running-max completion slope, 2nd half *)
+  throughput : float;        (** completed / makespan *)
+  latency_mean : float;      (** service latency: completion - first transfer *)
+  latency_p95 : float;
+  latency_max : float;
+  sojourn_max : float;       (** completion - arrival (includes source wait) *)
+  latencies : float list;    (** per data set, in arrival order *)
+}
+
+val run : ?config:config -> Instance.t -> Mapping.t -> stats
+(** Raises [Invalid_argument] on a mapping/instance mismatch, a
+    non-positive rate, or an out-of-range noise amplitude. *)

@@ -1,0 +1,1 @@
+lib/util/bipartite.ml: Array List Queue

@@ -1,0 +1,89 @@
+type config = {
+  width : int;
+  height : int;
+  x_label : string;
+  y_label : string;
+  title : string;
+}
+
+let default = { width = 72; height = 24; x_label = ""; y_label = ""; title = "" }
+
+let markers = [| '+'; 'x'; 'o'; '*'; '#'; '@'; '%'; '&'; '='; '~' |]
+
+let render ?(config = default) series =
+  let drawable = List.filter (fun s -> not (Series.is_empty s)) series in
+  match Series.ranges drawable with
+  | None -> "(no data to plot)"
+  | Some ((xmin, xmax), (ymin, ymax)) ->
+    let w = max 16 config.width and h = max 8 config.height in
+    (* Pad degenerate ranges so a flat series still renders mid-plot. *)
+    let pad lo hi = if hi > lo then (lo, hi) else (lo -. 1., hi +. 1.) in
+    let xmin, xmax = pad xmin xmax and ymin, ymax = pad ymin ymax in
+    let grid = Array.make_matrix h w ' ' in
+    let plot_series idx s =
+      let marker = markers.(idx mod Array.length markers) in
+      List.iter
+        (fun (x, y) ->
+          let cx =
+            int_of_float
+              (Float.round ((x -. xmin) /. (xmax -. xmin) *. float_of_int (w - 1)))
+          in
+          let cy =
+            int_of_float
+              (Float.round ((y -. ymin) /. (ymax -. ymin) *. float_of_int (h - 1)))
+          in
+          if cx >= 0 && cx < w && cy >= 0 && cy < h then
+            grid.(h - 1 - cy).(cx) <- marker)
+        (Series.points s)
+    in
+    (* Draw back-to-front so that, on cell collisions, the first series
+       of the legend stays visible. *)
+    let indexed = List.mapi (fun idx s -> (idx, s)) drawable in
+    List.iter (fun (idx, s) -> plot_series idx s) (List.rev indexed);
+    let buf = Buffer.create ((w + 16) * (h + 8)) in
+    if config.title <> "" then
+      Buffer.add_string buf (Printf.sprintf "  %s\n" config.title);
+    let y_tick row =
+      (* Tick value for a grid row (row 0 is the top). *)
+      ymin +. ((ymax -. ymin) *. float_of_int (h - 1 - row) /. float_of_int (h - 1))
+    in
+    Array.iteri
+      (fun row line ->
+        let tick =
+          if row = 0 || row = h - 1 || row = h / 2 then
+            Printf.sprintf "%10.2f |" (y_tick row)
+          else Printf.sprintf "%10s |" ""
+        in
+        Buffer.add_string buf tick;
+        Buffer.add_string buf (String.init w (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make w '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%10s  %-12.2f%*s%12.2f\n" "" xmin (w - 24) "" xmax);
+    if config.x_label <> "" then
+      Buffer.add_string buf
+        (Printf.sprintf "%10s  %*s\n" "" ((w / 2) + (String.length config.x_label / 2))
+           config.x_label);
+    Buffer.add_string buf "  legend:";
+    List.iteri
+      (fun idx s ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c %s" (markers.(idx mod Array.length markers))
+             (Series.label s)))
+      drawable;
+    if config.y_label <> "" then
+      Buffer.add_string buf (Printf.sprintf "   (y: %s)" config.y_label);
+    Buffer.contents buf
+
+let render_table series =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "# %s\n" (Series.label s));
+      List.iter
+        (fun (x, y) -> Buffer.add_string buf (Printf.sprintf "%12.4f %12.4f\n" x y))
+        (Series.points s);
+      Buffer.add_char buf '\n')
+    series;
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** Terminal scatter/line plots.
+
+    The paper's figures are latency-versus-period curves for six heuristics.
+    The bench harness renders the same series as ASCII plots so the shape of
+    each reproduction can be eyeballed directly in the terminal, next to the
+    machine-readable [.dat] files written by {!Csv}. *)
+
+type config = {
+  width : int;    (** plot area width in characters (default 72) *)
+  height : int;   (** plot area height in rows (default 24) *)
+  x_label : string;
+  y_label : string;
+  title : string;
+}
+
+val default : config
+(** 72x24 plot with empty labels. *)
+
+val render : ?config:config -> Series.t list -> string
+(** [render series] draws all series on a common scale. Each series is
+    assigned a marker character ([+ x o * # @ %...] in order) and listed in
+    the legend with its label. Returns the multi-line string (no trailing
+    newline). Empty input or all-empty series yield a short placeholder
+    message. *)
+
+val render_table : Series.t list -> string
+(** A textual fallback: the series tabulated side by side on their own
+    abscissae (one block per series). Useful in logs where a plot would be
+    too coarse. *)

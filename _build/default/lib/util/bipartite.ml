@@ -1,0 +1,76 @@
+type result = {
+  size : int;
+  left_match : int array;
+  right_match : int array;
+}
+
+let infinity_dist = max_int
+
+let max_matching ~left ~right ~adjacency =
+  if left < 0 || right < 0 then invalid_arg "Bipartite: negative vertex count";
+  if Array.length adjacency <> left then
+    invalid_arg "Bipartite: adjacency must have one entry per left vertex";
+  Array.iter
+    (List.iter (fun v ->
+         if v < 0 || v >= right then
+           invalid_arg "Bipartite: neighbour out of range"))
+    adjacency;
+  let left_match = Array.make left (-1) in
+  let right_match = Array.make right (-1) in
+  let dist = Array.make left 0 in
+  (* BFS layering from free left vertices; true if an augmenting path
+     exists. *)
+  let bfs () =
+    let queue = Queue.create () in
+    for i = 0 to left - 1 do
+      if left_match.(i) = -1 then begin
+        dist.(i) <- 0;
+        Queue.add i queue
+      end
+      else dist.(i) <- infinity_dist
+    done;
+    let found = ref false in
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      List.iter
+        (fun j ->
+          match right_match.(j) with
+          | -1 -> found := true
+          | i' ->
+            if dist.(i') = infinity_dist then begin
+              dist.(i') <- dist.(i) + 1;
+              Queue.add i' queue
+            end)
+        adjacency.(i)
+    done;
+    !found
+  in
+  let rec dfs i =
+    let rec try_neighbours = function
+      | [] ->
+        dist.(i) <- infinity_dist;
+        false
+      | j :: rest ->
+        let extendable =
+          match right_match.(j) with
+          | -1 -> true
+          | i' -> dist.(i') = dist.(i) + 1 && dfs i'
+        in
+        if extendable then begin
+          left_match.(i) <- j;
+          right_match.(j) <- i;
+          true
+        end
+        else try_neighbours rest
+    in
+    try_neighbours adjacency.(i)
+  in
+  let size = ref 0 in
+  while bfs () do
+    for i = 0 to left - 1 do
+      if left_match.(i) = -1 && dfs i then incr size
+    done
+  done;
+  { size = !size; left_match; right_match }
+
+let is_perfect_on_left r = Array.for_all (fun m -> m >= 0) r.left_match

@@ -1,0 +1,22 @@
+(** Maximum bipartite matching (Hopcroft–Karp, [O(E√V)]).
+
+    Substrate for the bottleneck-assignment solver of one-to-one
+    mappings: stage [k] can sit on processor [u] iff its cycle-time
+    there respects the threshold, and a perfect matching on stages means
+    the threshold is achievable. *)
+
+type result = {
+  size : int;             (** cardinality of the matching *)
+  left_match : int array; (** [left_match.(i)] = matched right vertex or -1 *)
+  right_match : int array;(** inverse view *)
+}
+
+val max_matching : left:int -> right:int -> adjacency:int list array -> result
+(** [max_matching ~left ~right ~adjacency] computes a maximum matching of
+    the bipartite graph with [left] and [right] vertices and
+    [adjacency.(i)] the right-neighbours of left vertex [i].
+    Raises [Invalid_argument] on malformed input (wrong adjacency length,
+    neighbour out of range). *)
+
+val is_perfect_on_left : result -> bool
+(** Every left vertex is matched. *)

@@ -1,0 +1,51 @@
+let dat_of_series series =
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf "\n\n";
+      Buffer.add_string buf (Printf.sprintf "# %s\n" (Series.label s));
+      List.iter
+        (fun (x, y) -> Buffer.add_string buf (Printf.sprintf "%g %g\n" x y))
+        (Series.points s))
+    series;
+  Buffer.contents buf
+
+let quote s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv_of_series series =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "series,x,y\n";
+  List.iter
+    (fun s ->
+      let label = quote (Series.label s) in
+      List.iter
+        (fun (x, y) -> Buffer.add_string buf (Printf.sprintf "%s,%g,%g\n" label x y))
+        (Series.points s))
+    series;
+  Buffer.contents buf
+
+let csv_of_rows ~header rows =
+  let buf = Buffer.create 1024 in
+  let emit row =
+    Buffer.add_string buf (String.concat "," (List.map quote row));
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  List.iter emit rows;
+  Buffer.contents buf
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let to_file path contents =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

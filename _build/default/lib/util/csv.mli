@@ -1,0 +1,21 @@
+(** Machine-readable output: gnuplot [.dat] blocks and CSV files.
+
+    The bench harness writes one [.dat] file per reproduced figure so the
+    series can be re-plotted with gnuplot exactly like the paper's plots,
+    plus CSV for spreadsheet-style consumption. All writers are pure
+    string producers with thin [to_file] wrappers. *)
+
+val dat_of_series : Series.t list -> string
+(** gnuplot "index" format: one block per series ([# label] comment then
+    [x y] lines), blocks separated by two blank lines. *)
+
+val csv_of_series : Series.t list -> string
+(** Long-format CSV with header [series,x,y]; labels are quoted if they
+    contain commas or quotes. *)
+
+val csv_of_rows : header:string list -> string list list -> string
+(** Generic CSV from string cells (quoting as needed). *)
+
+val to_file : string -> string -> unit
+(** [to_file path contents] writes [contents] to [path], creating parent
+    directories as needed. *)

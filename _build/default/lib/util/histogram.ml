@@ -1,0 +1,49 @@
+type t = {
+  lo : float;
+  width : float; (* bin width; 0 for degenerate single-value samples *)
+  bins : int array;
+}
+
+let build ?(bins = 10) samples =
+  if samples = [] then invalid_arg "Histogram.build: empty sample list";
+  List.iter
+    (fun v ->
+      if not (Float.is_finite v) then
+        invalid_arg "Histogram.build: non-finite sample")
+    samples;
+  let bins = max 1 bins in
+  let lo, hi = Stats.min_max samples in
+  let width = (hi -. lo) /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  List.iter
+    (fun v ->
+      let index =
+        if width = 0. then 0
+        else min (bins - 1) (int_of_float ((v -. lo) /. width))
+      in
+      counts.(index) <- counts.(index) + 1)
+    samples;
+  { lo; width; bins = counts }
+
+let counts t =
+  Array.to_list
+    (Array.mapi
+       (fun i count ->
+         ( t.lo +. (float_of_int i *. t.width),
+           t.lo +. (float_of_int (i + 1) *. t.width),
+           count ))
+       t.bins)
+
+let total t = Array.fold_left ( + ) 0 t.bins
+
+let render ?(width = 50) t =
+  let largest = Array.fold_left max 1 t.bins in
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (lo, hi, count) ->
+      let bar = count * width / largest in
+      Buffer.add_string buf
+        (Printf.sprintf "%10.2f - %10.2f | %s %d\n" lo hi (String.make bar '#')
+           count))
+    (counts t);
+  Buffer.contents buf

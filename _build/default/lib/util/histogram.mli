@@ -1,0 +1,25 @@
+(** ASCII histograms.
+
+    Used by the CLI's [simulate] command to show latency distributions
+    from the stochastic simulator. Equal-width bins over the sample
+    range; horizontal bars scaled to the largest bin. *)
+
+type t
+
+val build : ?bins:int -> float list -> t
+(** [build samples] with [bins] equal-width bins (default 10, min 1).
+    Raises [Invalid_argument] on an empty list or non-finite samples. *)
+
+val counts : t -> (float * float * int) list
+(** [(lo, hi, count)] per bin, in order. The last bin includes its upper
+    edge. *)
+
+val total : t -> int
+val render : ?width:int -> t -> string
+(** Bars of at most [width] (default 50) characters, with bin ranges and
+    counts, e.g.:
+
+    {v
+  12.0 -  14.5 | ######################## 24
+  14.5 -  17.0 | ########     8
+    v} *)

@@ -1,0 +1,67 @@
+(* Classic potentials formulation (see e.g. the "e-maxx" exposition):
+   1-based internal arrays, row potentials u, column potentials v,
+   p.(j) = row currently assigned to column j. *)
+
+let solve ~rows ~cols ~cost =
+  if rows > cols then invalid_arg "Hungarian.solve: rows must be <= cols";
+  if rows = 0 then Some (0., [||])
+  else begin
+    let n = rows and m = cols in
+    let u = Array.make (n + 1) 0. in
+    let v = Array.make (m + 1) 0. in
+    let p = Array.make (m + 1) 0 in
+    let way = Array.make (m + 1) 0 in
+    for i = 1 to n do
+      p.(0) <- i;
+      let j0 = ref 0 in
+      let minv = Array.make (m + 1) infinity in
+      let used = Array.make (m + 1) false in
+      let continue = ref true in
+      while !continue do
+        used.(!j0) <- true;
+        let i0 = p.(!j0) in
+        let delta = ref infinity and j1 = ref 0 in
+        for j = 1 to m do
+          if not used.(j) then begin
+            let cur = cost (i0 - 1) (j - 1) -. u.(i0) -. v.(j) in
+            if cur < minv.(j) then begin
+              minv.(j) <- cur;
+              way.(j) <- !j0
+            end;
+            if minv.(j) < !delta then begin
+              delta := minv.(j);
+              j1 := j
+            end
+          end
+        done;
+        (* If every reachable column sits at infinite reduced cost, the
+           instance has no finite completion for this row. *)
+        if !delta = infinity then raise Exit;
+        for j = 0 to m do
+          if used.(j) then begin
+            u.(p.(j)) <- u.(p.(j)) +. !delta;
+            v.(j) <- v.(j) -. !delta
+          end
+          else minv.(j) <- minv.(j) -. !delta
+        done;
+        j0 := !j1;
+        if p.(!j0) = 0 then continue := false
+      done;
+      (* Augment along the alternating path. *)
+      let j = ref !j0 in
+      while !j <> 0 do
+        let prev = way.(!j) in
+        p.(!j) <- p.(prev);
+        j := prev
+      done
+    done;
+    let assignment = Array.make n (-1) in
+    for j = 1 to m do
+      if p.(j) > 0 then assignment.(p.(j) - 1) <- j - 1
+    done;
+    let total = ref 0. in
+    Array.iteri (fun i j -> total := !total +. cost i j) assignment;
+    if Float.is_finite !total then Some (!total, assignment) else None
+  end
+
+let solve ~rows ~cols ~cost = try solve ~rows ~cols ~cost with Exit -> None

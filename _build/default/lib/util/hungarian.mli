@@ -1,0 +1,15 @@
+(** Minimum-cost assignment (Hungarian algorithm with potentials, O(n²m)).
+
+    Substrate for latency-optimal one-to-one mappings: each stage must go
+    to a distinct processor and the latency is the sum of per-stage
+    costs, which is exactly a rectangular assignment problem. Forbidden
+    pairs are encoded as [infinity] cost; the solver reports [None] when
+    no finite-cost assignment exists. *)
+
+val solve :
+  rows:int -> cols:int -> cost:(int -> int -> float) -> (float * int array) option
+(** [solve ~rows ~cols ~cost] assigns every row to a distinct column
+    ([rows ≤ cols] required) minimising [Σ cost row col]. Returns the
+    optimal value and [assignment.(row) = col], or [None] when every
+    complete assignment has infinite cost. Costs must not be [nan] or
+    [neg_infinity]. Raises [Invalid_argument] on [rows > cols]. *)

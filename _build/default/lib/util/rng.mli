@@ -1,0 +1,52 @@
+(** Deterministic pseudo-random number generation.
+
+    Every experiment of the campaign must be reproducible bit-for-bit, so
+    the library does not rely on the ambient [Random] state. This module
+    implements the SplitMix64 generator (Steele, Lea & Flood, OOPSLA'14):
+    a small, fast, well-distributed 64-bit generator whose streams can be
+    split deterministically, which lets each (experiment, instance) pair
+    own an independent and reproducible stream. *)
+
+type t
+(** Mutable generator state. Generators are cheap (one [int64] cell). *)
+
+val create : int -> t
+(** [create seed] builds a fresh generator from an integer seed. Two
+    generators created with the same seed produce the same stream. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator starting at the current state of
+    [t]; advancing one does not affect the other. *)
+
+val split : t -> t
+(** [split t] advances [t] and derives a new, statistically independent
+    generator. Use it to give sub-computations their own streams without
+    coupling their consumption rates. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in the inclusive range [\[lo, hi\]]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val float_in : t -> float -> float -> float
+(** [float_in t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniform random permutation of [0..n-1]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. Raises [Invalid_argument] on an
+    empty array. *)

@@ -1,0 +1,90 @@
+type t = { label : string; points : (float * float) list }
+
+let make ~label points =
+  let points = List.stable_sort (fun (x1, _) (x2, _) -> compare x1 x2) points in
+  { label; points }
+
+let label t = t.label
+let points t = t.points
+let length t = List.length t.points
+let is_empty t = t.points = []
+
+let map_y f t = { t with points = List.map (fun (x, y) -> (x, f y)) t.points }
+let filter p t = { t with points = List.filter p t.points }
+
+let fold_range proj t =
+  match t.points with
+  | [] -> None
+  | (x0, y0) :: rest ->
+    let init = proj (x0, y0) in
+    Some
+      (List.fold_left
+         (fun (mn, mx) pt ->
+           let v = proj pt in
+           (Float.min mn v, Float.max mx v))
+         (init, init) rest)
+
+let x_range t = fold_range fst t
+let y_range t = fold_range snd t
+
+let ranges series =
+  let merge acc r =
+    match (acc, r) with
+    | None, r -> r
+    | acc, None -> acc
+    | Some (mn, mx), Some (mn', mx') -> Some (Float.min mn mn', Float.max mx mx')
+  in
+  let xr = List.fold_left (fun acc s -> merge acc (x_range s)) None series in
+  let yr = List.fold_left (fun acc s -> merge acc (y_range s)) None series in
+  match (xr, yr) with Some x, Some y -> Some (x, y) | _ -> None
+
+let interpolate t x =
+  let rec walk = function
+    | [] | [ _ ] -> None
+    | (x1, y1) :: ((x2, y2) :: _ as rest) ->
+      if x < x1 then None
+      else if x <= x2 then
+        if x2 = x1 then Some y1
+        else Some (y1 +. ((y2 -. y1) *. (x -. x1) /. (x2 -. x1)))
+      else walk rest
+  in
+  match t.points with
+  | [] -> None
+  | [ (x1, y1) ] -> if x = x1 then Some y1 else None
+  | (x1, y1) :: _ -> if x = x1 then Some y1 else walk t.points
+
+let resample ~xs t =
+  let pts =
+    List.filter_map
+      (fun x -> match interpolate t x with None -> None | Some y -> Some (x, y))
+      xs
+  in
+  { t with points = pts }
+
+let uniform_grid ?(points = 64) lo hi =
+  if points < 2 || hi <= lo then [ lo ]
+  else
+    List.init points (fun i ->
+        lo +. ((hi -. lo) *. float_of_int i /. float_of_int (points - 1)))
+
+let average ~label series =
+  let non_empty = List.filter (fun s -> not (is_empty s)) series in
+  match non_empty with
+  | [] -> { label; points = [] }
+  | _ ->
+    (* Use the union of x-ranges: instances whose range does not cover a
+       grid point simply do not vote there. *)
+    let xr = List.filter_map x_range non_empty in
+    let lo = List.fold_left (fun acc (l, _) -> Float.min acc l) infinity xr in
+    let hi = List.fold_left (fun acc (_, h) -> Float.max acc h) neg_infinity xr in
+    let grid = uniform_grid lo hi in
+    let pts =
+      List.filter_map
+        (fun x ->
+          let ys = List.filter_map (fun s -> interpolate s x) non_empty in
+          match ys with
+          | [] -> None
+          | _ -> Some (x, List.fold_left ( +. ) 0. ys /. float_of_int (List.length ys)))
+        grid
+    in
+    { label; points = pts }

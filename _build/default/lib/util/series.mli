@@ -1,0 +1,49 @@
+(** Named numeric series — the unit of data behind every figure.
+
+    A series is a list of [(x, y)] points, e.g. (period, latency) pairs for
+    one heuristic on one experiment. The campaign produces one series per
+    heuristic and per figure; this module carries the bookkeeping: sorting,
+    pruning, resampling onto a common grid so that runs on different random
+    instances can be averaged point-wise. *)
+
+type t = {
+  label : string;      (** legend entry, e.g. ["Sp mono, P fix"] *)
+  points : (float * float) list;  (** [(x, y)] pairs *)
+}
+
+val make : label:string -> (float * float) list -> t
+(** Build a series; points are sorted by [x] (stable for equal [x]). *)
+
+val label : t -> string
+val points : t -> (float * float) list
+val length : t -> int
+val is_empty : t -> bool
+
+val map_y : (float -> float) -> t -> t
+(** Transform every ordinate. *)
+
+val filter : (float * float -> bool) -> t -> t
+
+val x_range : t -> (float * float) option
+val y_range : t -> (float * float) option
+(** Extremes over the points, [None] when empty. *)
+
+val ranges : t list -> ((float * float) * (float * float)) option
+(** Combined [((xmin, xmax), (ymin, ymax))] over non-empty series. *)
+
+val interpolate : t -> float -> float option
+(** [interpolate s x] linearly interpolates [y] at abscissa [x]; [None]
+    outside the series' x-range or when the series is empty. *)
+
+val resample : xs:float list -> t -> t
+(** Evaluate the series on the grid [xs] by linear interpolation, dropping
+    grid points outside the range. *)
+
+val average : label:string -> t list -> t
+(** Point-wise average of series resampled on a common grid spanning the
+    intersection of their x-ranges (64 grid points). Series that do not
+    cover a given grid point do not contribute there. *)
+
+val uniform_grid : ?points:int -> float -> float -> float list
+(** [uniform_grid lo hi] is an inclusive evenly-spaced grid (default 64
+    points). *)

@@ -1,0 +1,54 @@
+(** Small statistics toolkit used by the experiment campaign.
+
+    Averages over 50 random application/platform pairs, dispersion measures
+    for EXPERIMENTS.md, and a streaming accumulator so sweeps do not need to
+    keep every sample alive. *)
+
+val mean : float list -> float
+(** Arithmetic mean. Raises [Invalid_argument] on the empty list. *)
+
+val mean_opt : float list -> float option
+(** [mean_opt xs] is [None] on the empty list. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive values. Raises [Invalid_argument] if the
+    list is empty or contains a non-positive value. *)
+
+val variance : float list -> float
+(** Unbiased sample variance (Bessel's correction); [0.] for fewer than two
+    samples. *)
+
+val stddev : float list -> float
+(** Square root of {!variance}. *)
+
+val median : float list -> float
+(** Median (average of the two middle values for even lengths). Raises
+    [Invalid_argument] on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile q xs] with [q] in [\[0,1\]], linear interpolation between
+    order statistics. Raises [Invalid_argument] on the empty list or if
+    [q] is outside [\[0,1\]]. *)
+
+val min_max : float list -> float * float
+(** Smallest and largest value. Raises [Invalid_argument] on the empty
+    list. *)
+
+(** Streaming mean/variance accumulator (Welford's algorithm). *)
+module Acc : sig
+  type t
+
+  val empty : t
+  val add : t -> float -> t
+  val add_list : t -> float list -> t
+  val count : t -> int
+  val mean : t -> float
+  (** Mean of samples so far; [nan] when empty. *)
+
+  val stddev : t -> float
+  (** Sample standard deviation; [0.] with fewer than two samples. *)
+
+  val min : t -> float
+  val max : t -> float
+  (** Extremes; [nan] when empty. *)
+end

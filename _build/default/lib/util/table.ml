@@ -1,0 +1,93 @@
+type align = Left | Right | Center
+
+let pad align width s =
+  let len = String.length s in
+  if len >= width then s
+  else
+    let fill = width - len in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+      let left = fill / 2 in
+      String.make left ' ' ^ s ^ String.make (fill - left) ' '
+
+let column_count rows = List.fold_left (fun acc r -> max acc (List.length r)) 0 rows
+
+let normalise cols rows =
+  List.map
+    (fun r ->
+      let missing = cols - List.length r in
+      if missing <= 0 then r else r @ List.init missing (fun _ -> ""))
+    rows
+
+let widths cols rows =
+  let w = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)))
+    rows;
+  w
+
+let alignment aligns cols =
+  Array.init cols (fun i ->
+      match List.nth_opt aligns i with
+      | Some a -> a
+      | None -> if i = 0 then Left else Right)
+
+let render ?(aligns = []) rows =
+  match rows with
+  | [] -> ""
+  | header :: _ ->
+    let cols = column_count rows in
+    let rows = normalise cols rows in
+    let w = widths cols rows in
+    let al =
+      if aligns = [] then
+        alignment (Left :: List.init (max 0 (cols - 1)) (fun _ -> Right)) cols
+      else alignment aligns cols
+    in
+    let line row =
+      String.concat " | " (List.mapi (fun i cell -> pad al.(i) w.(i) cell) row)
+    in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (line (normalise cols [ header ] |> List.hd));
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (String.concat "-+-" (Array.to_list (Array.map (fun n -> String.make n '-') w)));
+    Buffer.add_char buf '\n';
+    List.iteri
+      (fun i row ->
+        if i > 0 then (
+          Buffer.add_string buf (line row);
+          Buffer.add_char buf '\n'))
+      rows;
+    Buffer.contents buf
+
+let render_markdown rows =
+  match rows with
+  | [] -> ""
+  | header :: body ->
+    let cols = column_count rows in
+    let rows' = normalise cols (header :: body) in
+    let cell_line row = "| " ^ String.concat " | " row ^ " |" in
+    let buf = Buffer.create 256 in
+    (match rows' with
+    | h :: b ->
+      Buffer.add_string buf (cell_line h);
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        ("|" ^ String.concat "|" (List.init cols (fun _ -> "---")) ^ "|");
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun row ->
+          Buffer.add_string buf (cell_line row);
+          Buffer.add_char buf '\n')
+        b
+    | [] -> ());
+    Buffer.contents buf
+
+let float_cell ?(decimals = 2) v =
+  if Float.is_nan v then "-"
+  else if v = infinity then "inf"
+  else if v = neg_infinity then "-inf"
+  else Printf.sprintf "%.*f" decimals v

@@ -1,0 +1,24 @@
+(** Aligned text tables.
+
+    Used to print Table 1 (failure thresholds) and the EXPERIMENTS.md
+    paper-vs-measured summaries. Cells are strings; columns are sized to
+    their widest cell; the first row is treated as a header and separated
+    by a rule. *)
+
+type align = Left | Right | Center
+
+val render : ?aligns:align list -> string list list -> string
+(** [render rows] renders [rows] (first row = header) with columns padded
+    to their widest cell, ["|"]-separated, with a dash rule under the
+    header. [aligns] gives per-column alignment (default: first column
+    [Left], others [Right]; missing entries fall back to [Right]).
+    Ragged rows are padded with empty cells. Returns a multi-line string
+    with trailing newline. The empty table renders as [""]. *)
+
+val render_markdown : string list list -> string
+(** GitHub-flavoured markdown table (header + separator + body), for
+    inclusion in EXPERIMENTS.md. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Format a float for a table cell (default 2 decimals); [nan] renders as
+    ["-"], infinities as ["inf"/"-inf"]. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Application Array Float Fmt Instance List Pipeline_model Pipeline_util Platform QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_chains.ml: Alcotest Approx Array Bounds Chains Dp Exact Helpers Hetero Heuristic Nicol Partition Pipeline_core Pipeline_model Pipeline_optimal Prefix Probe QCheck2 Reduction To_mapping

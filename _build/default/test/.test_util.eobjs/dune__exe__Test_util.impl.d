@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascii_plot Bipartite Csv Filename Float Fun Helpers Histogram Hungarian List Pipeline_util QCheck2 Rng Series Stats Str_find String Sys Table

@@ -1,0 +1,46 @@
+(* Shared test utilities. *)
+
+open Pipeline_model
+
+let feq ?(eps = 1e-9) a b =
+  a = b
+  || Float.abs (a -. b) <= eps *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let float_eps = Alcotest.testable Fmt.float (fun a b -> feq a b)
+
+let check_float msg expected actual = Alcotest.check float_eps msg expected actual
+
+(* A fixed hand-checkable instance: 4 stages, 3 processors, b = 10. *)
+let small_app () =
+  Application.make
+    ~deltas:[| 10.; 20.; 30.; 20.; 10. |]
+    [| 4.; 8.; 2.; 6. |]
+
+let small_platform () = Platform.comm_homogeneous ~bandwidth:10. [| 2.; 4.; 1. |]
+
+let small_instance () = Instance.make (small_app ()) (small_platform ())
+
+(* Random instance generators for property tests. *)
+let random_instance ?(n_max = 12) ?(p_max = 6) seed =
+  let rng = Pipeline_util.Rng.create seed in
+  let n = 1 + Pipeline_util.Rng.int rng n_max in
+  let p = 1 + Pipeline_util.Rng.int rng p_max in
+  let works =
+    Array.init n (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 1 20))
+  in
+  let deltas =
+    Array.init (n + 1) (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 0 30))
+  in
+  let speeds =
+    Array.init p (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 1 20))
+  in
+  let app = Application.make ~deltas works in
+  let platform = Platform.comm_homogeneous ~bandwidth:10. speeds in
+  Instance.make ~seed app platform
+
+(* A deterministic list of seeds for "for all seeds" loops. *)
+let seeds count = List.init count (fun i -> 1000 + (7919 * i))
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)

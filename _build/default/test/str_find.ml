@@ -1,0 +1,13 @@
+(* Substring search for test assertions. *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  if nl = 0 then true
+  else begin
+    let rec scan i =
+      if i + nl > hl then false
+      else if String.sub haystack i nl = needle then true
+      else scan (i + 1)
+    in
+    scan 0
+  end

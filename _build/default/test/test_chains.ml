@@ -1,0 +1,512 @@
+open Chains
+
+let gen_chain = QCheck2.Gen.(list_size (int_range 1 25) (float_range 0. 20.))
+
+(* ------------------------------------------------------------------ *)
+(* Prefix                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_prefix_sums () =
+  let p = Prefix.make [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check int) "n" 4 (Prefix.n p);
+  Helpers.check_float "element" 3. (Prefix.element p 3);
+  Helpers.check_float "sum all" 10. (Prefix.sum p 1 4);
+  Helpers.check_float "sum mid" 5. (Prefix.sum p 2 3);
+  Helpers.check_float "empty" 0. (Prefix.sum p 3 2);
+  Helpers.check_float "total" 10. (Prefix.total p);
+  Helpers.check_float "max element" 4. (Prefix.max_element p)
+
+let test_prefix_rejects () =
+  Alcotest.check_raises "empty" (Invalid_argument "Prefix.make: empty chain")
+    (fun () -> ignore (Prefix.make [||]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Prefix.make: elements must be finite and >= 0") (fun () ->
+      ignore (Prefix.make [| 1.; -2. |]))
+
+let test_longest_fitting () =
+  let p = Prefix.make [| 3.; 1.; 4.; 1.; 5. |] in
+  Alcotest.(check int) "budget 4 from 1: [3,1]" 2
+    (Prefix.longest_fitting p ~from:1 ~budget:4.);
+  Alcotest.(check int) "budget 2 from 1: nothing" 0
+    (Prefix.longest_fitting p ~from:1 ~budget:2.);
+  Alcotest.(check int) "budget 100 from 2: rest" 5
+    (Prefix.longest_fitting p ~from:2 ~budget:100.);
+  Alcotest.(check int) "exact fit" 3 (Prefix.longest_fitting p ~from:1 ~budget:8.)
+
+let test_longest_fitting_zeros () =
+  let p = Prefix.make [| 0.; 0.; 5. |] in
+  Alcotest.(check int) "zeros fit in zero budget" 2
+    (Prefix.longest_fitting p ~from:1 ~budget:0.)
+
+let prop_longest_fitting_correct =
+  Helpers.qtest "longest_fitting is maximal and fits"
+    QCheck2.Gen.(pair gen_chain (float_range 0. 50.))
+    (fun (xs, budget) ->
+      let a = Array.of_list xs in
+      let p = Prefix.make a in
+      let e = Prefix.longest_fitting p ~from:1 ~budget in
+      let fits = e = 0 || Prefix.sum p 1 e <= budget +. 1e-9 in
+      let maximal = e = Prefix.n p || Prefix.sum p 1 (e + 1) > budget -. 1e-9 in
+      fits && maximal)
+
+(* ------------------------------------------------------------------ *)
+(* Partition                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_partition_of_cuts () =
+  let part = Partition.of_cuts ~n:5 [ 2; 3 ] in
+  Alcotest.(check int) "size" 3 (Partition.size part);
+  Alcotest.(check bool) "valid" true (Partition.is_valid ~n:5 part);
+  Alcotest.(check (list int)) "cuts roundtrip" [ 2; 3 ] (Partition.cuts part)
+
+let test_partition_loads () =
+  let p = Prefix.make [| 1.; 2.; 3.; 4. |] in
+  let part = Partition.of_cuts ~n:4 [ 2 ] in
+  Alcotest.(check (array (float 1e-9))) "loads" [| 3.; 7. |] (Partition.loads p part);
+  Helpers.check_float "bottleneck" 7. (Partition.bottleneck p part);
+  Helpers.check_float "weighted" 3.5
+    (Partition.weighted_bottleneck p ~speeds:[| 1.; 2. |] part)
+
+let test_partition_bad_cut () =
+  Alcotest.check_raises "cut = n" (Invalid_argument "Partition.of_cuts: bad cut")
+    (fun () -> ignore (Partition.of_cuts ~n:3 [ 3 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Probe                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_probe_feasible () =
+  let p = Prefix.make [| 2.; 2.; 2.; 2. |] in
+  Alcotest.(check bool) "4 in 2 parts of 4" true (Probe.feasible p ~p:2 ~bound:4.);
+  Alcotest.(check bool) "4 in 2 parts of 3" false (Probe.feasible p ~p:2 ~bound:3.);
+  Alcotest.(check bool) "single big element" false (Probe.feasible p ~p:4 ~bound:1.)
+
+let test_probe_partition_witness () =
+  let p = Prefix.make [| 2.; 2.; 2.; 2. |] in
+  match Probe.partition p ~p:2 ~bound:4. with
+  | None -> Alcotest.fail "expected partition"
+  | Some part ->
+    Alcotest.(check bool) "valid" true (Partition.is_valid ~n:4 part);
+    Alcotest.(check bool) "meets bound" true (Partition.bottleneck p part <= 4.)
+
+let test_probe_min_intervals () =
+  let p = Prefix.make [| 2.; 2.; 2.; 2. |] in
+  Alcotest.(check (option int)) "needs 2" (Some 2) (Probe.min_intervals p ~bound:4.);
+  Alcotest.(check (option int)) "needs 4" (Some 4) (Probe.min_intervals p ~bound:2.);
+  Alcotest.(check (option int)) "impossible" None (Probe.min_intervals p ~bound:1.)
+
+let prop_probe_consistent_with_dp =
+  Helpers.qtest "probe feasibility agrees with DP optimum"
+    QCheck2.Gen.(pair gen_chain (int_range 1 6))
+    (fun (xs, p) ->
+      let a = Array.of_list xs in
+      let opt, _ = Dp.solve a ~p in
+      let prefix = Prefix.make a in
+      Probe.feasible prefix ~p ~bound:opt
+      && ((not (Probe.feasible prefix ~p ~bound:(opt *. 0.99 -. 1e-6)))
+         || opt = 0.))
+
+(* ------------------------------------------------------------------ *)
+(* Dp / Exact equivalence and optimality                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_dp_known_instance () =
+  (* [1,2,3,4,5] in 3 parts: optimal bottleneck 6 = [1,2,3][4][5] or
+     [1,2,3][4,5]... loads: 6,4,5 -> 6. *)
+  let opt, part = Dp.solve [| 1.; 2.; 3.; 4.; 5. |] ~p:3 in
+  Helpers.check_float "optimum" 6. opt;
+  Alcotest.(check bool) "valid" true (Partition.is_valid ~n:5 part);
+  let prefix = Prefix.make [| 1.; 2.; 3.; 4.; 5. |] in
+  Helpers.check_float "achieved" 6. (Partition.bottleneck prefix part)
+
+let test_dp_single_interval () =
+  let opt, part = Dp.solve [| 5.; 5. |] ~p:1 in
+  Helpers.check_float "total" 10. opt;
+  Alcotest.(check int) "one interval" 1 (Partition.size part)
+
+let test_dp_more_procs_than_elements () =
+  let opt, part = Dp.solve [| 4.; 7.; 2. |] ~p:10 in
+  Helpers.check_float "max element" 7. opt;
+  Alcotest.(check int) "three intervals" 3 (Partition.size part)
+
+let test_exact_known_instance () =
+  let opt, _ = Exact.solve [| 1.; 2.; 3.; 4.; 5. |] ~p:3 in
+  Helpers.check_float "optimum" 6. opt
+
+let prop_dp_equals_exact =
+  Helpers.qtest "DP and parametric search agree"
+    QCheck2.Gen.(pair gen_chain (int_range 1 8))
+    (fun (xs, p) ->
+      let a = Array.of_list xs in
+      let dp_opt, dp_part = Dp.solve a ~p in
+      let ex_opt, ex_part = Exact.solve a ~p in
+      let prefix = Prefix.make a in
+      Helpers.feq ~eps:1e-9 dp_opt ex_opt
+      && Partition.is_valid ~n:(Array.length a) dp_part
+      && Partition.is_valid ~n:(Array.length a) ex_part
+      && Helpers.feq (Partition.bottleneck prefix dp_part) dp_opt
+      && Partition.bottleneck prefix ex_part <= ex_opt +. 1e-9)
+
+let prop_nicol_equals_dp =
+  Helpers.qtest "Nicol's algorithm agrees with the DP"
+    QCheck2.Gen.(pair gen_chain (int_range 1 8))
+    (fun (xs, p) ->
+      let a = Array.of_list xs in
+      let n = Array.length a in
+      let dp_opt, _ = Dp.solve a ~p in
+      let ni_opt, ni_part = Nicol.solve a ~p in
+      let prefix = Prefix.make a in
+      Helpers.feq ~eps:1e-9 dp_opt ni_opt
+      && Partition.is_valid ~n ni_part
+      && Partition.size ni_part <= p
+      && Partition.bottleneck prefix ni_part <= ni_opt +. 1e-9)
+
+let test_nicol_known () =
+  let opt, _ = Nicol.solve [| 1.; 2.; 3.; 4.; 5. |] ~p:3 in
+  Helpers.check_float "optimum" 6. opt
+
+let prop_dp_respects_interval_budget =
+  Helpers.qtest "DP uses at most p intervals"
+    QCheck2.Gen.(pair gen_chain (int_range 1 8))
+    (fun (xs, p) ->
+      let a = Array.of_list xs in
+      let _, part = Dp.solve a ~p in
+      Partition.size part <= p)
+
+let prop_heuristics_dominated_by_optimal =
+  Helpers.qtest "greedy/bisection >= optimal bottleneck"
+    QCheck2.Gen.(pair gen_chain (int_range 1 8))
+    (fun (xs, p) ->
+      let a = Array.of_list xs in
+      let n = Array.length a in
+      let prefix = Prefix.make a in
+      let opt, _ = Dp.solve a ~p in
+      let greedy = Heuristic.greedy_target a ~p in
+      let bisect = Heuristic.recursive_bisection a ~p in
+      Partition.is_valid ~n greedy
+      && Partition.is_valid ~n bisect
+      && Partition.size greedy <= p
+      && Partition.size bisect <= p
+      && Partition.bottleneck prefix greedy >= opt -. 1e-9
+      && Partition.bottleneck prefix bisect >= opt -. 1e-9)
+
+let test_candidates_sorted_unique () =
+  let prefix = Prefix.make [| 2.; 2.; 3. |] in
+  let c = Exact.candidates prefix in
+  (* interval sums: 2,2,3,4,5,7 -> dedup {2,3,4,5,7} *)
+  Alcotest.(check (array (float 1e-9))) "candidates" [| 2.; 3.; 4.; 5.; 7. |] c
+
+(* ------------------------------------------------------------------ *)
+(* Hetero                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let gen_hetero =
+  QCheck2.Gen.(
+    pair
+      (list_size (int_range 1 10) (float_range 0.5 20.))
+      (list_size (int_range 1 5) (float_range 1. 10.)))
+
+let test_hetero_exact_known () =
+  (* tasks [6,6], speeds [2,1]: best = [6][6] with speeds (2,1)? loads
+     3 and 6 -> 6; speeds (1,2): 6 and 3 -> 6; single interval on 2: 6.
+     optimum 6. *)
+  let sol = Hetero.exact_dp [| 6.; 6. |] ~speeds:[| 2.; 1. |] in
+  Helpers.check_float "optimum" 6. sol.Hetero.bottleneck
+
+let test_hetero_exact_prefers_matching_speeds () =
+  (* tasks [8,1,1], speeds [8,2]: [8] on 8 (load 1), [1,1] on 2 (load 1)
+     -> optimum 1. *)
+  let sol = Hetero.exact_dp [| 8.; 1.; 1. |] ~speeds:[| 8.; 2. |] in
+  Helpers.check_float "perfect balance" 1. sol.Hetero.bottleneck;
+  Alcotest.(check bool) "valid" true
+    (Hetero.is_valid ~n:3 ~speeds:[| 8.; 2. |] sol)
+
+let prop_hetero_exact_matches_exhaustive =
+  Helpers.qtest ~count:40 "subset DP = exhaustive (via Theorem-2 bridge)"
+    gen_hetero
+    (fun (tasks, speeds) ->
+      let a = Array.of_list tasks and s = Array.of_list speeds in
+      let sol = Hetero.exact_dp a ~speeds:s in
+      let inst = To_mapping.instance_of_hetero a ~speeds:s in
+      let best = Pipeline_optimal.Exhaustive.min_period inst in
+      Helpers.feq ~eps:1e-9 sol.Hetero.bottleneck
+        best.Pipeline_core.Solution.period
+      && Hetero.is_valid ~n:(Array.length a) ~speeds:s sol
+      && Helpers.feq (Hetero.objective a ~speeds:s sol) sol.Hetero.bottleneck)
+
+let prop_hetero_decision_consistent =
+  Helpers.qtest ~count:40 "decision agrees with the optimum" gen_hetero
+    (fun (tasks, speeds) ->
+      let a = Array.of_list tasks and s = Array.of_list speeds in
+      let opt = (Hetero.exact_dp a ~speeds:s).Hetero.bottleneck in
+      let yes = Hetero.decision a ~speeds:s ~bound:opt in
+      let no = Hetero.decision a ~speeds:s ~bound:(opt /. 2. -. 1e-6) in
+      (match yes with
+      | Some sol -> sol.Hetero.bottleneck <= opt +. 1e-9
+      | None -> false)
+      && (no = None || opt <= 0.))
+
+let prop_hetero_greedy_sound =
+  Helpers.qtest "greedy solutions are valid and meet their bound"
+    QCheck2.Gen.(pair gen_hetero (float_range 0.1 50.))
+    (fun ((tasks, speeds), bound) ->
+      let a = Array.of_list tasks and s = Array.of_list speeds in
+      match Hetero.greedy a ~speeds:s ~bound with
+      | None -> true
+      | Some sol ->
+        Hetero.is_valid ~n:(Array.length a) ~speeds:s sol
+        && sol.Hetero.bottleneck <= bound +. 1e-9)
+
+let prop_hetero_binary_search_sound =
+  Helpers.qtest "binary-search greedy is valid and >= optimum" gen_hetero
+    (fun (tasks, speeds) ->
+      let a = Array.of_list tasks and s = Array.of_list speeds in
+      let sol = Hetero.binary_search_greedy a ~speeds:s in
+      let opt = (Hetero.exact_dp a ~speeds:s).Hetero.bottleneck in
+      Hetero.is_valid ~n:(Array.length a) ~speeds:s sol
+      && sol.Hetero.bottleneck >= opt -. 1e-9
+      && Helpers.feq (Hetero.objective a ~speeds:s sol) sol.Hetero.bottleneck)
+
+let test_hetero_rejects_large_p () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Hetero.exact_dp [| 1. |] ~speeds:(Array.make 17 1.));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Reduction (Theorem 1 gadget)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sat_instance () =
+  Reduction.make_nmwts ~xs:[| 1; 2 |] ~ys:[| 3; 4 |] ~zs:[| 5; 5 |]
+
+let unsat_instance () =
+  (* Balanced sums but no matching: 0 + {1,3} can never give {2,2}. *)
+  Reduction.make_nmwts ~xs:[| 0; 0 |] ~ys:[| 1; 3 |] ~zs:[| 2; 2 |]
+
+let test_nmwts_verify () =
+  let t = sat_instance () in
+  Alcotest.(check bool) "valid matching" true
+    (Reduction.verify_matching t ~sigma1:[| 1; 0 |] ~sigma2:[| 0; 1 |]);
+  Alcotest.(check bool) "invalid matching" false
+    (Reduction.verify_matching t ~sigma1:[| 0; 1 |] ~sigma2:[| 0; 1 |]);
+  Alcotest.(check bool) "not a permutation" false
+    (Reduction.verify_matching t ~sigma1:[| 0; 0 |] ~sigma2:[| 0; 1 |])
+
+let test_nmwts_brute () =
+  (match Reduction.solve_nmwts_brute (sat_instance ()) with
+  | Some (s1, s2) ->
+    Alcotest.(check bool) "verified" true
+      (Reduction.verify_matching (sat_instance ()) ~sigma1:s1 ~sigma2:s2)
+  | None -> Alcotest.fail "satisfiable instance not solved");
+  Alcotest.(check bool) "unsat" true
+    (Reduction.solve_nmwts_brute (unsat_instance ()) = None)
+
+let test_gadget_shape () =
+  let t = sat_instance () in
+  let tasks, speeds = Reduction.instance t in
+  let m = Reduction.m_of t and bigm = Reduction.big_m t in
+  Alcotest.(check int) "m" 2 m;
+  Alcotest.(check int) "M" 5 bigm;
+  Alcotest.(check int) "n = (M+3)m" ((bigm + 3) * m) (Array.length tasks);
+  Alcotest.(check int) "p = 3m" (3 * m) (Array.length speeds);
+  (* Spot checks from the proof: A_1 = B + x_1 = 11, C = 25, D = 35. *)
+  Helpers.check_float "A1" 11. tasks.(0);
+  Helpers.check_float "C" 25. tasks.(bigm + 1);
+  Helpers.check_float "D" 35. tasks.(bigm + 2);
+  Helpers.check_float "s1 = B + z1" 15. speeds.(0);
+  Helpers.check_float "s_{m+1} = C + M - y1" 27. speeds.(m);
+  Helpers.check_float "s_{2m+1} = D" 35. speeds.(2 * m)
+
+let test_reduction_forward () =
+  (* A matching gives a bottleneck-1 solution (proof, forward direction). *)
+  let t = sat_instance () in
+  let sol = Reduction.solution_of_matching t ~sigma1:[| 1; 0 |] ~sigma2:[| 0; 1 |] in
+  let tasks, speeds = Reduction.instance t in
+  Alcotest.(check bool) "valid" true
+    (Hetero.is_valid ~n:(Array.length tasks) ~speeds sol);
+  Helpers.check_float "bottleneck exactly 1" 1. sol.Hetero.bottleneck
+
+let test_reduction_backward () =
+  (* The optimal solution of the gadget has bottleneck 1 and a matching
+     can be extracted from it (proof, converse direction). *)
+  let t = sat_instance () in
+  let tasks, speeds = Reduction.instance t in
+  let sol = Hetero.exact_dp tasks ~speeds in
+  Helpers.check_float "optimum is 1" 1. sol.Hetero.bottleneck;
+  match Reduction.extract_matching t sol with
+  | None -> Alcotest.fail "no matching extracted from a bottleneck-1 solution"
+  | Some (s1, s2) ->
+    Alcotest.(check bool) "verified" true
+      (Reduction.verify_matching t ~sigma1:s1 ~sigma2:s2)
+
+let test_reduction_unsat_gadget () =
+  (* Unsatisfiable NMWTS -> the gadget optimum exceeds K = 1. *)
+  let t = unsat_instance () in
+  let tasks, speeds = Reduction.instance t in
+  let sol = Hetero.exact_dp tasks ~speeds in
+  Alcotest.(check bool) "bottleneck > 1" true (sol.Hetero.bottleneck > 1. +. 1e-9);
+  Alcotest.(check bool) "no matching extracted" true
+    (Reduction.extract_matching t sol = None)
+
+let test_reduction_rejects_bad_shapes () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Reduction.make_nmwts: xs, ys, zs must share their length")
+    (fun () -> ignore (Reduction.make_nmwts ~xs:[| 1 |] ~ys:[| 1; 2 |] ~zs:[| 1 |]))
+
+(* ------------------------------------------------------------------ *)
+(* To_mapping (Theorem 2 bridge)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_to_mapping_period_equals_bottleneck () =
+  let a = [| 3.; 5.; 2. |] and speeds = [| 2.; 1. |] in
+  let inst = To_mapping.instance_of_hetero a ~speeds in
+  let sol = Hetero.exact_dp a ~speeds in
+  let mapping = To_mapping.mapping_of_solution sol in
+  let period =
+    Pipeline_model.Metrics.period inst.Pipeline_model.Instance.app
+      inst.Pipeline_model.Instance.platform mapping
+  in
+  Helpers.check_float "period = weighted bottleneck" sol.Hetero.bottleneck period
+
+let prop_to_mapping_roundtrip =
+  Helpers.qtest ~count:40 "solution -> mapping -> solution roundtrip" gen_hetero
+    (fun (tasks, speeds) ->
+      let a = Array.of_list tasks and s = Array.of_list speeds in
+      let sol = Hetero.exact_dp a ~speeds:s in
+      let mapping = To_mapping.mapping_of_solution sol in
+      let prefix = Prefix.make a in
+      let back = To_mapping.solution_of_mapping prefix ~speeds:s mapping in
+      Helpers.feq back.Hetero.bottleneck sol.Hetero.bottleneck
+      && back.Hetero.assignment = sol.Hetero.assignment)
+
+
+(* ------------------------------------------------------------------ *)
+(* Bounds / Approx                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_bounds_bracket_optimum =
+  Helpers.qtest "lower <= optimum <= upper <= 2 lower"
+    QCheck2.Gen.(pair gen_chain (int_range 1 8))
+    (fun (xs, p) ->
+      let a = Array.of_list xs in
+      let prefix = Prefix.make a in
+      let lo, hi = Bounds.span prefix ~p in
+      let opt, _ = Dp.solve a ~p in
+      lo <= opt +. 1e-9 && opt <= hi +. 1e-9 && hi <= (2. *. lo) +. 1e-9)
+
+let prop_approx_within_epsilon =
+  Helpers.qtest "bisection is (1+eps)-optimal"
+    QCheck2.Gen.(pair gen_chain (int_range 1 8))
+    (fun (xs, p) ->
+      let a = Array.of_list xs in
+      let n = Array.length a in
+      let epsilon = 1e-6 in
+      let approx, partition = Approx.solve ~epsilon a ~p in
+      let opt, _ = Dp.solve a ~p in
+      Partition.is_valid ~n partition
+      && Partition.size partition <= p
+      && approx >= opt -. 1e-9
+      && approx <= (opt *. (1. +. epsilon)) +. 1e-6)
+
+let test_approx_rejects_bad_epsilon () =
+  Alcotest.check_raises "epsilon 0" (Invalid_argument "Approx.solve: epsilon must be > 0")
+    (fun () -> ignore (Approx.solve ~epsilon:0. [| 1. |] ~p:1))
+
+let test_bounds_known () =
+  let prefix = Prefix.make [| 4.; 4.; 4.; 4. |] in
+  Helpers.check_float "lower = total/p" 8. (Bounds.lower prefix ~p:2);
+  let _, hi = Bounds.span prefix ~p:2 in
+  Alcotest.(check bool) "upper feasible bound" true (hi >= 8. && hi <= 16.)
+
+
+let test_approx_huge_epsilon_still_valid () =
+  let _, part = Approx.solve ~epsilon:10. [| 5.; 1.; 4.; 2. |] ~p:2 in
+  Alcotest.(check bool) "valid partition" true (Partition.is_valid ~n:4 part);
+  Alcotest.(check bool) "within budget" true (Partition.size part <= 2)
+
+let test_bounds_p_exceeds_n () =
+  let prefix = Prefix.make [| 3.; 9. |] in
+  (* With p >= n the optimum is the max element. *)
+  Helpers.check_float "lower = max element" 9. (Bounds.lower prefix ~p:5);
+  let lo, hi = Bounds.span prefix ~p:5 in
+  (* The greedy witness may keep everything in one interval when the
+     probe bound allows it; only the 2x guarantee is promised. *)
+  Alcotest.(check bool) "lower <= upper <= 2 lower" true
+    (lo <= hi && hi <= 2. *. lo)
+
+let () =
+  Alcotest.run "chains"
+    [
+      ( "prefix",
+        [
+          Alcotest.test_case "sums" `Quick test_prefix_sums;
+          Alcotest.test_case "rejects" `Quick test_prefix_rejects;
+          Alcotest.test_case "longest_fitting" `Quick test_longest_fitting;
+          Alcotest.test_case "longest_fitting zeros" `Quick test_longest_fitting_zeros;
+          prop_longest_fitting_correct;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "of_cuts" `Quick test_partition_of_cuts;
+          Alcotest.test_case "loads" `Quick test_partition_loads;
+          Alcotest.test_case "bad cut" `Quick test_partition_bad_cut;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "feasible" `Quick test_probe_feasible;
+          Alcotest.test_case "witness" `Quick test_probe_partition_witness;
+          Alcotest.test_case "min intervals" `Quick test_probe_min_intervals;
+          prop_probe_consistent_with_dp;
+        ] );
+      ( "homogeneous",
+        [
+          Alcotest.test_case "dp known" `Quick test_dp_known_instance;
+          Alcotest.test_case "dp single" `Quick test_dp_single_interval;
+          Alcotest.test_case "dp p > n" `Quick test_dp_more_procs_than_elements;
+          Alcotest.test_case "exact known" `Quick test_exact_known_instance;
+          Alcotest.test_case "candidates" `Quick test_candidates_sorted_unique;
+          prop_dp_equals_exact;
+          prop_nicol_equals_dp;
+          Alcotest.test_case "nicol known" `Quick test_nicol_known;
+          prop_dp_respects_interval_budget;
+          prop_heuristics_dominated_by_optimal;
+        ] );
+      ( "bounds-approx",
+        [
+          prop_bounds_bracket_optimum;
+          prop_approx_within_epsilon;
+          Alcotest.test_case "bad epsilon" `Quick test_approx_rejects_bad_epsilon;
+          Alcotest.test_case "bounds known" `Quick test_bounds_known;
+          Alcotest.test_case "huge epsilon" `Quick test_approx_huge_epsilon_still_valid;
+          Alcotest.test_case "bounds p > n" `Quick test_bounds_p_exceeds_n;
+        ] );
+      ( "hetero",
+        [
+          Alcotest.test_case "exact known" `Quick test_hetero_exact_known;
+          Alcotest.test_case "exact balance" `Quick
+            test_hetero_exact_prefers_matching_speeds;
+          Alcotest.test_case "rejects large p" `Quick test_hetero_rejects_large_p;
+          prop_hetero_exact_matches_exhaustive;
+          prop_hetero_decision_consistent;
+          prop_hetero_greedy_sound;
+          prop_hetero_binary_search_sound;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "verify matching" `Quick test_nmwts_verify;
+          Alcotest.test_case "brute force" `Quick test_nmwts_brute;
+          Alcotest.test_case "gadget shape" `Quick test_gadget_shape;
+          Alcotest.test_case "forward direction" `Quick test_reduction_forward;
+          Alcotest.test_case "backward direction" `Quick test_reduction_backward;
+          Alcotest.test_case "unsat gadget" `Quick test_reduction_unsat_gadget;
+          Alcotest.test_case "bad shapes" `Quick test_reduction_rejects_bad_shapes;
+        ] );
+      ( "to_mapping",
+        [
+          Alcotest.test_case "period = bottleneck" `Quick
+            test_to_mapping_period_equals_bottleneck;
+          prop_to_mapping_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,391 @@
+open Pipeline_model
+open Pipeline_experiments
+module Series = Pipeline_util.Series
+
+let small_setup ?(experiment = Config.E1) ?(n = 6) ?(p = 4) () =
+  Config.default_setup ~pairs:4 ~sweep_points:5 ~seed:99 experiment ~n ~p
+
+(* ------------------------------------------------------------------ *)
+(* Config                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_names () =
+  Alcotest.(check (list string)) "names"
+    [ "E1"; "E2"; "E3"; "E4" ]
+    (List.map Config.experiment_name Config.all_experiments);
+  Alcotest.(check bool) "of_string roundtrip" true
+    (List.for_all
+       (fun e ->
+         Config.experiment_of_string (Config.experiment_name e) = Some e)
+       Config.all_experiments);
+  Alcotest.(check bool) "unknown" true (Config.experiment_of_string "E9" = None)
+
+let test_config_specs () =
+  let spec = Config.app_spec Config.E1 ~n:7 in
+  Alcotest.(check int) "n" 7 spec.App_generator.n;
+  (match spec.App_generator.delta with
+  | App_generator.Fixed v -> Helpers.check_float "E1 delta fixed" 10. v
+  | _ -> Alcotest.fail "E1 deltas should be fixed");
+  match (Config.app_spec Config.E4 ~n:3).App_generator.work with
+  | App_generator.Float_uniform (lo, hi) ->
+    Helpers.check_float "E4 lo" 0.01 lo;
+    Helpers.check_float "E4 hi" 10. hi
+  | _ -> Alcotest.fail "E4 works should be float-uniform"
+
+let test_config_paper_stage_counts () =
+  Alcotest.(check (pair int int)) "E1" (10, 40) (Config.paper_stage_counts Config.E1);
+  Alcotest.(check (pair int int)) "E3" (5, 20) (Config.paper_stage_counts Config.E3)
+
+let test_config_setup () =
+  let s = Config.default_setup Config.E2 ~n:10 ~p:10 in
+  Alcotest.(check int) "pairs default" 50 s.Config.pairs;
+  Helpers.check_float "bandwidth" 10. s.Config.bandwidth;
+  Alcotest.(check string) "label" "E2 n=10 p=10" (Config.setup_label s);
+  Alcotest.(check bool) "invalid rejected" true
+    (try
+       ignore (Config.default_setup Config.E1 ~n:0 ~p:1);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_workload_deterministic () =
+  let setup = small_setup () in
+  let a = Workload.instances setup and b = Workload.instances setup in
+  List.iter2
+    (fun (x : Instance.t) (y : Instance.t) ->
+      Alcotest.(check bool) "same app" true (Application.equal x.app y.app);
+      Alcotest.(check bool) "same platform" true (Platform.equal x.platform y.platform))
+    a b
+
+let test_workload_batch_shape () =
+  let setup = small_setup () in
+  let batch = Workload.instances setup in
+  Alcotest.(check int) "pairs" 4 (List.length batch);
+  List.iteri
+    (fun i (inst : Instance.t) ->
+      Alcotest.(check int) "id" i inst.id;
+      Alcotest.(check int) "n" 6 (Application.n inst.app);
+      Alcotest.(check int) "p" 4 (Platform.p inst.platform))
+    batch
+
+let test_workload_instances_differ () =
+  let setup = small_setup () in
+  let batch = Workload.instances setup in
+  let first = List.hd batch and second = List.nth batch 1 in
+  Alcotest.(check bool) "different draws" true
+    (not
+       (Application.equal first.Instance.app second.Instance.app
+       && Platform.equal first.Instance.platform second.Instance.platform))
+
+let test_workload_out_of_range () =
+  Alcotest.check_raises "bad index" (Invalid_argument "Workload.instance: out of range")
+    (fun () -> ignore (Workload.instance (small_setup ()) 99))
+
+(* ------------------------------------------------------------------ *)
+(* Sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_period_lower_bound_valid () =
+  (* The bound must not exceed the true optimal period. *)
+  List.iter
+    (fun seed ->
+      let inst = Helpers.random_instance ~n_max:7 ~p_max:4 seed in
+      let lb = Sweep.period_lower_bound inst in
+      let opt = (Pipeline_optimal.Bicriteria.min_period inst).Pipeline_core.Solution.period in
+      Alcotest.(check bool) "lb <= optimal period" true (lb <= opt +. 1e-9))
+    (Helpers.seeds 25)
+
+let test_sweep_bounds_ordered () =
+  let batch = Workload.instances (small_setup ()) in
+  let plo, phi = Sweep.period_bounds batch in
+  let llo, lhi = Sweep.latency_bounds batch in
+  Alcotest.(check bool) "period lo <= hi" true (plo <= phi);
+  Alcotest.(check bool) "latency lo <= hi" true (llo <= lhi)
+
+let test_sweep_grid () =
+  let g = Sweep.grid ~lo:0. ~hi:10. ~points:5 in
+  Alcotest.(check int) "points" 5 (List.length g);
+  Helpers.check_float "first" 0. (List.hd g);
+  Helpers.check_float "last" 10. (List.nth g 4);
+  Alcotest.(check (list (float 1e-9))) "degenerate" [ 5. ]
+    (Sweep.grid ~lo:5. ~hi:5. ~points:4)
+
+let test_sweep_run_period_fixed () =
+  let batch = Workload.instances (small_setup ()) in
+  let info = List.hd Pipeline_core.Registry.all in
+  let lo, hi = Sweep.period_bounds batch in
+  let thresholds = Sweep.grid ~lo ~hi ~points:6 in
+  let series = Sweep.run info batch ~thresholds in
+  Alcotest.(check string) "label" info.Pipeline_core.Registry.paper_name
+    (Series.label series);
+  Alcotest.(check bool) "at most one point per threshold" true
+    (Series.length series <= 6);
+  (* The highest threshold (single-proc period) always succeeds. *)
+  Alcotest.(check bool) "has points" true (Series.length series >= 1);
+  (* For a period-fixed heuristic the x of each point is the threshold. *)
+  List.iter
+    (fun (x, _) ->
+      Alcotest.(check bool) "x is one of the thresholds" true
+        (List.exists (fun t -> Helpers.feq t x) thresholds))
+    (Series.points series)
+
+let test_sweep_run_latency_fixed () =
+  let batch = Workload.instances (small_setup ()) in
+  let info =
+    List.find
+      (fun (i : Pipeline_core.Registry.info) ->
+        i.Pipeline_core.Registry.kind = Pipeline_core.Registry.Latency_fixed)
+      Pipeline_core.Registry.all
+  in
+  let lo, hi = Sweep.latency_bounds batch in
+  let thresholds = Sweep.grid ~lo ~hi ~points:6 in
+  let series = Sweep.run info batch ~thresholds in
+  (* For latency-fixed heuristics the y of each point is the threshold. *)
+  List.iter
+    (fun (_, y) ->
+      Alcotest.(check bool) "y is one of the thresholds" true
+        (List.exists (fun t -> Helpers.feq t y) thresholds))
+    (Series.points series)
+
+let test_success_rate_extremes () =
+  let batch = Workload.instances (small_setup ()) in
+  let info = List.hd Pipeline_core.Registry.all in
+  let _, hi = Sweep.period_bounds batch in
+  Helpers.check_float "everyone succeeds at single-proc period" 1.
+    (Sweep.success_rate info batch ~threshold:hi);
+  Helpers.check_float "nobody succeeds at 0" 0.
+    (Sweep.success_rate info batch ~threshold:0.)
+
+(* ------------------------------------------------------------------ *)
+(* Failure thresholds (Table 1)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_latency_fixed_threshold_is_optimal_latency () =
+  let inst = Helpers.random_instance 31337 in
+  let lopt = Instance.optimal_latency inst in
+  List.iter
+    (fun (info : Pipeline_core.Registry.info) ->
+      let t = Failure.instance_threshold info inst in
+      Alcotest.(check bool) "converges to L_opt" true
+        (Float.abs (t -. lopt) <= 1e-6 *. Float.max 1. lopt))
+    Pipeline_core.Registry.latency_fixed
+
+let test_failure_threshold_brackets_behaviour () =
+  let inst = Helpers.random_instance 777 in
+  let info = List.hd Pipeline_core.Registry.all in
+  let t = Failure.instance_threshold info inst in
+  Alcotest.(check bool) "fails just below" true
+    (info.Pipeline_core.Registry.solve inst ~threshold:(t *. 0.999) = None);
+  Alcotest.(check bool) "succeeds just above" true
+    (info.Pipeline_core.Registry.solve inst ~threshold:(t *. 1.001 +. 1e-6) <> None)
+
+let test_failure_table_shape () =
+  let table = Failure.table ~pairs:3 ~seed:5 Config.E1 ~p:4 ~ns:[ 4; 6 ] in
+  Alcotest.(check int) "six rows" 6 (List.length table.Failure.rows);
+  List.iter
+    (fun (_, values) -> Alcotest.(check int) "two columns" 2 (List.length values))
+    table.Failure.rows;
+  (* H5 and H6 rows coincide: both boundaries are the optimal latency. *)
+  let row name = List.assoc name table.Failure.rows in
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "H5 = H6" true (Helpers.feq ~eps:1e-6 a b))
+    (row "H5") (row "H6");
+  let rendered = Failure.render table in
+  Alcotest.(check bool) "mentions H1" true (Str_find.contains rendered "H1");
+  Alcotest.(check bool) "markdown has separator" true
+    (Str_find.contains (Failure.render_markdown table) "|---|")
+
+let test_failure_thresholds_grow_with_n () =
+  (* More stages -> larger minimal achievable period (same platform
+     size), so the H1 failure threshold must grow on average. *)
+  let t_small = Failure.table ~pairs:5 ~seed:7 Config.E1 ~p:4 ~ns:[ 3; 12 ] in
+  match List.assoc "H1" t_small.Failure.rows with
+  | [ small; large ] -> Alcotest.(check bool) "monotone-ish" true (small <= large +. 1e-9)
+  | _ -> Alcotest.fail "unexpected row shape"
+
+(* ------------------------------------------------------------------ *)
+(* Campaign / Report                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_paper_figures_catalogue () =
+  let figures = Campaign.paper_figures () in
+  Alcotest.(check int) "twelve plots" 12 (List.length figures);
+  let labels = List.map fst figures in
+  Alcotest.(check bool) "has 2(a)" true (List.mem "Figure 2(a)" labels);
+  Alcotest.(check bool) "has 7(b)" true (List.mem "Figure 7(b)" labels);
+  (* p = 100 for figures 6 and 7 *)
+  let setup7b = List.assoc "Figure 7(b)" figures in
+  Alcotest.(check int) "7(b) p" 100 setup7b.Config.p;
+  Alcotest.(check int) "7(b) n" 40 setup7b.Config.n
+
+let test_campaign_figure () =
+  let fig = Campaign.figure (small_setup ~experiment:Config.E2 ()) in
+  Alcotest.(check int) "six curves" 6 (List.length fig.Campaign.series);
+  let labels = List.map Series.label fig.Campaign.series in
+  Alcotest.(check bool) "legend has Sp mono, P fix" true
+    (List.mem "Sp mono, P fix" labels);
+  (* At least the splitting heuristics must produce points. *)
+  Alcotest.(check bool) "some data" true
+    (List.exists (fun s -> Series.length s > 0) fig.Campaign.series)
+
+let test_run_paper_figure_unknown () =
+  Alcotest.(check bool) "unknown label" true
+    (Campaign.run_paper_figure "Figure 99" = None)
+
+let test_report_slug () =
+  Alcotest.(check string) "figure label" "figure-2-a" (Report.slug "Figure 2(a)");
+  Alcotest.(check string) "collapses" "e1-n-40" (Report.slug "E1  n=40")
+
+let test_report_renders_and_writes () =
+  let fig = Campaign.figure ~label:"Test fig" (small_setup ()) in
+  Alcotest.(check bool) "ascii plot non-empty" true
+    (String.length (Report.figure_to_ascii fig) > 100);
+  Alcotest.(check bool) "dat non-empty" true
+    (String.length (Report.figure_to_dat fig) > 10);
+  let dir = Filename.temp_file "pwrep" "" in
+  Sys.remove dir;
+  let paths = Report.write_figure ~dir fig in
+  Alcotest.(check int) "two files" 2 (List.length paths);
+  List.iter
+    (fun p -> Alcotest.(check bool) "exists" true (Sys.file_exists p))
+    paths;
+  let table = Failure.table ~pairs:2 ~seed:5 Config.E1 ~p:4 ~ns:[ 4 ] in
+  let tpaths = Report.write_table ~dir table in
+  List.iter
+    (fun p -> Alcotest.(check bool) "table file exists" true (Sys.file_exists p))
+    tpaths
+
+
+(* ------------------------------------------------------------------ *)
+(* Robustness                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_robustness_zero_noise_is_one () =
+  let inst = Helpers.random_instance 2024 in
+  let mapping = Instance.single_proc_mapping inst in
+  Helpers.check_float "no noise: inflation 1" 1.
+    (Robustness.inflation ~datasets:100 inst mapping ~noise:0.)
+
+let test_robustness_noise_inflates () =
+  let inst = Helpers.random_instance 2025 in
+  let mapping = Instance.single_proc_mapping inst in
+  let inflated = Robustness.inflation ~datasets:400 inst mapping ~noise:0.4 in
+  Alcotest.(check bool) "inflation >= ~1" true (inflated >= 0.97)
+
+let test_robustness_series_shape () =
+  let setup = small_setup () in
+  let batch = Workload.instances setup in
+  let info = List.hd Pipeline_core.Registry.all in
+  let series =
+    Robustness.series ~datasets:60 ~noise_levels:[ 0.; 0.2 ] info batch
+  in
+  Alcotest.(check int) "two points" 2 (Series.length series);
+  match Series.points series with
+  | [ (x0, y0); (x1, y1) ] ->
+    Helpers.check_float "first level" 0. x0;
+    Helpers.check_float "second level" 0.2 x1;
+    Alcotest.(check bool) "zero-noise inflation ~1" true
+      (Float.abs (y0 -. 1.) < 0.05);
+    Alcotest.(check bool) "noisy >= clean" true (y1 >= y0 -. 0.05)
+  | _ -> Alcotest.fail "unexpected points"
+
+let test_failure_table_max_aggregate () =
+  let mean = Failure.table ~pairs:5 ~seed:11 Config.E1 ~p:4 ~ns:[ 6 ] in
+  let maxed =
+    Failure.table ~aggregate:Failure.Max ~pairs:5 ~seed:11 Config.E1 ~p:4
+      ~ns:[ 6 ]
+  in
+  List.iter2
+    (fun (h1, m) (h2, x) ->
+      Alcotest.(check string) "same row order" h1 h2;
+      List.iter2
+        (fun m x -> Alcotest.(check bool) "max >= mean" true (x >= m -. 1e-9))
+        m x)
+    mean.Failure.rows maxed.Failure.rows
+
+
+let test_het_campaign_figure () =
+  let fig = Het_campaign.figure ~pairs:3 ~sweep_points:4 ~seed:42 ~n:5 3 in
+  (* four heuristic curves + the baseline point *)
+  Alcotest.(check int) "five series" 5 (List.length fig.Campaign.series);
+  let labels = List.map Series.label fig.Campaign.series in
+  Alcotest.(check bool) "has het mono" true
+    (List.mem "Het split mono, P fix" labels);
+  Alcotest.(check bool) "has baseline" true
+    (List.mem "balanced chains (baseline)" labels);
+  (* instances really are fully heterogeneous *)
+  List.iter
+    (fun (inst : Instance.t) ->
+      Alcotest.(check bool) "fully het" false
+        (Platform.is_comm_homogeneous inst.Instance.platform))
+    (Het_campaign.instances ~pairs:3 ~seed:42 ~n:5 3)
+
+let test_het_campaign_deterministic () =
+  let a = Het_campaign.instances ~pairs:2 ~seed:1 ~n:4 3 in
+  let b = Het_campaign.instances ~pairs:2 ~seed:1 ~n:4 3 in
+  List.iter2
+    (fun (x : Instance.t) (y : Instance.t) ->
+      Alcotest.(check bool) "same" true
+        (Application.equal x.Instance.app y.Instance.app
+        && Platform.equal x.Instance.platform y.Instance.platform))
+    a b
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "names" `Quick test_config_names;
+          Alcotest.test_case "specs" `Quick test_config_specs;
+          Alcotest.test_case "paper stage counts" `Quick test_config_paper_stage_counts;
+          Alcotest.test_case "setup" `Quick test_config_setup;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+          Alcotest.test_case "batch shape" `Quick test_workload_batch_shape;
+          Alcotest.test_case "instances differ" `Quick test_workload_instances_differ;
+          Alcotest.test_case "out of range" `Quick test_workload_out_of_range;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "lower bound valid" `Quick test_period_lower_bound_valid;
+          Alcotest.test_case "bounds ordered" `Quick test_sweep_bounds_ordered;
+          Alcotest.test_case "grid" `Quick test_sweep_grid;
+          Alcotest.test_case "period-fixed series" `Quick test_sweep_run_period_fixed;
+          Alcotest.test_case "latency-fixed series" `Quick test_sweep_run_latency_fixed;
+          Alcotest.test_case "success rate extremes" `Quick test_success_rate_extremes;
+        ] );
+      ( "failure",
+        [
+          Alcotest.test_case "latency boundary = L_opt" `Quick
+            test_latency_fixed_threshold_is_optimal_latency;
+          Alcotest.test_case "brackets behaviour" `Quick
+            test_failure_threshold_brackets_behaviour;
+          Alcotest.test_case "table shape" `Quick test_failure_table_shape;
+          Alcotest.test_case "grows with n" `Quick test_failure_thresholds_grow_with_n;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "zero noise" `Quick test_robustness_zero_noise_is_one;
+          Alcotest.test_case "noise inflates" `Quick test_robustness_noise_inflates;
+          Alcotest.test_case "series shape" `Quick test_robustness_series_shape;
+          Alcotest.test_case "max aggregate" `Quick test_failure_table_max_aggregate;
+        ] );
+      ( "het-campaign",
+        [
+          Alcotest.test_case "figure" `Quick test_het_campaign_figure;
+          Alcotest.test_case "deterministic" `Quick test_het_campaign_deterministic;
+        ] );
+      ( "campaign-report",
+        [
+          Alcotest.test_case "paper figures" `Quick test_paper_figures_catalogue;
+          Alcotest.test_case "figure" `Quick test_campaign_figure;
+          Alcotest.test_case "unknown figure" `Quick test_run_paper_figure_unknown;
+          Alcotest.test_case "slug" `Quick test_report_slug;
+          Alcotest.test_case "render and write" `Quick test_report_renders_and_writes;
+        ] );
+    ]

@@ -1,0 +1,852 @@
+open Pipeline_model
+
+(* ------------------------------------------------------------------ *)
+(* Application                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_app_basic () =
+  let app = Helpers.small_app () in
+  Alcotest.(check int) "n" 4 (Application.n app);
+  Helpers.check_float "w2" 8. (Application.work app 2);
+  Helpers.check_float "d0" 10. (Application.delta app 0);
+  Helpers.check_float "d4" 10. (Application.delta app 4)
+
+let test_app_work_sum () =
+  let app = Helpers.small_app () in
+  Helpers.check_float "whole" 20. (Application.work_sum app 1 4);
+  Helpers.check_float "middle" 10. (Application.work_sum app 2 3);
+  Helpers.check_float "single" 4. (Application.work_sum app 1 1);
+  Helpers.check_float "total" 20. (Application.total_work app)
+
+let test_app_bad_shapes () =
+  Alcotest.check_raises "deltas length"
+    (Invalid_argument "Application.make: deltas must have length n+1") (fun () ->
+      ignore (Application.make ~deltas:[| 1.; 2. |] [| 1.; 2. |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Application.make: empty pipeline")
+    (fun () -> ignore (Application.make ~deltas:[| 1. |] [||]))
+
+let test_app_rejects_negative () =
+  Alcotest.check_raises "negative work"
+    (Invalid_argument "Application.make: works must be finite and >= 0") (fun () ->
+      ignore (Application.make ~deltas:[| 0.; 0. |] [| -1. |]))
+
+let test_app_rejects_nan () =
+  Alcotest.check_raises "nan delta"
+    (Invalid_argument "Application.make: deltas must be finite and >= 0") (fun () ->
+      ignore (Application.make ~deltas:[| 0.; Float.nan |] [| 1. |]))
+
+let test_app_uniform () =
+  let app = Application.uniform ~n:5 ~work:3. ~delta:2. in
+  Alcotest.(check int) "n" 5 (Application.n app);
+  Helpers.check_float "total" 15. (Application.total_work app);
+  Helpers.check_float "delta" 2. (Application.delta app 3)
+
+let test_app_of_stages () =
+  let app = Application.of_stages [ (1., 10.); (2., 20.) ] ~delta0:5. in
+  Helpers.check_float "d0" 5. (Application.delta app 0);
+  Helpers.check_float "d1" 10. (Application.delta app 1);
+  Helpers.check_float "d2" 20. (Application.delta app 2);
+  Helpers.check_float "w2" 2. (Application.work app 2)
+
+let test_app_labels () =
+  let app =
+    Application.make ~labels:[| "load"; "fft" |] ~deltas:[| 1.; 1.; 1. |] [| 1.; 1. |]
+  in
+  Alcotest.(check string) "named" "fft" (Application.label app 2);
+  let anon = Application.uniform ~n:2 ~work:1. ~delta:1. in
+  Alcotest.(check string) "default" "S2" (Application.label anon 2)
+
+let test_app_out_of_range () =
+  let app = Helpers.small_app () in
+  Alcotest.check_raises "work 0" (Invalid_argument "Application.work: stage out of range")
+    (fun () -> ignore (Application.work app 0));
+  Alcotest.check_raises "delta 5"
+    (Invalid_argument "Application.delta: index out of range") (fun () ->
+      ignore (Application.delta app 5));
+  Alcotest.check_raises "work_sum inverted"
+    (Invalid_argument "Application.work_sum: invalid interval") (fun () ->
+      ignore (Application.work_sum app 3 2))
+
+let test_app_copies_arrays () =
+  let works = [| 1.; 2. |] and deltas = [| 0.; 0.; 0. |] in
+  let app = Application.make ~deltas works in
+  works.(0) <- 99.;
+  Helpers.check_float "input mutation isolated" 1. (Application.work app 1);
+  let w = Application.works app in
+  w.(0) <- 42.;
+  Helpers.check_float "output mutation isolated" 1. (Application.work app 1)
+
+let test_app_equal () =
+  let a = Application.uniform ~n:3 ~work:1. ~delta:2. in
+  let b = Application.uniform ~n:3 ~work:1. ~delta:2. in
+  let c = Application.uniform ~n:3 ~work:1. ~delta:3. in
+  Alcotest.(check bool) "equal" true (Application.equal a b);
+  Alcotest.(check bool) "not equal" false (Application.equal a c)
+
+let prop_work_sum_matches_naive =
+  Helpers.qtest "work_sum = naive sum"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 30) (float_range 0. 50.))
+        (pair small_nat small_nat))
+    (fun (ws, (i, j)) ->
+      let n = List.length ws in
+      let works = Array.of_list ws in
+      let app = Application.make ~deltas:(Array.make (n + 1) 0.) works in
+      let d = 1 + (i mod n) in
+      let e = d + (j mod (n - d + 1)) in
+      let naive = ref 0. in
+      for k = d to e do
+        naive := !naive +. works.(k - 1)
+      done;
+      Helpers.feq ~eps:1e-6 !naive (Application.work_sum app d e))
+
+(* ------------------------------------------------------------------ *)
+(* Platform                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_platform_comm_hom () =
+  let pl = Helpers.small_platform () in
+  Alcotest.(check int) "p" 3 (Platform.p pl);
+  Helpers.check_float "speed" 4. (Platform.speed pl 1);
+  Helpers.check_float "bandwidth" 10. (Platform.bandwidth pl 0 2);
+  Helpers.check_float "io" 10. (Platform.io_bandwidth pl 1);
+  Alcotest.(check bool) "comm hom" true (Platform.is_comm_homogeneous pl)
+
+let test_platform_self_bandwidth_infinite () =
+  let pl = Helpers.small_platform () in
+  Helpers.check_float "self link free" infinity (Platform.bandwidth pl 1 1)
+
+let test_platform_fully_homogeneous () =
+  let pl = Platform.fully_homogeneous ~speed:2. ~bandwidth:5. 4 in
+  Alcotest.(check int) "p" 4 (Platform.p pl);
+  Helpers.check_float "speed" 2. (Platform.speed pl 3);
+  Alcotest.(check bool) "comm hom" true (Platform.is_comm_homogeneous pl)
+
+let test_platform_fastest_and_order () =
+  let pl = Platform.comm_homogeneous ~bandwidth:1. [| 3.; 9.; 9.; 1. |] in
+  Alcotest.(check int) "fastest (tie -> smallest index)" 1 (Platform.fastest pl);
+  Alcotest.(check (array int)) "order" [| 1; 2; 0; 3 |] (Platform.by_decreasing_speed pl)
+
+let test_platform_het () =
+  let bandwidths = [| [| 0.; 2.; 3. |]; [| 2.; 0.; 4. |]; [| 3.; 4.; 0. |] |] in
+  let pl = Platform.fully_heterogeneous ~bandwidths [| 1.; 2.; 3. |] in
+  Helpers.check_float "link" 4. (Platform.bandwidth pl 1 2);
+  Helpers.check_float "default io = row max" 3. (Platform.io_bandwidth pl 0);
+  Alcotest.(check bool) "not comm hom" false (Platform.is_comm_homogeneous pl)
+
+let test_platform_het_asymmetric_rejected () =
+  let bandwidths = [| [| 0.; 2. |]; [| 3.; 0. |] |] in
+  Alcotest.check_raises "asymmetric"
+    (Invalid_argument "Platform.fully_heterogeneous: matrix must be symmetric")
+    (fun () -> ignore (Platform.fully_heterogeneous ~bandwidths [| 1.; 1. |]))
+
+let test_platform_rejects_bad_speed () =
+  Alcotest.check_raises "zero speed"
+    (Invalid_argument "Platform: speed must be finite and > 0") (fun () ->
+      ignore (Platform.comm_homogeneous ~bandwidth:1. [| 0. |]));
+  Alcotest.check_raises "no procs" (Invalid_argument "Platform: no processors")
+    (fun () -> ignore (Platform.comm_homogeneous ~bandwidth:1. [||]))
+
+let test_platform_custom_io () =
+  let pl = Platform.comm_homogeneous ~io_bandwidth:5. ~bandwidth:10. [| 1.; 2. |] in
+  Helpers.check_float "io" 5. (Platform.io_bandwidth pl 0);
+  Alcotest.(check bool) "not comm hom (io differs)" false
+    (Platform.is_comm_homogeneous pl)
+
+(* ------------------------------------------------------------------ *)
+(* Interval                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_interval_basics () =
+  let iv = Interval.make ~first:2 ~last:5 in
+  Alcotest.(check int) "length" 4 (Interval.length iv);
+  Alcotest.(check bool) "mem" true (Interval.mem iv 3);
+  Alcotest.(check bool) "not mem" false (Interval.mem iv 6);
+  Alcotest.(check string) "to_string" "[2..5]" (Interval.to_string iv);
+  Alcotest.(check string) "singleton string" "[7]"
+    (Interval.to_string (Interval.singleton 7))
+
+let test_interval_bad () =
+  Alcotest.check_raises "inverted"
+    (Invalid_argument "Interval.make: need 1 <= first <= last") (fun () ->
+      ignore (Interval.make ~first:3 ~last:2))
+
+let test_interval_split () =
+  let iv = Interval.make ~first:1 ~last:4 in
+  Alcotest.(check (list int)) "split points" [ 1; 2; 3 ] (Interval.split_points iv);
+  let l, r = Interval.split_at iv 2 in
+  Alcotest.(check string) "left" "[1..2]" (Interval.to_string l);
+  Alcotest.(check string) "right" "[3..4]" (Interval.to_string r);
+  let a, b, c = Interval.split3_at iv 1 3 in
+  Alcotest.(check string) "a" "[1]" (Interval.to_string a);
+  Alcotest.(check string) "b" "[2..3]" (Interval.to_string b);
+  Alcotest.(check string) "c" "[4]" (Interval.to_string c)
+
+let test_interval_split_bad () =
+  let iv = Interval.make ~first:1 ~last:3 in
+  Alcotest.check_raises "cut at end" (Invalid_argument "Interval.split_at: bad cut")
+    (fun () -> ignore (Interval.split_at iv 3));
+  Alcotest.check_raises "bad 3-cut" (Invalid_argument "Interval.split3_at: bad cuts")
+    (fun () -> ignore (Interval.split3_at iv 2 2))
+
+let test_interval_partition_of () =
+  let mk f l = Interval.make ~first:f ~last:l in
+  Alcotest.(check bool) "valid" true (Interval.partition_of 5 [ mk 1 2; mk 3 5 ]);
+  Alcotest.(check bool) "gap" false (Interval.partition_of 5 [ mk 1 2; mk 4 5 ]);
+  Alcotest.(check bool) "short" false (Interval.partition_of 5 [ mk 1 4 ]);
+  Alcotest.(check bool) "empty" false (Interval.partition_of 5 []);
+  Alcotest.(check bool) "wrong start" false (Interval.partition_of 5 [ mk 2 5 ])
+
+(* ------------------------------------------------------------------ *)
+(* Mapping                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_mapping_make () =
+  let m =
+    Mapping.make ~n:4
+      [ (Interval.make ~first:1 ~last:2, 1); (Interval.make ~first:3 ~last:4, 0) ]
+  in
+  Alcotest.(check int) "m" 2 (Mapping.m m);
+  Alcotest.(check int) "proc of stage 3" 0 (Mapping.proc_of_stage m 3);
+  Alcotest.(check bool) "uses 1" true (Mapping.uses m 1);
+  Alcotest.(check bool) "uses 2" false (Mapping.uses m 2);
+  Alcotest.(check string) "to_string" "{[1..2]->P1, [3..4]->P0}" (Mapping.to_string m)
+
+let test_mapping_rejects_bad_partition () =
+  Alcotest.check_raises "not a partition"
+    (Invalid_argument "Mapping.make: intervals must partition [1..n] in order")
+    (fun () -> ignore (Mapping.make ~n:4 [ (Interval.make ~first:1 ~last:2, 0) ]))
+
+let test_mapping_rejects_duplicate_proc () =
+  Alcotest.check_raises "duplicate processor"
+    (Invalid_argument "Mapping: processor assigned to several intervals") (fun () ->
+      ignore
+        (Mapping.make ~n:4
+           [
+             (Interval.make ~first:1 ~last:2, 0);
+             (Interval.make ~first:3 ~last:4, 0);
+           ]))
+
+let test_mapping_single_and_one_to_one () =
+  let s = Mapping.single ~n:5 ~proc:2 in
+  Alcotest.(check int) "single m" 1 (Mapping.m s);
+  Alcotest.(check int) "single proc" 2 (Mapping.proc s 0);
+  let o = Mapping.one_to_one ~procs:[| 2; 0; 1 |] in
+  Alcotest.(check int) "1-1 m" 3 (Mapping.m o);
+  Alcotest.(check int) "stage 2 on 0" 0 (Mapping.proc_of_stage o 2)
+
+let test_mapping_of_cuts () =
+  let m = Mapping.of_cuts ~n:5 ~cuts:[ 2; 3 ] ~procs:[ 0; 1; 2 ] in
+  Alcotest.(check string) "layout" "{[1..2]->P0, [3]->P1, [4..5]->P2}"
+    (Mapping.to_string m)
+
+let test_mapping_replace () =
+  let m = Mapping.single ~n:4 ~proc:0 in
+  let m' =
+    Mapping.replace m ~j:0
+      [ (Interval.make ~first:1 ~last:2, 0); (Interval.make ~first:3 ~last:4, 1) ]
+  in
+  Alcotest.(check string) "replaced" "{[1..2]->P0, [3..4]->P1}" (Mapping.to_string m')
+
+let test_mapping_replace_bad_tiling () =
+  let m = Mapping.single ~n:4 ~proc:0 in
+  Alcotest.check_raises "bad tiling"
+    (Invalid_argument "Mapping.replace: parts must tile the replaced interval")
+    (fun () ->
+      ignore (Mapping.replace m ~j:0 [ (Interval.make ~first:1 ~last:3, 0) ]))
+
+let test_mapping_interval_of_proc () =
+  let m = Mapping.of_cuts ~n:4 ~cuts:[ 2 ] ~procs:[ 3; 1 ] in
+  (match Mapping.interval_of_proc m 1 with
+  | Some iv -> Alcotest.(check string) "found" "[3..4]" (Interval.to_string iv)
+  | None -> Alcotest.fail "expected interval");
+  Alcotest.(check bool) "absent" true (Mapping.interval_of_proc m 0 = None)
+
+let test_mapping_valid_on () =
+  let m = Mapping.single ~n:3 ~proc:5 in
+  Alcotest.(check bool) "too few procs" false
+    (Mapping.valid_on m (Helpers.small_platform ()))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics (hand-computed examples)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Instance: works [4;8;2;6], deltas [10;20;30;20;10], speeds [2;4;1], b=10. *)
+
+let test_metrics_single_proc () =
+  let inst = Helpers.small_instance () in
+  let m = Mapping.single ~n:4 ~proc:1 in
+  (* cycle = 10/10 + 20/4 + 10/10 = 7; latency identical. *)
+  Helpers.check_float "period" 7. (Metrics.period inst.app inst.platform m);
+  Helpers.check_float "latency" 7. (Metrics.latency inst.app inst.platform m)
+
+let test_metrics_two_intervals () =
+  let inst = Helpers.small_instance () in
+  let m = Mapping.of_cuts ~n:4 ~cuts:[ 2 ] ~procs:[ 1; 0 ] in
+  (* I1=[1,2] on P1 (s=4): 10/10 + 12/4 + 30/10 = 7
+     I2=[3,4] on P0 (s=2): 30/10 + 8/2 + 10/10 = 8 *)
+  Helpers.check_float "cycle 0" 7. (Metrics.cycle_time inst.app inst.platform m 0);
+  Helpers.check_float "cycle 1" 8. (Metrics.cycle_time inst.app inst.platform m 1);
+  Helpers.check_float "period" 8. (Metrics.period inst.app inst.platform m);
+  Alcotest.(check int) "bottleneck" 1 (Metrics.bottleneck inst.app inst.platform m);
+  (* latency = (1+3) + (3+4) + 10/10 = 12 *)
+  Helpers.check_float "latency" 12. (Metrics.latency inst.app inst.platform m)
+
+let test_metrics_summary_consistent () =
+  let inst = Helpers.small_instance () in
+  let m = Mapping.of_cuts ~n:4 ~cuts:[ 1; 2 ] ~procs:[ 2; 1; 0 ] in
+  let s = Metrics.summary inst.app inst.platform m in
+  Helpers.check_float "period" (Metrics.period inst.app inst.platform m)
+    s.Metrics.period;
+  Helpers.check_float "latency" (Metrics.latency inst.app inst.platform m)
+    s.Metrics.latency;
+  Alcotest.(check int) "intervals" 3 s.Metrics.intervals
+
+let test_metrics_het_uses_links () =
+  let bandwidths = [| [| 0.; 2. |]; [| 2.; 0. |] |] in
+  let pl =
+    Platform.fully_heterogeneous ~io_bandwidths:[| 10.; 10. |] ~bandwidths
+      [| 1.; 1. |]
+  in
+  let app = Application.make ~deltas:[| 10.; 4.; 10. |] [| 2.; 2. |] in
+  let inst = Instance.make app pl in
+  let m = Mapping.one_to_one ~procs:[| 0; 1 |] in
+  (* I1: 10/10 + 2/1 + 4/2 = 5; I2: 4/2 + 2/1 + 10/10 = 5 *)
+  Helpers.check_float "period" 5. (Metrics.period inst.app inst.platform m);
+  (* latency = (1+2) + (2+2) + 1 = 8 *)
+  Helpers.check_float "latency" 8. (Metrics.latency inst.app inst.platform m)
+
+let test_metrics_rejects_mismatch () =
+  let inst = Helpers.small_instance () in
+  let m = Mapping.single ~n:3 ~proc:0 in
+  Alcotest.check_raises "wrong n"
+    (Invalid_argument "Metrics: mapping and application disagree on n") (fun () ->
+      ignore (Metrics.period inst.app inst.platform m))
+
+let test_metrics_zero_deltas () =
+  (* With δ = 0 and b = 1 the period reduces to the weighted bottleneck. *)
+  let app = Application.make ~deltas:[| 0.; 0.; 0. |] [| 6.; 3. |] in
+  let pl = Platform.comm_homogeneous ~bandwidth:1. [| 2.; 3. |] in
+  let m = Mapping.one_to_one ~procs:[| 1; 0 |] in
+  Helpers.check_float "period" 2. (Metrics.period app pl m);
+  Helpers.check_float "latency" 3.5 (Metrics.latency app pl m)
+
+let prop_one_interval_period_equals_latency =
+  Helpers.qtest "single-interval mapping: period = latency"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let inst = Helpers.random_instance seed in
+      let n = Application.n inst.app in
+      let mapping = Mapping.single ~n ~proc:0 in
+      let s = Metrics.summary inst.app inst.platform mapping in
+      Helpers.feq s.Metrics.period s.Metrics.latency)
+
+let prop_period_at_most_latency_for_two_intervals =
+  (* With identical in/out bandwidths, each cycle-time is a subset of the
+     terms summed by the latency, so period <= latency always holds on
+     comm-homogeneous platforms. *)
+  Helpers.qtest "period <= latency (comm-hom)"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let inst = Helpers.random_instance seed in
+      let n = Application.n inst.app in
+      let p = Platform.p inst.platform in
+      let mapping =
+        if n >= 2 && p >= 2 then Mapping.of_cuts ~n ~cuts:[ n / 2 ] ~procs:[ 0; 1 ]
+        else Mapping.single ~n ~proc:0
+      in
+      let s = Metrics.summary inst.app inst.platform mapping in
+      s.Metrics.period <= s.Metrics.latency +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Generators and Instance                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_app_generator_e1 () =
+  let rng = Pipeline_util.Rng.create 1 in
+  let app = App_generator.generate rng (App_generator.e1 ~n:20) in
+  Alcotest.(check int) "n" 20 (Application.n app);
+  for k = 0 to 20 do
+    Helpers.check_float "homogeneous deltas" 10. (Application.delta app k)
+  done;
+  for k = 1 to 20 do
+    let w = Application.work app k in
+    Alcotest.(check bool) "w in [1,20]" true (w >= 1. && w <= 20.);
+    Helpers.check_float "integer" (Float.round w) w
+  done
+
+let test_app_generator_e2_ranges () =
+  let rng = Pipeline_util.Rng.create 2 in
+  let app = App_generator.generate rng (App_generator.e2 ~n:50) in
+  for k = 0 to 50 do
+    let d = Application.delta app k in
+    Alcotest.(check bool) "delta in [1,100]" true (d >= 1. && d <= 100.)
+  done
+
+let test_app_generator_e3_ranges () =
+  let rng = Pipeline_util.Rng.create 3 in
+  let app = App_generator.generate rng (App_generator.e3 ~n:50) in
+  for k = 1 to 50 do
+    let w = Application.work app k in
+    Alcotest.(check bool) "w in [10,1000]" true (w >= 10. && w <= 1000.)
+  done
+
+let test_app_generator_e4_fractional () =
+  let rng = Pipeline_util.Rng.create 4 in
+  let app = App_generator.generate rng (App_generator.e4 ~n:100) in
+  let fractional = ref false in
+  for k = 1 to 100 do
+    let w = Application.work app k in
+    Alcotest.(check bool) "w in [0.01,10]" true (w >= 0.01 && w <= 10.);
+    if Float.round w <> w then fractional := true
+  done;
+  Alcotest.(check bool) "not all integers" true !fractional
+
+let test_platform_generator_ranges () =
+  let rng = Pipeline_util.Rng.create 5 in
+  let pl = Platform_generator.comm_homogeneous rng ~p:50 in
+  Alcotest.(check bool) "comm hom" true (Platform.is_comm_homogeneous pl);
+  Array.iter
+    (fun s -> Alcotest.(check bool) "speed in [1,20]" true (s >= 1. && s <= 20.))
+    (Platform.speeds pl);
+  Helpers.check_float "b" 10. (Platform.io_bandwidth pl 0)
+
+let test_platform_generator_het () =
+  let rng = Pipeline_util.Rng.create 6 in
+  let pl = Platform_generator.fully_heterogeneous rng ~p:8 in
+  Alcotest.(check bool) "not comm hom (almost surely)" true
+    (not (Platform.is_comm_homogeneous pl));
+  for u = 0 to 7 do
+    for v = 0 to 7 do
+      if u <> v then begin
+        let b = Platform.bandwidth pl u v in
+        Alcotest.(check bool) "b in [5,15]" true (b >= 5. && b <= 15.);
+        Helpers.check_float "symmetric" b (Platform.bandwidth pl v u)
+      end
+    done
+  done
+
+let test_instance_helpers () =
+  let inst = Helpers.small_instance () in
+  let single = Instance.single_proc_mapping inst in
+  Alcotest.(check int) "fastest proc" 1 (Mapping.proc single 0);
+  Helpers.check_float "optimal latency" 7. (Instance.optimal_latency inst);
+  Helpers.check_float "single period" 7. (Instance.single_proc_period inst)
+
+
+(* ------------------------------------------------------------------ *)
+(* Instance_io                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sample_text =
+  "# demo\n\
+   pipeline 3\n\
+   labels load fft store\n\
+   works 4 8 2\t# trailing comment\n\
+   deltas 10 20 30 20\n\
+   platform comm-hom\n\
+   bandwidth 10\n\
+   speeds 2 4 1\n"
+
+let test_io_parse () =
+  match Instance_io.of_string sample_text with
+  | Error e -> Alcotest.failf "parse error: %a" Instance_io.pp_error e
+  | Ok inst ->
+    Alcotest.(check int) "n" 3 (Application.n inst.Instance.app);
+    Alcotest.(check string) "label" "fft" (Application.label inst.Instance.app 2);
+    Helpers.check_float "w2" 8. (Application.work inst.Instance.app 2);
+    Helpers.check_float "speed" 4. (Platform.speed inst.Instance.platform 1);
+    Alcotest.(check bool) "comm hom" true
+      (Platform.is_comm_homogeneous inst.Instance.platform)
+
+let test_io_roundtrip_comm_hom () =
+  let inst = Helpers.small_instance () in
+  match Instance_io.of_string (Instance_io.to_string inst) with
+  | Error e -> Alcotest.failf "roundtrip error: %a" Instance_io.pp_error e
+  | Ok back ->
+    Alcotest.(check bool) "app equal" true
+      (Application.equal inst.Instance.app back.Instance.app);
+    Alcotest.(check bool) "platform equal" true
+      (Platform.equal inst.Instance.platform back.Instance.platform)
+
+let test_io_roundtrip_het () =
+  let bandwidths = [| [| 0.; 2.; 5. |]; [| 2.; 0.; 3. |]; [| 5.; 3.; 0. |] |] in
+  let pl =
+    Platform.fully_heterogeneous ~io_bandwidths:[| 7.; 8.; 9. |] ~bandwidths
+      [| 1.; 2.; 3. |]
+  in
+  let inst = Instance.make (Application.uniform ~n:2 ~work:1. ~delta:1.) pl in
+  match Instance_io.of_string (Instance_io.to_string inst) with
+  | Error e -> Alcotest.failf "roundtrip error: %a" Instance_io.pp_error e
+  | Ok back ->
+    Alcotest.(check bool) "platform equal" true
+      (Platform.equal inst.Instance.platform back.Instance.platform)
+
+let test_io_reports_line () =
+  match Instance_io.of_string "pipeline 2\nworks 1 x\n" with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e -> Alcotest.(check int) "line" 2 e.Instance_io.line
+
+let test_io_unknown_key () =
+  match Instance_io.of_string "pipeline 1\nbogus 1\n" with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e ->
+    Alcotest.(check bool) "mentions key" true
+      (Str_find.contains e.Instance_io.message "bogus")
+
+let test_io_missing_sections () =
+  (match Instance_io.of_string "works 1\ndeltas 0 0\n" with
+  | Error e ->
+    Alcotest.(check bool) "missing pipeline" true
+      (Str_find.contains e.Instance_io.message "pipeline")
+  | Ok _ -> Alcotest.fail "expected error");
+  match
+    Instance_io.of_string "pipeline 1\nworks 1\ndeltas 0 0\nplatform comm-hom\nspeeds 1\n"
+  with
+  | Error e ->
+    Alcotest.(check bool) "missing bandwidth" true
+      (Str_find.contains e.Instance_io.message "bandwidth")
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_io_het_missing_link () =
+  let text =
+    "pipeline 1\nworks 1\ndeltas 0 0\nplatform fully-het\nspeeds 1 1 1\nlink 0 1 5\n"
+  in
+  match Instance_io.of_string text with
+  | Error e ->
+    Alcotest.(check bool) "names the missing link" true
+      (Str_find.contains e.Instance_io.message "link 0 2")
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_io_shape_mismatch () =
+  match Instance_io.of_string "pipeline 2\nworks 1\ndeltas 0 0 0\nplatform comm-hom\nbandwidth 1\nspeeds 1\n" with
+  | Error e ->
+    Alcotest.(check bool) "works shape" true
+      (Str_find.contains e.Instance_io.message "works")
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_io_file_roundtrip () =
+  let dir = Filename.temp_file "pwio" "" in
+  Sys.remove dir;
+  let path = Filename.concat dir "instance.pw" in
+  let inst = Helpers.small_instance () in
+  Instance_io.save path inst;
+  match Instance_io.load path with
+  | Error e -> Alcotest.failf "load error: %a" Instance_io.pp_error e
+  | Ok back ->
+    Alcotest.(check bool) "equal" true
+      (Application.equal inst.Instance.app back.Instance.app)
+
+let test_io_load_missing_file () =
+  match Instance_io.load "/nonexistent/nope.pw" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e -> Alcotest.(check int) "line 0" 0 e.Instance_io.line
+
+let prop_io_roundtrip_random =
+  Helpers.qtest ~count:60 "of_string (to_string inst) preserves the instance"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let inst = Helpers.random_instance seed in
+      match Instance_io.of_string (Instance_io.to_string inst) with
+      | Error _ -> false
+      | Ok back ->
+        Application.equal inst.Instance.app back.Instance.app
+        && Platform.equal inst.Instance.platform back.Instance.platform)
+
+
+(* ------------------------------------------------------------------ *)
+(* Skeleton                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let demo_skeleton () =
+  Skeleton.(
+    pipeline
+      [
+        stage "decode" ~work:55. ~out:6.2;
+        stage "scale" ~work:30. ~out:3.1;
+        deal (stage "encode" ~work:140. ~out:0.5);
+        stage "mux" ~work:6. ~out:0.4;
+      ])
+
+let test_skeleton_compiles () =
+  let app = Skeleton.to_application ~input:0.8 (demo_skeleton ()) in
+  Alcotest.(check int) "n" 4 (Application.n app);
+  Helpers.check_float "input" 0.8 (Application.delta app 0);
+  Helpers.check_float "encode work" 140. (Application.work app 3);
+  Helpers.check_float "encode out" 0.5 (Application.delta app 3);
+  Alcotest.(check string) "label" "encode" (Application.label app 3)
+
+let test_skeleton_deal_stages () =
+  Alcotest.(check (list int)) "replicable" [ 3 ] (Skeleton.deal_stages (demo_skeleton ()));
+  Alcotest.(check (list int)) "deal over a pipeline marks all" [ 1; 2 ]
+    Skeleton.(
+      deal_stages
+        (deal (pipeline [ stage "a" ~work:1. ~out:1.; stage "b" ~work:1. ~out:1. ])))
+
+let test_skeleton_flattens () =
+  let nested =
+    Skeleton.(
+      pipeline
+        [
+          pipeline [ stage "a" ~work:1. ~out:1.; stage "b" ~work:2. ~out:2. ];
+          stage "c" ~work:3. ~out:3.;
+        ])
+  in
+  Alcotest.(check int) "length" 3 (Skeleton.length nested);
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ]
+    (List.map (fun (l, _, _) -> l) (Skeleton.stages nested))
+
+let test_skeleton_pp_and_roundtrip () =
+  let s = demo_skeleton () in
+  Alcotest.(check string) "pp" "decode >> scale >> deal(encode) >> mux"
+    (Format.asprintf "%a" Skeleton.pp s);
+  let app = Skeleton.to_application ~input:0.8 s in
+  let lifted = Skeleton.of_application app in
+  let app' = Skeleton.to_application ~input:0.8 lifted in
+  Alcotest.(check bool) "roundtrip" true (Application.equal app app')
+
+let test_skeleton_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Skeleton.pipeline: empty pipeline")
+    (fun () -> ignore (Skeleton.pipeline []))
+
+(* ------------------------------------------------------------------ *)
+(* Mapping_io                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_mapping_io_to_string () =
+  let m = Mapping.of_cuts ~n:6 ~cuts:[ 3; 4 ] ~procs:[ 2; 0; 1 ] in
+  Alcotest.(check string) "compact" "1-3:2 4:0 5-6:1" (Mapping_io.to_string m)
+
+let test_mapping_io_parse () =
+  match Mapping_io.of_string "1-3:2 4:0 5-6:1" with
+  | Error e -> Alcotest.fail e
+  | Ok m ->
+    Alcotest.(check int) "n" 6 (Mapping.n m);
+    Alcotest.(check int) "m" 3 (Mapping.m m);
+    Alcotest.(check int) "proc of 4" 0 (Mapping.proc_of_stage m 4)
+
+let test_mapping_io_errors () =
+  let is_error s = match Mapping_io.of_string s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "empty" true (is_error "");
+  Alcotest.(check bool) "gap" true (is_error "1-2:0 4-5:1");
+  Alcotest.(check bool) "dup proc" true (is_error "1-2:0 3-4:0");
+  Alcotest.(check bool) "garbage" true (is_error "1..2:0");
+  Alcotest.(check bool) "bad proc" true (is_error "1-2:x")
+
+let prop_mapping_io_roundtrip =
+  Helpers.qtest "mapping text roundtrip"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let inst = Helpers.random_instance seed in
+      let rng = Pipeline_util.Rng.create (seed + 3) in
+      let n = Application.n inst.Instance.app in
+      let p = Platform.p inst.Instance.platform in
+      let m = 1 + Pipeline_util.Rng.int rng (min n p) in
+      let cuts =
+        if m = 1 then []
+        else begin
+          let positions = Array.init (n - 1) (fun i -> i + 1) in
+          Pipeline_util.Rng.shuffle rng positions;
+          List.sort compare (Array.to_list (Array.sub positions 0 (m - 1)))
+        end
+      in
+      let procs =
+        Array.to_list (Array.sub (Pipeline_util.Rng.permutation rng p) 0 m)
+      in
+      let mapping = Mapping.of_cuts ~n ~cuts ~procs in
+      match Mapping_io.of_string (Mapping_io.to_string mapping) with
+      | Ok back -> Mapping.equal mapping back
+      | Error _ -> false)
+
+
+(* ------------------------------------------------------------------ *)
+(* Transform                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_coarsen_shapes () =
+  let app = Application.make ~deltas:[| 1.; 2.; 3.; 4.; 5.; 6. |] [| 10.; 20.; 30.; 40.; 50. |] in
+  let coarse = Transform.coarsen ~factor:2 app in
+  Alcotest.(check int) "groups" 3 (Application.n coarse);
+  Helpers.check_float "g1 work" 30. (Application.work coarse 1);
+  Helpers.check_float "g3 work (short tail)" 50. (Application.work coarse 3);
+  Helpers.check_float "d0 kept" 1. (Application.delta coarse 0);
+  Helpers.check_float "boundary delta" 3. (Application.delta coarse 1);
+  Helpers.check_float "final delta" 6. (Application.delta coarse 3);
+  Alcotest.(check string) "joined labels" "S1+S2" (Application.label coarse 1)
+
+let prop_coarsen_preserves_metrics =
+  (* Any mapping of the coarse app, lifted back, has identical period and
+     latency on the original instance. *)
+  Helpers.qtest ~count:60 "coarse mapping metrics = refined mapping metrics"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 1 4))
+    (fun (seed, factor) ->
+      let inst = Helpers.random_instance seed in
+      let n = Application.n inst.Instance.app in
+      let coarse_app = Transform.coarsen ~factor inst.Instance.app in
+      let coarse_inst = Instance.make coarse_app inst.Instance.platform in
+      let groups = Application.n coarse_app in
+      let p = Platform.p inst.Instance.platform in
+      let rng = Pipeline_util.Rng.create (seed + 11) in
+      let m = 1 + Pipeline_util.Rng.int rng (min groups p) in
+      let cuts =
+        if m = 1 then []
+        else begin
+          let positions = Array.init (groups - 1) (fun i -> i + 1) in
+          Pipeline_util.Rng.shuffle rng positions;
+          List.sort compare (Array.to_list (Array.sub positions 0 (m - 1)))
+        end
+      in
+      let procs =
+        Array.to_list (Array.sub (Pipeline_util.Rng.permutation rng p) 0 m)
+      in
+      let coarse_mapping = Mapping.of_cuts ~n:groups ~cuts ~procs in
+      let refined = Transform.refine_mapping ~factor ~n coarse_mapping in
+      let a = Metrics.summary coarse_app coarse_inst.Instance.platform coarse_mapping in
+      let b = Metrics.summary inst.Instance.app inst.Instance.platform refined in
+      Helpers.feq a.Metrics.period b.Metrics.period
+      && Helpers.feq a.Metrics.latency b.Metrics.latency)
+
+let test_coarse_solve_lifts () =
+  let inst = Helpers.random_instance 909 in
+  let solve (coarse : Instance.t) =
+    Option.map
+      (fun (s : Pipeline_core.Solution.t) -> s.Pipeline_core.Solution.mapping)
+      (Pipeline_core.Sp_mono_p.solve coarse
+         ~period:(Instance.single_proc_period coarse))
+  in
+  match Transform.coarse_solve ~factor:2 ~solve inst with
+  | None -> Alcotest.fail "expected a lifted mapping"
+  | Some mapping ->
+    Alcotest.(check int) "covers all original stages"
+      (Application.n inst.Instance.app)
+      (Mapping.n mapping)
+
+let test_refine_rejects_mismatch () =
+  let mapping = Mapping.single ~n:2 ~proc:0 in
+  Alcotest.(check bool) "wrong size" true
+    (try
+       ignore (Transform.refine_mapping ~factor:2 ~n:10 mapping);
+       false
+     with Invalid_argument _ -> true)
+
+let test_scale () =
+  let app = Helpers.small_app () in
+  let scaled = Transform.scale ~work:2. ~data:0.5 app in
+  Helpers.check_float "work doubled" 8. (Application.work scaled 1);
+  Helpers.check_float "delta halved" 5. (Application.delta scaled 0);
+  Alcotest.(check bool) "bad factor" true
+    (try ignore (Transform.scale ~work:0. app); false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "application",
+        [
+          Alcotest.test_case "basics" `Quick test_app_basic;
+          Alcotest.test_case "work_sum" `Quick test_app_work_sum;
+          Alcotest.test_case "bad shapes" `Quick test_app_bad_shapes;
+          Alcotest.test_case "rejects negative" `Quick test_app_rejects_negative;
+          Alcotest.test_case "rejects nan" `Quick test_app_rejects_nan;
+          Alcotest.test_case "uniform" `Quick test_app_uniform;
+          Alcotest.test_case "of_stages" `Quick test_app_of_stages;
+          Alcotest.test_case "labels" `Quick test_app_labels;
+          Alcotest.test_case "out of range" `Quick test_app_out_of_range;
+          Alcotest.test_case "defensive copies" `Quick test_app_copies_arrays;
+          Alcotest.test_case "equal" `Quick test_app_equal;
+          prop_work_sum_matches_naive;
+        ] );
+      ( "platform",
+        [
+          Alcotest.test_case "comm hom" `Quick test_platform_comm_hom;
+          Alcotest.test_case "self bandwidth" `Quick
+            test_platform_self_bandwidth_infinite;
+          Alcotest.test_case "fully hom" `Quick test_platform_fully_homogeneous;
+          Alcotest.test_case "fastest/order" `Quick test_platform_fastest_and_order;
+          Alcotest.test_case "fully het" `Quick test_platform_het;
+          Alcotest.test_case "asymmetric rejected" `Quick
+            test_platform_het_asymmetric_rejected;
+          Alcotest.test_case "bad speed" `Quick test_platform_rejects_bad_speed;
+          Alcotest.test_case "custom io" `Quick test_platform_custom_io;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "basics" `Quick test_interval_basics;
+          Alcotest.test_case "bad" `Quick test_interval_bad;
+          Alcotest.test_case "split" `Quick test_interval_split;
+          Alcotest.test_case "split bad" `Quick test_interval_split_bad;
+          Alcotest.test_case "partition_of" `Quick test_interval_partition_of;
+        ] );
+      ( "mapping",
+        [
+          Alcotest.test_case "make" `Quick test_mapping_make;
+          Alcotest.test_case "bad partition" `Quick test_mapping_rejects_bad_partition;
+          Alcotest.test_case "duplicate proc" `Quick test_mapping_rejects_duplicate_proc;
+          Alcotest.test_case "single / one-to-one" `Quick
+            test_mapping_single_and_one_to_one;
+          Alcotest.test_case "of_cuts" `Quick test_mapping_of_cuts;
+          Alcotest.test_case "replace" `Quick test_mapping_replace;
+          Alcotest.test_case "replace bad tiling" `Quick test_mapping_replace_bad_tiling;
+          Alcotest.test_case "interval_of_proc" `Quick test_mapping_interval_of_proc;
+          Alcotest.test_case "valid_on" `Quick test_mapping_valid_on;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "single proc" `Quick test_metrics_single_proc;
+          Alcotest.test_case "two intervals" `Quick test_metrics_two_intervals;
+          Alcotest.test_case "summary" `Quick test_metrics_summary_consistent;
+          Alcotest.test_case "heterogeneous links" `Quick test_metrics_het_uses_links;
+          Alcotest.test_case "mismatch rejected" `Quick test_metrics_rejects_mismatch;
+          Alcotest.test_case "zero deltas" `Quick test_metrics_zero_deltas;
+          prop_one_interval_period_equals_latency;
+          prop_period_at_most_latency_for_two_intervals;
+        ] );
+      ( "instance-io",
+        [
+          Alcotest.test_case "parse" `Quick test_io_parse;
+          Alcotest.test_case "roundtrip comm-hom" `Quick test_io_roundtrip_comm_hom;
+          Alcotest.test_case "roundtrip het" `Quick test_io_roundtrip_het;
+          Alcotest.test_case "reports line" `Quick test_io_reports_line;
+          Alcotest.test_case "unknown key" `Quick test_io_unknown_key;
+          Alcotest.test_case "missing sections" `Quick test_io_missing_sections;
+          Alcotest.test_case "het missing link" `Quick test_io_het_missing_link;
+          Alcotest.test_case "shape mismatch" `Quick test_io_shape_mismatch;
+          Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
+          Alcotest.test_case "missing file" `Quick test_io_load_missing_file;
+          prop_io_roundtrip_random;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "coarsen shapes" `Quick test_coarsen_shapes;
+          prop_coarsen_preserves_metrics;
+          Alcotest.test_case "coarse_solve lifts" `Quick test_coarse_solve_lifts;
+          Alcotest.test_case "refine mismatch" `Quick test_refine_rejects_mismatch;
+          Alcotest.test_case "scale" `Quick test_scale;
+        ] );
+      ( "skeleton",
+        [
+          Alcotest.test_case "compiles" `Quick test_skeleton_compiles;
+          Alcotest.test_case "deal stages" `Quick test_skeleton_deal_stages;
+          Alcotest.test_case "flattens" `Quick test_skeleton_flattens;
+          Alcotest.test_case "pp/roundtrip" `Quick test_skeleton_pp_and_roundtrip;
+          Alcotest.test_case "empty rejected" `Quick test_skeleton_empty_rejected;
+        ] );
+      ( "mapping-io",
+        [
+          Alcotest.test_case "to_string" `Quick test_mapping_io_to_string;
+          Alcotest.test_case "parse" `Quick test_mapping_io_parse;
+          Alcotest.test_case "errors" `Quick test_mapping_io_errors;
+          prop_mapping_io_roundtrip;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "E1" `Quick test_app_generator_e1;
+          Alcotest.test_case "E2 ranges" `Quick test_app_generator_e2_ranges;
+          Alcotest.test_case "E3 ranges" `Quick test_app_generator_e3_ranges;
+          Alcotest.test_case "E4 fractional" `Quick test_app_generator_e4_fractional;
+          Alcotest.test_case "platform ranges" `Quick test_platform_generator_ranges;
+          Alcotest.test_case "platform het" `Quick test_platform_generator_het;
+          Alcotest.test_case "instance helpers" `Quick test_instance_helpers;
+        ] );
+    ]
