@@ -7,6 +7,8 @@
      dune exec bench/main.exe -- --table1     # only Table 1
      dune exec bench/main.exe -- --timings    # only the Bechamel timings
      dune exec bench/main.exe -- --ablation   # only the ablation studies
+     dune exec bench/main.exe -- --faults     # only the fault campaign
+     dune exec bench/main.exe -- --smoke      # tiny end-to-end wiring check
 
    For every figure and table of the paper's evaluation (§5) this
    harness regenerates the corresponding data series and prints them,
@@ -27,6 +29,8 @@ type options = {
   mutable table1 : bool;
   mutable timings : bool;
   mutable ablation : bool;
+  mutable faults : bool;
+  mutable smoke : bool;
   mutable pairs : int;
   mutable points : int;
   mutable seed : int;
@@ -39,6 +43,8 @@ let options =
     table1 = true;
     timings = true;
     ablation = true;
+    faults = true;
+    smoke = false;
     pairs = 50;
     points = 15;
     seed = 2007;
@@ -47,14 +53,22 @@ let options =
 
 let select which =
   (* The first explicit section flag turns the others off. *)
-  if options.figures && options.table1 && options.timings && options.ablation
+  if
+    options.figures && options.table1 && options.timings && options.ablation
+    && options.faults
   then begin
     options.figures <- false;
     options.table1 <- false;
     options.timings <- false;
-    options.ablation <- false
+    options.ablation <- false;
+    options.faults <- false
   end;
   which ()
+
+(* Smoke mode shrinks every hardcoded batch so the whole harness stays
+   runtest-sized. *)
+let scale pairs = if options.smoke then min pairs 3 else pairs
+let sim_datasets datasets = if options.smoke then 40 else datasets
 
 let parse_args () =
   let spec =
@@ -67,6 +81,16 @@ let parse_args () =
        " only run the Bechamel timings");
       ("--ablation", Arg.Unit (fun () -> select (fun () -> options.ablation <- true)),
        " only run the ablation studies");
+      ("--faults", Arg.Unit (fun () -> select (fun () -> options.faults <- true)),
+       " only run the fault-injection campaign");
+      ("--smoke",
+       Arg.Unit
+         (fun () ->
+           options.smoke <- true;
+           options.timings <- false;
+           options.pairs <- 2;
+           options.points <- 3),
+       " end-to-end wiring check (tiny batches, no timings)");
       ("--quick",
        Arg.Unit
          (fun () ->
@@ -267,8 +291,8 @@ let ablation_fallback () =
     "Ablation 1: pure 3-exploration (paper) vs 2-way-split fallback extension\n";
   Printf.printf
     "(failure thresholds on E1, p = 10: lower = more robust; %d pairs)\n\n"
-    (min options.pairs 20);
-  let pairs = min options.pairs 20 in
+    (scale (min options.pairs 20));
+  let pairs = scale (min options.pairs 20) in
   let ns = [ 10; 20; 40 ] in
   Printf.printf "%-22s" "heuristic";
   List.iter (fun n -> Printf.printf "%10s" (Printf.sprintf "n=%d" n)) ns;
@@ -297,7 +321,7 @@ let ablation_overlap () =
   Printf.printf "(simulated steady-state period on mapped E2 instances)\n\n";
   let rng = Pipeline_util.Rng.create options.seed in
   let ratios = ref [] in
-  for i = 1 to 30 do
+  for i = 1 to scale 30 do
     let n = 5 + Pipeline_util.Rng.int rng 30 in
     let app = App_generator.generate rng (App_generator.e2 ~n) in
     let platform = Platform_generator.comm_homogeneous rng ~p:10 in
@@ -308,7 +332,7 @@ let ablation_overlap () =
     | Some sol ->
       let run mode =
         Pipeline_sim.Trace.steady_period
-          (Pipeline_sim.Runner.run ~mode inst sol.Solution.mapping ~datasets:150)
+          (Pipeline_sim.Runner.run ~mode inst sol.Solution.mapping ~datasets:(sim_datasets 150))
       in
       let no = run Pipeline_sim.Runner.One_port_no_overlap in
       let ov = run Pipeline_sim.Runner.Multi_port_overlap in
@@ -333,7 +357,7 @@ let ablation_baselines () =
   Printf.printf
     "(average period after unconstrained splitting vs comm-oblivious and random)\n\n";
   let setup =
-    E.Config.default_setup ~pairs:20 ~seed:options.seed E.Config.E2 ~n:40 ~p:10
+    E.Config.default_setup ~pairs:(scale 20) ~seed:options.seed E.Config.E2 ~n:40 ~p:10
   in
   let batch = E.Workload.instances setup in
   let avg f =
@@ -367,7 +391,7 @@ let ablation_deal () =
     "(min period with unbounded latency budget; the deal replicates the hot stage)\n\n";
   let rng = Pipeline_util.Rng.create (options.seed + 13) in
   let split_periods = ref [] and deal_periods = ref [] in
-  for i = 1 to 20 do
+  for i = 1 to scale 20 do
     let n = 5 + Pipeline_util.Rng.int rng 10 in
     let works =
       Array.init n (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 5 20))
@@ -404,7 +428,7 @@ let ablation_het () =
     \ 20 random fully-het instances, n <= 8, p <= 4)\n\n";
   let rng = Pipeline_util.Rng.create (options.seed + 17) in
   let ratios = ref [] in
-  for i = 1 to 20 do
+  for i = 1 to scale 20 do
     let n = 2 + Pipeline_util.Rng.int rng 7 in
     let p = 2 + Pipeline_util.Rng.int rng 3 in
     let works =
@@ -437,7 +461,7 @@ let ablation_robustness () =
     "(simulated period / analytic period under multiplicative noise;\n\
     \ mappings produced by each heuristic at 0.6 x single-machine period)\n\n";
   let setup =
-    E.Config.default_setup ~pairs:10 ~seed:options.seed E.Config.E2 ~n:20 ~p:10
+    E.Config.default_setup ~pairs:(scale 10) ~seed:options.seed E.Config.E2 ~n:20 ~p:10
   in
   let batch = E.Workload.instances setup in
   let levels = [ 0.; 0.1; 0.3; 0.5 ] in
@@ -448,7 +472,7 @@ let ablation_robustness () =
     (fun (info : Registry.info) ->
       if info.Registry.kind = Registry.Period_fixed then begin
         let series =
-          E.Robustness.series ~datasets:200 ~noise_levels:levels info batch
+          E.Robustness.series ~datasets:(sim_datasets 200) ~noise_levels:levels info batch
         in
         Printf.printf "%-20s" info.Registry.paper_name;
         List.iter
@@ -465,7 +489,7 @@ let ablation_polish () =
     "(average latency at a 0.5 x single-machine period threshold;\n\
     \ polished = heuristic + steepest descent under the period constraint)\n\n";
   let setup =
-    E.Config.default_setup ~pairs:15 ~seed:options.seed E.Config.E2 ~n:12 ~p:8
+    E.Config.default_setup ~pairs:(scale 15) ~seed:options.seed E.Config.E2 ~n:12 ~p:8
   in
   let batch = E.Workload.instances setup in
   Printf.printf "%-20s %12s %12s %12s\n" "heuristic" "raw" "polished" "exact";
@@ -511,7 +535,7 @@ let ablation_branch_bound () =
     "(E2, n = 12, p = 100: branch-and-bound with speed-symmetry pruning vs\n\
     \ unconstrained splitting; 10 instances)\n\n";
   let setup =
-    E.Config.default_setup ~pairs:10 ~seed:options.seed E.Config.E2 ~n:12 ~p:100
+    E.Config.default_setup ~pairs:(scale 10) ~seed:options.seed E.Config.E2 ~n:12 ~p:100
   in
   let batch = E.Workload.instances setup in
   let gaps = ref [] and proven = ref 0 in
@@ -521,7 +545,8 @@ let ablation_branch_bound () =
       | None -> ()
       | Some h ->
         let result =
-          Pipeline_optimal.Branch_bound.min_period ~node_budget:500_000
+          Pipeline_optimal.Branch_bound.min_period
+            ~node_budget:(if options.smoke then 20_000 else 500_000)
             ~initial:h inst
         in
         if result.Pipeline_optimal.Branch_bound.proven_optimal then incr proven;
@@ -548,6 +573,34 @@ let run_ablation () =
   ablation_branch_bound ()
 
 (* ------------------------------------------------------------------ *)
+(* Fault-injection campaign                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_faults () =
+  section
+    (Printf.sprintf
+       "FAULT CAMPAIGN: crash injection, recovery, online remapping (seed %d)"
+       options.seed);
+  Printf.printf
+    "(H1 mappings at 0.6 x single-processor period; permanent crashes vs\n\
+    \ 10-period outages with 3 retries; remap asked to meet 1.2 x the\n\
+    \ original threshold on the survivors)\n\n";
+  let datasets = sim_datasets 150 in
+  List.iter
+    (fun (experiment, n, p) ->
+      let setup =
+        E.Config.default_setup
+          ~pairs:(scale (min options.pairs 15))
+          ~seed:options.seed experiment ~n ~p
+      in
+      let campaign = E.Fault_campaign.run ~datasets setup in
+      print_endline (E.Fault_campaign.render campaign);
+      let paths = E.Fault_campaign.write ~dir:options.out campaign in
+      List.iter (Printf.printf "  wrote %s\n") paths;
+      print_newline ())
+    [ (E.Config.E1, 10, 10); (E.Config.E2, 10, 10); (E.Config.E2, 20, 10) ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   parse_args ();
@@ -557,6 +610,7 @@ let () =
   if options.figures then run_figures ();
   if options.table1 then run_table1 ();
   if options.ablation then run_ablation ();
+  if options.faults then run_faults ();
   if options.timings then run_timings ();
   print_newline ();
   print_endline "done."

@@ -4,6 +4,10 @@
      pipeline-sched solve      --works 4,8,2,6 --deltas 10,20,30,20,10 \
                                --speeds 2,4,1 --period 9 --exact
      pipeline-sched solve      --file app.pw --latency 30
+     pipeline-sched solve      --file app.pw --period 9 --reliability 0.05 \
+                               --fail-prob 0.1
+     pipeline-sched simulate   --file app.pw --crash 40:1:80 --retries 2 \
+                               --backoff 5
      pipeline-sched one-to-one --file app.pw --pareto
      pipeline-sched deal       --file app.pw --period 5
      pipeline-sched scalarised --file app.pw --alpha 0.3
@@ -110,6 +114,48 @@ let latency_arg =
     & opt (some float) None
     & info [ "latency" ] ~doc:"Fixed latency: minimise period.")
 
+let reliability_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "reliability" ] ~docv:"F"
+        ~doc:
+          "Failure-probability bound in [0,1]: minimise latency under both \
+           the period bound and $(docv) (tri-criteria, deal mappings with \
+           replication). Requires --period and --fail-prob.")
+
+let fail_prob_arg =
+  Arg.(
+    value
+    & opt (some floats_conv) None
+    & info [ "fail-prob" ] ~docv:"F1,..,FP"
+        ~doc:
+          "Per-processor failure probabilities (one value is broadcast to \
+           every processor).")
+
+(* Build the reliability vector from --fail-prob: one value broadcasts,
+   otherwise one entry per processor. *)
+let reliability_of inst = function
+  | None -> die "--reliability requires --fail-prob"
+  | Some probs ->
+    let p = Platform.p inst.Instance.platform in
+    if Array.length probs = 1 then Reliability.uniform ~p probs.(0)
+    else if Array.length probs = p then Reliability.make probs
+    else
+      die "--fail-prob needs 1 or %d values, got %d" p (Array.length probs)
+
+let solve_reliability inst ~period ~failure fail_prob =
+  let rel = reliability_of inst fail_prob in
+  match Pipeline_ft.Ft_heuristic.minimise_latency inst rel ~period ~failure with
+  | None ->
+    Format.printf "%-18s infeasible (period %g, failure %g)@." "tri-criteria"
+      period failure
+  | Some sol ->
+    Format.printf "%-18s %s period=%g latency=%g failure=%.3g@." "tri-criteria"
+      (Pipeline_deal.Deal_mapping.to_string sol.Pipeline_ft.Ft_heuristic.mapping)
+      sol.Pipeline_ft.Ft_heuristic.period sol.Pipeline_ft.Ft_heuristic.latency
+      sol.Pipeline_ft.Ft_heuristic.failure
+
 let solve_cmd =
   let heuristic =
     Arg.(
@@ -126,8 +172,17 @@ let solve_cmd =
       & info [ "polish" ]
           ~doc:"Post-optimise each heuristic solution by local search.")
   in
-  let run inst period latency heuristic exact polish =
+  let run inst period latency heuristic exact polish reliability fail_prob =
     Format.printf "%a@." Instance.pp inst;
+    match reliability with
+    | Some failure ->
+      let period =
+        match (period, latency) with
+        | Some p, None -> p
+        | _ -> die "--reliability requires --period (and excludes --latency)"
+      in
+      solve_reliability inst ~period ~failure fail_prob
+    | None ->
     let kind, threshold =
       match (period, latency) with
       | Some p, None -> (Registry.Period_fixed, p)
@@ -204,7 +259,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Map one pipeline instance (het platforms use the het extension).")
     Term.(
       const run $ instance_args $ period_arg $ latency_arg $ heuristic $ exact
-      $ polish)
+      $ polish $ reliability_arg $ fail_prob_arg)
 
 (* ------------------------------------------------------------------ *)
 (* one-to-one                                                          *)
@@ -542,9 +597,69 @@ let eval_cmd =
 (* simulate                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* A crash event on the command line: AT:PROC, or AT:PROC:RECOVER for a
+   transient failure. *)
+let crash_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+           (Printf.sprintf "not a crash spec (AT:PROC or AT:PROC:RECOVER): %s" s))
+    in
+    match String.split_on_char ':' s with
+    | [ at; proc ] -> (
+      try
+        Ok
+          {
+            Pipeline_sim.Fault_sim.at = float_of_string at;
+            proc = int_of_string proc;
+            recover_at = None;
+          }
+      with _ -> fail ())
+    | [ at; proc; recover ] -> (
+      try
+        Ok
+          {
+            Pipeline_sim.Fault_sim.at = float_of_string at;
+            proc = int_of_string proc;
+            recover_at = Some (float_of_string recover);
+          }
+      with _ -> fail ())
+    | _ -> fail ()
+  in
+  let print fmt (c : Pipeline_sim.Fault_sim.crash) =
+    match c.recover_at with
+    | None -> Format.fprintf fmt "%g:%d" c.at c.proc
+    | Some r -> Format.fprintf fmt "%g:%d:%g" c.at c.proc r
+  in
+  Arg.conv (parse, print)
+
 let simulate_cmd =
   let datasets =
     Arg.(value & opt int 50 & info [ "datasets" ] ~doc:"Data sets to feed.")
+  in
+  let crashes =
+    Arg.(
+      value
+      & opt_all crash_conv []
+      & info [ "crash" ] ~docv:"AT:PROC[:RECOVER]"
+          ~doc:
+            "Inject a processor crash at time $(i,AT) (repeatable). Without \
+             $(i,RECOVER) the crash is permanent.")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "retries" ]
+          ~doc:"Re-execution budget per (interval, data set) after recovery.")
+  in
+  let backoff =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "backoff" ]
+          ~doc:"Simulated delay between a recovery and the re-execution.")
   in
   let noise =
     Arg.(
@@ -559,7 +674,8 @@ let simulate_cmd =
       & info [ "trace" ] ~docv:"BASE"
           ~doc:"Write BASE.csv and BASE.json (Chrome trace) for the run.")
   in
-  let run inst period mapping datasets noise trace_out seed =
+  let run inst period mapping datasets noise trace_out seed crashes retries
+      backoff =
     Format.printf "%a@." Instance.pp inst;
     let sol =
       match mapping with
@@ -573,7 +689,45 @@ let simulate_cmd =
         | None -> die "no mapping achieves period %g" threshold
         | Some sol -> sol)
     in
-    begin
+    if crashes <> [] then begin
+      (* Fault injection: the analytic gantt/trace describe the crash-free
+         schedule, so only the measured statistics are reported here. *)
+      Format.printf "mapping: %a@." Solution.pp sol;
+      let module F = Pipeline_sim.Fault_sim in
+      let stats =
+        F.run
+          ~config:
+            {
+              F.base =
+                {
+                  Pipeline_sim.Workload_sim.default_config with
+                  Pipeline_sim.Workload_sim.datasets;
+                  noise =
+                    (if noise = 0. then Pipeline_sim.Workload_sim.No_noise
+                     else Pipeline_sim.Workload_sim.Uniform_factor noise);
+                  seed;
+                };
+              crashes;
+              retry = { F.max_retries = retries; backoff };
+            }
+          inst sol.Solution.mapping
+      in
+      let w = stats.F.workload in
+      Format.printf
+        "faults: %d offered, %d completed (survival %.3f), %d killed \
+         in-flight, %d dropped, %d retries@."
+        stats.F.offered w.Pipeline_sim.Workload_sim.completed (F.survival stats)
+        stats.F.killed stats.F.dropped stats.F.retries;
+      if w.Pipeline_sim.Workload_sim.completed > 0 then
+        Format.printf
+          "steady period %.3f (analytic %.3f); latency mean %.2f p95 %.2f \
+           max %.2f@."
+          w.Pipeline_sim.Workload_sim.steady_period sol.Solution.period
+          w.Pipeline_sim.Workload_sim.latency_mean
+          w.Pipeline_sim.Workload_sim.latency_p95
+          w.Pipeline_sim.Workload_sim.latency_max
+    end
+    else begin
       Format.printf "mapping: %a@." Solution.pp sol;
       let trace = Pipeline_sim.Runner.run inst sol.Solution.mapping ~datasets in
       Format.printf "@.%s@."
@@ -613,10 +767,12 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate"
-       ~doc:"Map with H1 and execute on the simulator (Gantt, stats, traces).")
+       ~doc:
+         "Map with H1 and execute on the simulator (Gantt, stats, traces); \
+          --crash injects processor failures.")
     Term.(
       const run $ instance_args $ period_arg $ mapping_arg $ datasets $ noise
-      $ trace_out $ seed_arg)
+      $ trace_out $ seed_arg $ crashes $ retries $ backoff)
 
 (* ------------------------------------------------------------------ *)
 (* pareto                                                              *)
@@ -639,8 +795,10 @@ let () =
     Cmd.info "pipeline-sched" ~version:"1.0.0"
       ~doc:"Bi-criteria mapping of pipeline workflows (Benoit et al., 2007)."
   in
+  (* [~catch:false] + the handler below: malformed input surfaces as a
+     one-line diagnostic and exit code 2, never a backtrace. *)
   exit
-    (Cmd.eval
+    (try Cmd.eval ~catch:false
        (Cmd.group ~default info
           [
             list_cmd;
@@ -655,4 +813,8 @@ let () =
             campaign_cmd;
             validate_cmd;
             pareto_cmd;
-          ]))
+          ])
+     with
+     | Invalid_argument msg | Failure msg | Sys_error msg ->
+       prerr_endline ("pipeline-sched: " ^ msg);
+       2)

@@ -1,1 +1,1 @@
-lib/deal/deal_exhaustive.mli: Deal_heuristic Instance Pipeline_model
+lib/deal/deal_exhaustive.mli: Deal_heuristic Deal_mapping Instance Pipeline_model

@@ -1,0 +1,1 @@
+lib/deal/deal_reliability.ml: Deal_mapping Float List Pipeline_model Reliability

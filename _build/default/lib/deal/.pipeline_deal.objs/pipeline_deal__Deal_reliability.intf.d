@@ -1,0 +1,1 @@
+lib/deal/deal_reliability.mli: Deal_mapping Mapping Pipeline_model Reliability

@@ -20,28 +20,10 @@ let count_estimate ~n ~p =
 
 let guard = 1e6
 
-let min_period (inst : Instance.t) =
+let iter (inst : Instance.t) consider =
   let n = Application.n inst.app and p = Platform.p inst.platform in
   if count_estimate ~n ~p > guard then
-    invalid_arg "Deal_exhaustive.min_period: instance too large to enumerate";
-  let best = ref None in
-  let consider mapping =
-    let s = Deal_metrics.summary inst mapping in
-    let candidate =
-      {
-        Deal_heuristic.mapping;
-        period = s.Deal_metrics.period;
-        latency = s.Deal_metrics.latency;
-      }
-    in
-    match !best with
-    | Some b
-      when b.Deal_heuristic.period < candidate.Deal_heuristic.period
-           || (b.Deal_heuristic.period = candidate.Deal_heuristic.period
-              && b.Deal_heuristic.latency <= candidate.Deal_heuristic.latency) ->
-      ()
-    | _ -> best := Some candidate
-  in
+    invalid_arg "Deal_exhaustive.iter: instance too large to enumerate";
   (* Non-empty subsets of the free processor bitmask. *)
   let subsets_of mask =
     let rec submasks s acc = if s = 0 then acc else submasks ((s - 1) land mask) (s :: acc) in
@@ -66,7 +48,28 @@ let min_period (inst : Instance.t) =
           (subsets_of free)
       done
   in
-  assign 1 ((1 lsl p) - 1) [];
+  assign 1 ((1 lsl p) - 1) []
+
+let min_period (inst : Instance.t) =
+  let best = ref None in
+  let consider mapping =
+    let s = Deal_metrics.summary inst mapping in
+    let candidate =
+      {
+        Deal_heuristic.mapping;
+        period = s.Deal_metrics.period;
+        latency = s.Deal_metrics.latency;
+      }
+    in
+    match !best with
+    | Some b
+      when b.Deal_heuristic.period < candidate.Deal_heuristic.period
+           || (b.Deal_heuristic.period = candidate.Deal_heuristic.period
+              && b.Deal_heuristic.latency <= candidate.Deal_heuristic.latency) ->
+      ()
+    | _ -> best := Some candidate
+  in
+  iter inst consider;
   match !best with
   | Some sol -> sol
   | None -> assert false (* the single-interval single-replica mapping exists *)

@@ -12,6 +12,13 @@ open Pipeline_model
 val count_estimate : n:int -> p:int -> float
 (** Upper bound on the number of deal mappings enumerated. *)
 
+val iter : Instance.t -> (Deal_mapping.t -> unit) -> unit
+(** Apply a function to every deal mapping of the instance (every
+    interval partition × every disjoint non-empty replica assignment),
+    in a deterministic order. The ground-truth enumerator behind
+    {!min_period} and the fault-tolerance oracle ([Ft_exhaustive]).
+    Raises [Invalid_argument] beyond the size guard. *)
+
 val min_period : Instance.t -> Deal_heuristic.solution
 (** The deal mapping with the smallest round-robin period (ties broken by
     latency). Raises [Invalid_argument] beyond the size guard or on

@@ -1,0 +1,24 @@
+open Pipeline_model
+
+let interval_failure rel deal ~j =
+  Reliability.group_failure rel (Deal_mapping.replicas deal j)
+
+let failure rel deal =
+  (* Validate enrolment eagerly so the error names this entry point. *)
+  List.iter
+    (fun u ->
+      if u < 0 || u >= Reliability.p rel then
+        invalid_arg "Deal_reliability.failure: processor out of range")
+    (Deal_mapping.processors deal);
+  let survive_all = ref 1. in
+  for j = 0 to Deal_mapping.m deal - 1 do
+    survive_all := !survive_all *. (1. -. interval_failure rel deal ~j)
+  done;
+  1. -. !survive_all
+
+let success rel deal = 1. -. failure rel deal
+
+let agrees_with_plain rel mapping =
+  let via_deal = failure rel (Deal_mapping.of_mapping mapping) in
+  let direct = Reliability.mapping_failure rel mapping in
+  Float.abs (via_deal -. direct) <= 1e-12 *. Float.max 1. (Float.abs direct)

@@ -1,0 +1,1 @@
+lib/experiments/fault_campaign.mli: Config

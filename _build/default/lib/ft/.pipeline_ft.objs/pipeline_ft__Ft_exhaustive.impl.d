@@ -1,0 +1,1 @@
+lib/ft/ft_exhaustive.ml: Deal_exhaustive Float Ft_heuristic Instance Pipeline_deal Pipeline_model Platform Reliability

@@ -1,0 +1,1 @@
+lib/ft/ft_exhaustive.mli: Ft_heuristic Instance Pipeline_model Reliability

@@ -1,0 +1,1 @@
+lib/ft/ft_heuristic.ml: Deal_heuristic Deal_mapping Deal_metrics Deal_reliability Float Instance List Pipeline_deal Pipeline_model Platform Reliability

@@ -1,0 +1,1 @@
+lib/ft/ft_heuristic.mli: Instance Pipeline_deal Pipeline_model Reliability

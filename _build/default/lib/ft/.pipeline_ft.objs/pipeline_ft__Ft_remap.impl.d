@@ -1,0 +1,1 @@
+lib/ft/ft_remap.ml: Application Array Float Fun Instance Interval List Mapping Pipeline_core Pipeline_model Platform

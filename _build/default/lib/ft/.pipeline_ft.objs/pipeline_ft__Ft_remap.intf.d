@@ -1,0 +1,1 @@
+lib/ft/ft_remap.mli: Instance Mapping Pipeline_core Pipeline_model

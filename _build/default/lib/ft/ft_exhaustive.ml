@@ -1,0 +1,21 @@
+open Pipeline_model
+open Pipeline_deal
+
+let min_latency (inst : Instance.t) rel ~period ~failure =
+  if Reliability.p rel <> Platform.p inst.platform then
+    invalid_arg "Ft_exhaustive: reliability vector does not match the platform";
+  if not (Float.is_finite period && period > 0.) then
+    invalid_arg "Ft_exhaustive: period bound must be finite and > 0";
+  if not (failure >= 0. && failure <= 1.) then
+    invalid_arg "Ft_exhaustive: failure bound must be in [0,1]";
+  let best = ref None in
+  Deal_exhaustive.iter inst (fun deal ->
+      let cand = Ft_heuristic.evaluate inst rel deal in
+      if Ft_heuristic.feasible cand ~period ~failure then
+        match !best with
+        | Some (b : Ft_heuristic.solution)
+          when (b.latency, b.period, b.failure)
+               <= (cand.Ft_heuristic.latency, cand.period, cand.failure) ->
+          ()
+        | _ -> best := Some cand);
+  !best

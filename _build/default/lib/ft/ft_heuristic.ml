@@ -1,0 +1,66 @@
+open Pipeline_model
+open Pipeline_deal
+
+type solution = {
+  mapping : Deal_mapping.t;
+  period : float;
+  latency : float;
+  failure : float;
+}
+
+let threshold_met value threshold = value <= threshold *. (1. +. 1e-9)
+let failure_met value threshold = value <= (threshold *. (1. +. 1e-9)) +. 1e-12
+
+let evaluate inst rel deal =
+  let s = Deal_metrics.summary inst deal in
+  {
+    mapping = deal;
+    period = s.Deal_metrics.period;
+    latency = s.Deal_metrics.latency;
+    failure = Deal_reliability.failure rel deal;
+  }
+
+let feasible sol ~period ~failure =
+  threshold_met sol.period period && failure_met sol.failure failure
+
+let validate (inst : Instance.t) rel ~period ~failure =
+  if Reliability.p rel <> Platform.p inst.platform then
+    invalid_arg "Ft_heuristic: reliability vector does not match the platform";
+  if not (Float.is_finite period && period > 0.) then
+    invalid_arg "Ft_heuristic: period bound must be finite and > 0";
+  if not (failure >= 0. && failure <= 1.) then
+    invalid_arg "Ft_heuristic: failure bound must be in [0,1]"
+
+let minimise_latency (inst : Instance.t) rel ~period ~failure =
+  validate inst rel ~period ~failure;
+  match Deal_heuristic.minimise_latency_under_period inst ~period with
+  | None -> None
+  | Some base ->
+    let p = Platform.p inst.platform in
+    let rec improve current =
+      if failure_met current.failure failure then Some current
+      else begin
+        let enrolled = Deal_mapping.processors current.mapping in
+        let best = ref None in
+        for j = 0 to Deal_mapping.m current.mapping - 1 do
+          for u = 0 to p - 1 do
+            if not (List.mem u enrolled) then begin
+              let cand =
+                evaluate inst rel (Deal_mapping.replicate current.mapping ~j ~proc:u)
+              in
+              if threshold_met cand.period period && cand.failure < current.failure
+              then
+                match !best with
+                | Some b
+                  when (b.failure, b.latency) <= (cand.failure, cand.latency) ->
+                  ()
+                | _ -> best := Some cand
+            end
+          done
+        done;
+        match !best with
+        | Some cand -> improve cand
+        | None -> None (* no replication step helps: infeasible *)
+      end
+    in
+    improve (evaluate inst rel base.Deal_heuristic.mapping)

@@ -1,0 +1,129 @@
+open Pipeline_model
+module Registry = Pipeline_core.Registry
+module Solution = Pipeline_core.Solution
+
+type outcome = {
+  mapping : Mapping.t;
+  period : float;
+  latency : float;
+  met_threshold : bool;
+  fallback : bool;
+  migrated_stages : int;
+  migration_volume : float;
+}
+
+let default_heuristic () =
+  match Registry.find "h1-sp-mono-p" with
+  | Some h -> h
+  | None -> assert false
+
+let validate (inst : Instance.t) before failed ~threshold =
+  let p = Platform.p inst.platform in
+  if Mapping.n before <> Application.n inst.app then
+    invalid_arg "Ft_remap.remap: mapping does not match the application";
+  if not (Mapping.valid_on before inst.platform) then
+    invalid_arg "Ft_remap.remap: mapping does not fit the platform";
+  if not (Float.is_finite threshold && threshold > 0.) then
+    invalid_arg "Ft_remap.remap: threshold must be finite and > 0";
+  if not (Platform.is_comm_homogeneous inst.platform) then
+    invalid_arg "Ft_remap.remap: platform must be communication-homogeneous";
+  List.iter
+    (fun u ->
+      if u < 0 || u >= p then
+        invalid_arg "Ft_remap.remap: failed processor out of range")
+    failed
+
+(* Renumber a mapping solved on the survivor sub-platform back to the
+   original processor indices. *)
+let translate ~n ~survivors mapping =
+  let cuts =
+    List.init (Mapping.m mapping - 1) (fun j ->
+        Interval.last (Mapping.interval mapping j))
+  in
+  let procs =
+    Array.to_list (Array.map (fun u -> survivors.(u)) (Mapping.procs mapping))
+  in
+  Mapping.of_cuts ~n ~cuts ~procs
+
+let remap ?heuristic (inst : Instance.t) ~before ~failed ~threshold =
+  validate inst before failed ~threshold;
+  let heuristic =
+    match heuristic with Some h -> h | None -> default_heuristic ()
+  in
+  let platform = inst.platform and app = inst.app in
+  let p = Platform.p platform and n = Application.n app in
+  let is_failed = Array.make p false in
+  List.iter (fun u -> is_failed.(u) <- true) failed;
+  let survivors =
+    Array.of_list
+      (List.filter (fun u -> not is_failed.(u)) (List.init p Fun.id))
+  in
+  if Array.length survivors = 0 then None
+  else begin
+    let met (sol : Solution.t) =
+      match heuristic.Registry.kind with
+      | Registry.Period_fixed -> Solution.respects_period sol threshold
+      | Registry.Latency_fixed -> Solution.respects_latency sol threshold
+    in
+    let incumbent_ok =
+      Array.for_all (fun u -> not is_failed.(u)) (Mapping.procs before)
+      && met (Solution.of_mapping inst before)
+    in
+    if incumbent_ok then begin
+      (* Nothing forces a migration: keep the running mapping. *)
+      let sol = Solution.of_mapping inst before in
+      Some
+        {
+          mapping = before;
+          period = sol.Solution.period;
+          latency = sol.Solution.latency;
+          met_threshold = true;
+          fallback = false;
+          migrated_stages = 0;
+          migration_volume = 0.;
+        }
+    end
+    else begin
+    let sub_platform =
+      let speeds = Array.map (Platform.speed platform) survivors in
+      let bandwidth =
+        if p > 1 then Platform.bandwidth platform 0 1
+        else Platform.io_bandwidth platform 0
+      in
+      Platform.comm_homogeneous
+        ~io_bandwidth:(Platform.io_bandwidth platform 0)
+        ~bandwidth speeds
+    in
+    let sub_inst =
+      Instance.make ~id:inst.id ~seed:inst.seed app sub_platform
+    in
+    let solved, fallback =
+      match heuristic.Registry.solve sub_inst ~threshold with
+      | Some sol -> (translate ~n ~survivors sol.Solution.mapping, false)
+      | None ->
+        (* Online systems need some mapping: fastest survivor. *)
+        let u = survivors.(Platform.fastest sub_platform) in
+        (Mapping.single ~n ~proc:u, true)
+    in
+    let sol = Solution.of_mapping inst solved in
+    let met_threshold = met sol in
+    let migrated_stages = ref 0 and migration_volume = ref 0. in
+    for k = 1 to n do
+      if Mapping.proc_of_stage before k <> Mapping.proc_of_stage solved k
+      then begin
+        incr migrated_stages;
+        migration_volume := !migration_volume +. Application.delta app (k - 1)
+      end
+    done;
+    Some
+      {
+        mapping = solved;
+        period = sol.Solution.period;
+        latency = sol.Solution.latency;
+        met_threshold;
+        fallback;
+        migrated_stages = !migrated_stages;
+        migration_volume = !migration_volume;
+      }
+    end
+  end

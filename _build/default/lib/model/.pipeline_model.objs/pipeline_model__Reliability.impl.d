@@ -1,0 +1,1 @@
+lib/model/reliability.ml: Array Format List Mapping

@@ -1,0 +1,1 @@
+lib/model/reliability.mli: Format Mapping

@@ -1,0 +1,1 @@
+lib/sim/fault_sim.ml: Application Array Des Float Fun Hashtbl Instance Interval List Mapping Option Pipeline_model Pipeline_util Platform Workload_sim

@@ -1,0 +1,1 @@
+lib/sim/fault_sim.mli: Instance Mapping Pipeline_model Workload_sim

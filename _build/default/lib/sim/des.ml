@@ -32,6 +32,16 @@ let run ?(until = infinity) t =
 
 let pending t = Heap.size t.events
 
+type handle = { mutable live : bool }
+
+let schedule_cancellable t ~delay handler =
+  let h = { live = true } in
+  schedule t ~delay (fun t -> if h.live then handler t);
+  h
+
+let cancel _t h = h.live <- false
+let cancelled h = not h.live
+
 module Resource = struct
   type des = t
 

@@ -22,7 +22,27 @@ val run : ?until:float -> t -> unit
     the cut-off time are still processed. *)
 
 val pending : t -> int
-(** Events still queued (useful in tests). *)
+(** Events still queued (useful in tests). A cancelled event still
+    occupies its queue slot until its time comes (it then fires as a
+    no-op), so it keeps counting here. *)
+
+type handle
+(** Identifies a cancellable event (see {!schedule_cancellable}). *)
+
+val schedule_cancellable : t -> delay:float -> (t -> unit) -> handle
+(** Like {!schedule}, but the returned handle can revoke the event before
+    it fires — the fault simulator uses this to kill the in-flight
+    computation of a crashed processor. Same delay validation as
+    {!schedule}. *)
+
+val cancel : t -> handle -> unit
+(** Revoke the event. The handler will not run; the queue slot fires as a
+    no-op at the original time, preserving the deterministic FIFO order
+    of the surviving events. Cancelling twice, or after the event fired,
+    is a no-op. *)
+
+val cancelled : handle -> bool
+(** True once {!cancel} was called on the handle. *)
 
 (** Unary resource with a FIFO wait queue. *)
 module Resource : sig

@@ -1,0 +1,328 @@
+open Pipeline_model
+module Rng = Pipeline_util.Rng
+module W = Workload_sim
+
+type crash = { at : float; proc : int; recover_at : float option }
+
+type retry = { max_retries : int; backoff : float }
+
+let no_retry = { max_retries = 0; backoff = 0. }
+
+type config = { base : W.config; crashes : crash list; retry : retry }
+
+let default_config = { base = W.default_config; crashes = []; retry = no_retry }
+
+type stats = {
+  workload : W.stats;
+  offered : int;
+  dropped : int;
+  killed : int;
+  retries : int;
+}
+
+let survival stats =
+  float_of_int stats.workload.W.completed /. float_of_int stats.offered
+
+let validate_faults config (inst : Instance.t) =
+  let p = Platform.p inst.platform in
+  if config.retry.max_retries < 0 then
+    invalid_arg "Fault_sim.run: max_retries must be >= 0";
+  if not (config.retry.backoff >= 0. && Float.is_finite config.retry.backoff) then
+    invalid_arg "Fault_sim.run: backoff must be finite and >= 0";
+  List.iter
+    (fun c ->
+      if Float.is_nan c.at || c.at < 0. then
+        invalid_arg "Fault_sim.run: crash at a negative time";
+      if c.proc < 0 || c.proc >= p then
+        invalid_arg "Fault_sim.run: crash on a processor outside the platform";
+      match c.recover_at with
+      | Some r when not (Float.is_finite r && r > c.at) ->
+        invalid_arg "Fault_sim.run: recovery must be finite and after the crash"
+      | _ -> ())
+    config.crashes;
+  let by_proc = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let previous = Option.value (Hashtbl.find_opt by_proc c.proc) ~default:[] in
+      Hashtbl.replace by_proc c.proc (c :: previous))
+    config.crashes;
+  Hashtbl.iter
+    (fun _proc crashes ->
+      let sorted = List.sort (fun a b -> compare a.at b.at) crashes in
+      let rec walk = function
+        | a :: (b :: _ as rest) ->
+          if Option.value a.recover_at ~default:infinity > b.at then
+            invalid_arg
+              "Fault_sim.run: overlapping crash windows on one processor";
+          walk rest
+        | _ -> ()
+      in
+      walk sorted)
+    by_proc
+
+(* Rendezvous cell for a (boundary, data set) pair. Compared with
+   Workload_sim's cell, the receiver parks both its data path and its
+   skip path, and a boundary can carry a drop instead of a data set. *)
+type waiting = { data : Des.t -> unit; skip : Des.t -> unit }
+type cell = Empty | Offered | Waiting of waiting | Fired | Dropped
+
+let run ?(config = default_config) (inst : Instance.t) mapping =
+  W.validate config.base inst mapping;
+  validate_faults config inst;
+  let app = inst.app and platform = inst.platform in
+  let m = Mapping.m mapping in
+  let k = config.base.W.datasets in
+  let rng = Rng.create config.base.W.seed in
+  (* Pre-draw arrivals and noise exactly as Workload_sim does, so the
+     seeded streams coincide and a crash-free run is bit-identical. *)
+  let arrivals =
+    match config.base.W.arrival with
+    | W.Saturated -> Array.make k 0.
+    | W.Periodic period -> Array.init k (fun t -> float_of_int t *. period)
+    | W.Poisson rate ->
+      let acc = ref 0. in
+      Array.init k (fun _ ->
+          let u = 1. -. Rng.float rng 1. in
+          acc := !acc +. (-.log u /. rate);
+          !acc)
+  in
+  let factors =
+    Array.init m (fun _ ->
+        Array.init k (fun _ ->
+            match config.base.W.noise with
+            | W.No_noise -> 1.
+            | W.Uniform_factor e -> Rng.float_in rng (1. -. e) (1. +. e)))
+  in
+  let first j = Interval.first (Mapping.interval mapping j) in
+  let last j = Interval.last (Mapping.interval mapping j) in
+  let in_bandwidth j =
+    if j = 0 then Platform.io_bandwidth platform (Mapping.proc mapping 0)
+    else
+      Platform.bandwidth platform (Mapping.proc mapping (j - 1)) (Mapping.proc mapping j)
+  in
+  let out_bandwidth j =
+    if j = m - 1 then Platform.io_bandwidth platform (Mapping.proc mapping j)
+    else
+      Platform.bandwidth platform (Mapping.proc mapping j) (Mapping.proc mapping (j + 1))
+  in
+  let in_time j = Application.delta app (first j - 1) /. in_bandwidth j in
+  let out_time j = Application.delta app (last j) /. out_bandwidth j in
+  let speed_factor u at =
+    List.fold_left
+      (fun acc (s : W.slowdown) ->
+        if s.W.proc = u && s.W.at <= at then acc *. s.W.factor else acc)
+      1. config.base.W.slowdowns
+  in
+  let comp_time j t ~at =
+    let u = Mapping.proc mapping j in
+    Application.work_sum app (first j) (last j)
+    /. (Platform.speed platform u *. speed_factor u at)
+    *. factors.(j).(t)
+  in
+  (* Fault state: each processor hosts one interval which handles its
+     data sets sequentially, so there is at most one in-flight
+     computation and at most one parked continuation per processor. *)
+  let p = Platform.p platform in
+  let down = Array.make p false in
+  let parked : (Des.t -> unit) option array = Array.make p None in
+  let inflight : (Des.handle * int * int) option array = Array.make p None in
+  let retries_left = Array.init m (fun _ -> Array.make k config.retry.max_retries) in
+  let killed = ref 0 and dropped = ref 0 and retries_used = ref 0 in
+  let cells = Array.init (max 0 (m - 1)) (fun _ -> Array.make k Empty) in
+  let send_done = Array.init (max 0 (m - 1)) (fun _ -> Array.make k None) in
+  let first_transfer_start = Array.make k nan in
+  let completions = Array.make k nan in
+  let des = Des.create () in
+  let rec start_dataset j t des =
+    if t < k then begin
+      if j = 0 then begin
+        let at = Float.max (Des.now des) arrivals.(t) in
+        Des.schedule_at des ~time:at (fun des ->
+            first_transfer_start.(t) <- Des.now des;
+            transfer_in j t des)
+      end
+      else begin
+        let boundary = j - 1 in
+        match cells.(boundary).(t) with
+        | Offered ->
+          cells.(boundary).(t) <- Fired;
+          transfer_in j t des
+        | Dropped -> skip_dataset j t des
+        | Empty ->
+          cells.(boundary).(t) <-
+            Waiting
+              {
+                data = (fun des -> transfer_in j t des);
+                skip = (fun des -> skip_dataset j t des);
+              }
+        | Waiting _ | Fired -> assert false
+      end
+    end
+  and skip_dataset j t des =
+    (* The data set was dropped upstream: pass the drop on and move on. *)
+    propagate_drop j t des;
+    start_dataset j (t + 1) des
+  and propagate_drop j t des =
+    if j < m - 1 then begin
+      match cells.(j).(t) with
+      | Empty -> cells.(j).(t) <- Dropped
+      | Waiting w ->
+        cells.(j).(t) <- Dropped;
+        Des.schedule des ~delay:0. w.skip
+      | Offered | Fired | Dropped -> assert false
+    end
+  and transfer_in j t des =
+    Des.schedule des ~delay:(in_time j) (fun des ->
+        (* The upstream send completes with the transfer — even into a
+           down processor: the interconnect is not the failed part. *)
+        if j > 0 then begin
+          match send_done.(j - 1).(t) with
+          | Some continuation ->
+            send_done.(j - 1).(t) <- None;
+            Des.schedule des ~delay:0. continuation
+          | None -> assert false
+        end;
+        begin_compute j t des)
+  and begin_compute j t des =
+    let u = Mapping.proc mapping j in
+    if down.(u) then begin
+      assert (parked.(u) = None);
+      parked.(u) <- Some (fun des -> begin_compute j t des)
+    end
+    else begin
+      let handle =
+        Des.schedule_cancellable des ~delay:(comp_time j t ~at:(Des.now des))
+          (fun des ->
+            inflight.(u) <- None;
+            after_compute j t des)
+      in
+      inflight.(u) <- Some (handle, j, t)
+    end
+  and after_compute j t des =
+    if j = m - 1 then
+      Des.schedule des ~delay:(out_time j) (fun des ->
+          completions.(t) <- Des.now des;
+          start_dataset j (t + 1) des)
+    else begin
+      send_done.(j).(t) <- Some (fun des -> start_dataset j (t + 1) des);
+      match cells.(j).(t) with
+      | Waiting w ->
+        cells.(j).(t) <- Fired;
+        Des.schedule des ~delay:0. w.data
+      | Empty -> cells.(j).(t) <- Offered
+      | Offered | Fired | Dropped -> assert false
+    end
+  and drop_dataset j t des =
+    incr dropped;
+    propagate_drop j t des;
+    start_dataset j (t + 1) des
+  in
+  let on_crash (c : crash) des =
+    down.(c.proc) <- true;
+    match inflight.(c.proc) with
+    | None -> ()
+    | Some (handle, j, t) ->
+      Des.cancel des handle;
+      inflight.(c.proc) <- None;
+      incr killed;
+      (* A retry waits for the recovery; a permanent crash drops the
+         data set right away (nothing will ever replay it). *)
+      if c.recover_at <> None && retries_left.(j).(t) > 0 then begin
+        retries_left.(j).(t) <- retries_left.(j).(t) - 1;
+        incr retries_used;
+        assert (parked.(c.proc) = None);
+        parked.(c.proc) <-
+          Some
+            (fun des ->
+              Des.schedule des ~delay:config.retry.backoff (fun des ->
+                  begin_compute j t des))
+      end
+      else drop_dataset j t des
+  in
+  let on_recover proc des =
+    down.(proc) <- false;
+    match parked.(proc) with
+    | None -> ()
+    | Some resume ->
+      parked.(proc) <- None;
+      resume des
+  in
+  (* Crash/recover events are inserted before any pipeline event, so on
+     time ties a crash deterministically beats a completion: a
+     computation finishing exactly at the crash instant is killed. *)
+  List.iter
+    (fun (c : crash) ->
+      Des.schedule_at des ~time:c.at (fun des -> on_crash c des);
+      Option.iter
+        (fun r -> Des.schedule_at des ~time:r (fun des -> on_recover c.proc des))
+        c.recover_at)
+    (List.sort (fun a b -> compare (a.at, a.proc) (b.at, b.proc)) config.crashes);
+  for j = 0 to m - 1 do
+    start_dataset j 0 des
+  done;
+  Des.run des;
+  (* Measurements, over the surviving data sets (in arrival order); the
+     formulas mirror Workload_sim so a crash-free run is bit-identical. *)
+  let survivors =
+    List.filter (fun t -> not (Float.is_nan completions.(t))) (List.init k Fun.id)
+  in
+  let kd = List.length survivors in
+  let workload =
+    if kd = 0 then
+      {
+        W.completed = 0;
+        makespan = 0.;
+        steady_period = 0.;
+        throughput = 0.;
+        latency_mean = nan;
+        latency_p95 = nan;
+        latency_max = nan;
+        sojourn_max = nan;
+        latencies = [];
+      }
+    else begin
+      let comp = Array.of_list (List.map (fun t -> completions.(t)) survivors) in
+      let running_max = Array.make kd 0. in
+      let acc = ref neg_infinity in
+      Array.iteri
+        (fun i c ->
+          acc := Float.max !acc c;
+          running_max.(i) <- !acc)
+        comp;
+      let makespan = running_max.(kd - 1) in
+      let steady_period =
+        if kd < 2 then 0.
+        else if kd < 4 then
+          (running_max.(kd - 1) -. running_max.(0)) /. float_of_int (kd - 1)
+        else begin
+          let half = kd / 2 in
+          (running_max.(kd - 1) -. running_max.(half))
+          /. float_of_int (kd - 1 - half)
+        end
+      in
+      let latencies =
+        List.map (fun t -> completions.(t) -. first_transfer_start.(t)) survivors
+      in
+      let sojourns =
+        List.map (fun t -> completions.(t) -. arrivals.(t)) survivors
+      in
+      {
+        W.completed = kd;
+        makespan;
+        steady_period;
+        throughput = (if makespan > 0. then float_of_int kd /. makespan else infinity);
+        latency_mean = Pipeline_util.Stats.mean latencies;
+        latency_p95 = Pipeline_util.Stats.percentile 0.95 latencies;
+        latency_max = snd (Pipeline_util.Stats.min_max latencies);
+        sojourn_max = List.fold_left Float.max neg_infinity sojourns;
+        latencies;
+      }
+    end
+  in
+  {
+    workload;
+    offered = k;
+    dropped = !dropped;
+    killed = !killed;
+    retries = !retries_used;
+  }

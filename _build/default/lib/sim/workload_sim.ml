@@ -38,7 +38,7 @@ type cell =
   | Waiting of (Des.t -> unit)  (* receiver ready, sender not yet *)
   | Fired
 
-let run ?(config = default_config) (inst : Instance.t) mapping =
+let validate config (inst : Instance.t) mapping =
   if config.datasets < 1 then invalid_arg "Workload_sim.run: datasets must be >= 1";
   if Mapping.n mapping <> Application.n inst.app then
     invalid_arg "Workload_sim.run: mapping does not match the application";
@@ -54,9 +54,16 @@ let run ?(config = default_config) (inst : Instance.t) mapping =
   | _ -> ());
   List.iter
     (fun s ->
-      if not (s.factor > 0. && Float.is_finite s.factor) || s.at < 0. then
-        invalid_arg "Workload_sim.run: invalid slowdown event")
-    config.slowdowns;
+      if not (s.factor > 0. && Float.is_finite s.factor) then
+        invalid_arg "Workload_sim.run: slowdown factor must be finite and > 0";
+      if Float.is_nan s.at || s.at < 0. then
+        invalid_arg "Workload_sim.run: slowdown event at a negative time";
+      if s.proc < 0 || s.proc >= Platform.p inst.platform then
+        invalid_arg "Workload_sim.run: slowdown on a processor outside the platform")
+    config.slowdowns
+
+let run ?(config = default_config) (inst : Instance.t) mapping =
+  validate config inst mapping;
   let app = inst.app and platform = inst.platform in
   let m = Mapping.m mapping in
   let k = config.datasets in

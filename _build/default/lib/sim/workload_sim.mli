@@ -51,6 +51,11 @@ type config = {
 val default_config : config
 (** Saturated, no noise, no slowdowns, 200 data sets, seed 0. *)
 
+val validate : config -> Instance.t -> Mapping.t -> unit
+(** The validation {!run} performs before simulating, exposed so layered
+    simulators ({!Fault_sim}) reject exactly the same configurations.
+    Raises [Invalid_argument] as documented on {!run}. *)
+
 type stats = {
   completed : int;
   makespan : float;          (** completion of the last data set *)
@@ -64,5 +69,16 @@ type stats = {
 }
 
 val run : ?config:config -> Instance.t -> Mapping.t -> stats
-(** Raises [Invalid_argument] on a mapping/instance mismatch, a
-    non-positive rate, or an out-of-range noise amplitude. *)
+(** Raises [Invalid_argument] when the configuration or the mapping is
+    invalid. The rejected configurations are, exhaustively:
+
+    {ul
+    {- [datasets < 1];}
+    {- a mapping whose stage count differs from the application's, or
+       that references processors outside the platform;}
+    {- a [Uniform_factor ε] noise with [ε] outside [\[0, 1)] (or NaN);}
+    {- a [Periodic]/[Poisson] rate that is not finite and [> 0];}
+    {- a slowdown whose [factor] is not finite and [> 0] (zero and
+       negative factors are crashes, not slowdowns — see [Fault_sim]);}
+    {- a slowdown scheduled at a negative (or NaN) time;}
+    {- a slowdown naming a processor outside the platform.}} *)

@@ -323,6 +323,53 @@ let test_het_campaign_figure () =
         (Platform.is_comm_homogeneous inst.Instance.platform))
     (Het_campaign.instances ~pairs:3 ~seed:42 ~n:5 3)
 
+(* ------------------------------------------------------------------ *)
+(* Fault campaign                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_campaign_shape () =
+  let campaign =
+    Fault_campaign.run ~crash_counts:[ 2; 0; 1 ] ~datasets:30 (small_setup ())
+  in
+  Alcotest.(check bool) "some mapped instances" true (campaign.Fault_campaign.instances > 0);
+  Alcotest.(check (list int)) "points sorted and unique" [ 0; 1; 2 ]
+    (List.map (fun pt -> pt.Fault_campaign.crashes) campaign.Fault_campaign.points);
+  let baseline = List.hd campaign.Fault_campaign.points in
+  Helpers.check_float "no crashes: full survival" 1. baseline.Fault_campaign.survival;
+  Helpers.check_float "no crashes: remap keeps the mapping" 1.
+    baseline.Fault_campaign.remap_success;
+  Helpers.check_float "no crashes: nothing migrates" 0.
+    baseline.Fault_campaign.migrated_fraction;
+  Helpers.check_float "no crashes: nominal period" 1.
+    baseline.Fault_campaign.degraded_period;
+  List.iter
+    (fun pt ->
+      Alcotest.(check bool) "survival in [0,1]" true
+        (pt.Fault_campaign.survival >= 0. && pt.Fault_campaign.survival <= 1.);
+      Alcotest.(check bool) "recovery never hurts survival" true
+        (pt.Fault_campaign.survival_recovery
+        >= pt.Fault_campaign.survival -. 1e-9))
+    campaign.Fault_campaign.points
+
+let test_fault_campaign_deterministic () =
+  let run () =
+    Fault_campaign.run ~crash_counts:[ 0; 2 ] ~datasets:25 (small_setup ())
+  in
+  Alcotest.(check bool) "same seed, same campaign" true
+    (Stdlib.compare (run ()) (run ()) = 0)
+
+let test_fault_campaign_render_and_write () =
+  let campaign =
+    Fault_campaign.run ~crash_counts:[ 0; 1 ] ~datasets:25 (small_setup ())
+  in
+  Alcotest.(check bool) "render mentions the header" true
+    (Str_find.contains (Fault_campaign.render campaign) "surv+recov");
+  let dir = Filename.temp_file "pwfault" "" in
+  Sys.remove dir;
+  List.iter
+    (fun p -> Alcotest.(check bool) "csv written" true (Sys.file_exists p))
+    (Fault_campaign.write ~dir campaign)
+
 let test_het_campaign_deterministic () =
   let a = Het_campaign.instances ~pairs:2 ~seed:1 ~n:4 3 in
   let b = Het_campaign.instances ~pairs:2 ~seed:1 ~n:4 3 in
@@ -374,6 +421,14 @@ let () =
           Alcotest.test_case "noise inflates" `Quick test_robustness_noise_inflates;
           Alcotest.test_case "series shape" `Quick test_robustness_series_shape;
           Alcotest.test_case "max aggregate" `Quick test_failure_table_max_aggregate;
+        ] );
+      ( "fault-campaign",
+        [
+          Alcotest.test_case "shape" `Quick test_fault_campaign_shape;
+          Alcotest.test_case "deterministic" `Quick
+            test_fault_campaign_deterministic;
+          Alcotest.test_case "render and write" `Quick
+            test_fault_campaign_render_and_write;
         ] );
       ( "het-campaign",
         [

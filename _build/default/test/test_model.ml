@@ -543,6 +543,51 @@ let test_io_load_missing_file () =
   | Ok _ -> Alcotest.fail "expected error"
   | Error e -> Alcotest.(check int) "line 0" 0 e.Instance_io.line
 
+(* CLI hardening: truncated and garbage files must come back as [Error],
+   never as an exception — the CLI turns the error into a one-line
+   diagnostic. *)
+let test_io_garbage_and_truncated_files () =
+  let dir = Filename.temp_file "pwio-garbage" "" in
+  Sys.remove dir;
+  let write name content =
+    let path = Filename.concat dir name in
+    (match Sys.is_directory dir with
+    | true -> ()
+    | false | (exception Sys_error _) -> Sys.mkdir dir 0o755);
+    let oc = open_out_bin path in
+    output_string oc content;
+    close_out oc;
+    path
+  in
+  let errors name content =
+    match Instance_io.load (write name content) with
+    | Error _ -> true
+    | Ok _ -> false
+    | exception _ -> Alcotest.failf "%s: raised instead of Error" name
+  in
+  Alcotest.(check bool) "empty file" true (errors "empty.pw" "");
+  Alcotest.(check bool) "binary garbage" true
+    (errors "binary.pw" "\x00\xffgarbage\x01\x7f\n\xfe");
+  let valid = Instance_io.to_string (Helpers.small_instance ()) in
+  let half = String.sub valid 0 (String.length valid / 2) in
+  Alcotest.(check bool) "truncated instance" true (errors "half.pw" half);
+  Alcotest.(check bool) "first line only" true
+    (errors "first.pw" (List.hd (String.split_on_char '\n' valid)))
+
+let test_mapping_io_garbage () =
+  let is_error s =
+    match Mapping_io.of_string s with
+    | Error _ -> true
+    | Ok _ -> false
+    | exception _ -> Alcotest.failf "%S: raised instead of Error" s
+  in
+  Alcotest.(check bool) "binary" true (is_error "\x00\xff\x01:\x02");
+  Alcotest.(check bool) "truncated range" true (is_error "1-");
+  Alcotest.(check bool) "truncated proc" true (is_error "1-3:");
+  Alcotest.(check bool) "trailing junk" true (is_error "1-3:0 ###");
+  Alcotest.(check bool) "reversed range" true (is_error "3-1:0");
+  Alcotest.(check bool) "negative proc" true (is_error "1-3:-2")
+
 let prop_io_roundtrip_random =
   Helpers.qtest ~count:60 "of_string (to_string inst) preserves the instance"
     QCheck2.Gen.(int_range 0 100_000)
@@ -814,6 +859,8 @@ let () =
           Alcotest.test_case "shape mismatch" `Quick test_io_shape_mismatch;
           Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
           Alcotest.test_case "missing file" `Quick test_io_load_missing_file;
+          Alcotest.test_case "garbage and truncated files" `Quick
+            test_io_garbage_and_truncated_files;
           prop_io_roundtrip_random;
         ] );
       ( "transform",
@@ -837,6 +884,7 @@ let () =
           Alcotest.test_case "to_string" `Quick test_mapping_io_to_string;
           Alcotest.test_case "parse" `Quick test_mapping_io_parse;
           Alcotest.test_case "errors" `Quick test_mapping_io_errors;
+          Alcotest.test_case "garbage tokens" `Quick test_mapping_io_garbage;
           prop_mapping_io_roundtrip;
         ] );
       ( "generators",

@@ -508,6 +508,226 @@ let test_workload_sim_slowdown_rejected () =
        false
      with Invalid_argument _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Des cancellable events                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_des_cancel () =
+  let des = Des.create () in
+  let fired = ref [] in
+  let h1 = Des.schedule_cancellable des ~delay:1. (fun _ -> fired := 1 :: !fired) in
+  let h2 = Des.schedule_cancellable des ~delay:2. (fun _ -> fired := 2 :: !fired) in
+  Alcotest.(check bool) "live before run" false (Des.cancelled h1);
+  Des.cancel des h1;
+  Alcotest.(check bool) "cancelled" true (Des.cancelled h1);
+  Des.run des;
+  Alcotest.(check (list int)) "only live event fired" [ 2 ] !fired;
+  Alcotest.(check bool) "h2 still live" false (Des.cancelled h2);
+  (* Cancelling after the event fired is a harmless no-op. *)
+  Des.cancel des h2;
+  Alcotest.(check bool) "h2 cancelled late" true (Des.cancelled h2)
+
+let test_des_cancel_keeps_clock () =
+  (* A cancelled event still occupies its slot: the clock advances
+     through its time, but nothing runs. *)
+  let des = Des.create () in
+  let h = Des.schedule_cancellable des ~delay:5. (fun _ -> Alcotest.fail "fired") in
+  Des.cancel des h;
+  Des.run des;
+  Helpers.check_float "clock advanced" 5. (Des.now des)
+
+(* ------------------------------------------------------------------ *)
+(* Fault simulator                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module F = Pipeline_sim.Fault_sim
+
+(* small_instance + single mapping on proc 1 (speed 4):
+   in 1 + compute 5 + out 1, so data set t computes over [7t+1, 7t+6]
+   under saturated arrivals. *)
+let single_on_p1 () =
+  (Helpers.small_instance (), Mapping.single ~n:4 ~proc:1)
+
+let fault_config ?(datasets = 5) ?(crashes = []) ?(retry = F.no_retry) () =
+  { F.base = { W.default_config with W.datasets = datasets }; crashes; retry }
+
+let prop_fault_sim_no_crash_identical =
+  Helpers.qtest ~count:60 "no crashes = workload sim (bit-for-bit)"
+    gen_instance_mapping (fun (inst, mapping) ->
+      let base =
+        {
+          W.default_config with
+          W.datasets = 30;
+          noise = W.Uniform_factor 0.3;
+          arrival = W.Poisson 0.05;
+          seed = 42;
+        }
+      in
+      let plain = W.run ~config:base inst mapping in
+      let faulty =
+        F.run ~config:{ F.base; crashes = []; retry = F.no_retry } inst mapping
+      in
+      Stdlib.compare plain faulty.F.workload = 0
+      && faulty.F.killed = 0 && faulty.F.dropped = 0 && faulty.F.retries = 0)
+
+let test_fault_sim_deterministic () =
+  let inst, mapping = single_on_p1 () in
+  let config =
+    {
+      (fault_config ~datasets:40
+         ~crashes:[ { F.at = 10.; proc = 1; recover_at = Some 20. } ]
+         ~retry:{ F.max_retries = 2; backoff = 1. } ())
+      with
+      F.base =
+        {
+          W.default_config with
+          W.datasets = 40;
+          noise = W.Uniform_factor 0.2;
+          seed = 7;
+        };
+    }
+  in
+  let a = F.run ~config inst mapping in
+  let b = F.run ~config inst mapping in
+  Alcotest.(check bool) "same seed, same stats" true (Stdlib.compare a b = 0)
+
+let test_fault_sim_permanent_crash () =
+  (* Crash at t=10 kills data set 1 (computing over [8,13]); with no
+     recovery the retry never happens, the data set is dropped, and data
+     set 2 parks forever on the dead processor. *)
+  let inst, mapping = single_on_p1 () in
+  let config =
+    fault_config ~crashes:[ { F.at = 10.; proc = 1; recover_at = None } ]
+      ~retry:{ F.max_retries = 3; backoff = 1. } ()
+  in
+  let stats = F.run ~config inst mapping in
+  Alcotest.(check int) "completed" 1 stats.F.workload.W.completed;
+  Alcotest.(check int) "killed" 1 stats.F.killed;
+  Alcotest.(check int) "dropped" 1 stats.F.dropped;
+  Alcotest.(check int) "retries" 0 stats.F.retries;
+  Helpers.check_float "survival" 0.2 (F.survival stats);
+  Helpers.check_float "makespan is ds0's completion" 7. stats.F.workload.W.makespan
+
+let test_fault_sim_retry_after_recovery () =
+  (* Crash at 10 kills data set 1; recovery at 20 + backoff 2 replays it
+     over [22,27], completion at 28; the pipeline then drains normally:
+     completions 7, 28, 35, 42, 49. *)
+  let inst, mapping = single_on_p1 () in
+  let config =
+    fault_config ~crashes:[ { F.at = 10.; proc = 1; recover_at = Some 20. } ]
+      ~retry:{ F.max_retries = 1; backoff = 2. } ()
+  in
+  let stats = F.run ~config inst mapping in
+  Alcotest.(check int) "completed" 5 stats.F.workload.W.completed;
+  Alcotest.(check int) "killed" 1 stats.F.killed;
+  Alcotest.(check int) "dropped" 0 stats.F.dropped;
+  Alcotest.(check int) "retries" 1 stats.F.retries;
+  Helpers.check_float "survival" 1. (F.survival stats);
+  Helpers.check_float "makespan" 49. stats.F.workload.W.makespan
+
+let test_fault_sim_recovery_without_retry () =
+  (* Same crash window but no retry budget: data set 1 is dropped at the
+     crash; data set 2's compute parks until the recovery at 20, then
+     runs over [20,25]: completions 7, 26, 33, 40. *)
+  let inst, mapping = single_on_p1 () in
+  let config =
+    fault_config ~crashes:[ { F.at = 10.; proc = 1; recover_at = Some 20. } ] ()
+  in
+  let stats = F.run ~config inst mapping in
+  Alcotest.(check int) "completed" 4 stats.F.workload.W.completed;
+  Alcotest.(check int) "killed" 1 stats.F.killed;
+  Alcotest.(check int) "dropped" 1 stats.F.dropped;
+  Helpers.check_float "makespan" 40. stats.F.workload.W.makespan
+
+let test_fault_sim_drop_propagates () =
+  (* Two intervals: stages 1-2 on proc 1, stages 3-4 on proc 0. A
+     permanent crash on proc 1 at t=9 kills data set 1's first-interval
+     compute ([8,11]); the drop propagates so the downstream interval
+     skips data set 1 instead of waiting forever for it. *)
+  let inst = Helpers.small_instance () in
+  let mapping = Mapping.of_cuts ~n:4 ~cuts:[ 2 ] ~procs:[ 1; 0 ] in
+  let config =
+    fault_config ~crashes:[ { F.at = 9.; proc = 1; recover_at = None } ] ()
+  in
+  let stats = F.run ~config inst mapping in
+  Alcotest.(check int) "completed" 1 stats.F.workload.W.completed;
+  Alcotest.(check int) "killed" 1 stats.F.killed;
+  Alcotest.(check int) "dropped" 1 stats.F.dropped;
+  Helpers.check_float "ds0 completion" 12. stats.F.workload.W.makespan
+
+let test_fault_sim_unused_proc_crash_harmless () =
+  (* Crashing a processor the mapping does not use changes nothing. *)
+  let inst = Helpers.small_instance () in
+  let mapping = Mapping.of_cuts ~n:4 ~cuts:[ 2 ] ~procs:[ 1; 0 ] in
+  let base = { W.default_config with W.datasets = 25 } in
+  let plain = W.run ~config:base inst mapping in
+  let stats =
+    F.run
+      ~config:
+        {
+          F.base;
+          crashes = [ { F.at = 3.; proc = 2; recover_at = Some 8. } ];
+          retry = F.no_retry;
+        }
+      inst mapping
+  in
+  Alcotest.(check bool) "identical stats" true
+    (Stdlib.compare plain stats.F.workload = 0);
+  Alcotest.(check int) "nothing killed" 0 stats.F.killed
+
+let test_fault_sim_rejects_bad_config () =
+  let inst, mapping = single_on_p1 () in
+  let rejects name config =
+    Alcotest.(check bool) name true
+      (try
+         ignore (F.run ~config inst mapping);
+         false
+       with Invalid_argument _ -> true)
+  in
+  rejects "negative crash time"
+    (fault_config ~crashes:[ { F.at = -1.; proc = 1; recover_at = None } ] ());
+  rejects "nan crash time"
+    (fault_config ~crashes:[ { F.at = nan; proc = 1; recover_at = None } ] ());
+  rejects "proc out of range"
+    (fault_config ~crashes:[ { F.at = 1.; proc = 3; recover_at = None } ] ());
+  rejects "negative proc"
+    (fault_config ~crashes:[ { F.at = 1.; proc = -1; recover_at = None } ] ());
+  rejects "recovery before crash"
+    (fault_config ~crashes:[ { F.at = 5.; proc = 1; recover_at = Some 5. } ] ());
+  rejects "infinite recovery"
+    (fault_config
+       ~crashes:[ { F.at = 5.; proc = 1; recover_at = Some infinity } ]
+       ());
+  rejects "overlapping windows"
+    (fault_config
+       ~crashes:
+         [
+           { F.at = 5.; proc = 1; recover_at = Some 15. };
+           { F.at = 10.; proc = 1; recover_at = Some 20. };
+         ]
+       ());
+  rejects "permanent then crash again"
+    (fault_config
+       ~crashes:
+         [
+           { F.at = 5.; proc = 1; recover_at = None };
+           { F.at = 10.; proc = 1; recover_at = None };
+         ]
+       ());
+  rejects "negative retries"
+    (fault_config ~retry:{ F.max_retries = -1; backoff = 0. } ());
+  rejects "negative backoff"
+    (fault_config ~retry:{ F.max_retries = 1; backoff = -1. } ());
+  rejects "nan backoff"
+    (fault_config ~retry:{ F.max_retries = 1; backoff = nan } ());
+  (* Base-layer validation still applies through the fault layer. *)
+  rejects "bad base noise"
+    {
+      F.base = { W.default_config with W.noise = W.Uniform_factor 2. };
+      crashes = [];
+      retry = F.no_retry;
+    }
+
 
 let () =
   Alcotest.run "sim"
@@ -547,6 +767,8 @@ let () =
           Alcotest.test_case "des bad delay" `Quick test_des_rejects_negative_delay;
           Alcotest.test_case "resource fifo" `Quick test_des_resource_fifo;
           Alcotest.test_case "release unheld" `Quick test_des_release_unheld;
+          Alcotest.test_case "cancel" `Quick test_des_cancel;
+          Alcotest.test_case "cancel keeps clock" `Quick test_des_cancel_keeps_clock;
         ] );
       ( "workload-sim",
         [
@@ -561,6 +783,21 @@ let () =
             test_workload_sim_slowdown_composes;
           Alcotest.test_case "slowdown rejected" `Quick
             test_workload_sim_slowdown_rejected;
+        ] );
+      ( "fault-sim",
+        [
+          prop_fault_sim_no_crash_identical;
+          Alcotest.test_case "deterministic" `Quick test_fault_sim_deterministic;
+          Alcotest.test_case "permanent crash" `Quick test_fault_sim_permanent_crash;
+          Alcotest.test_case "retry after recovery" `Quick
+            test_fault_sim_retry_after_recovery;
+          Alcotest.test_case "recovery without retry" `Quick
+            test_fault_sim_recovery_without_retry;
+          Alcotest.test_case "drop propagates" `Quick test_fault_sim_drop_propagates;
+          Alcotest.test_case "unused proc crash" `Quick
+            test_fault_sim_unused_proc_crash_harmless;
+          Alcotest.test_case "bad fault config" `Quick
+            test_fault_sim_rejects_bad_config;
         ] );
       ( "overlap",
         [

@@ -1,0 +1,39 @@
+(** Reliability of deal mappings — replication as fault tolerance.
+
+    Under the deal skeleton an interval is served by a replica set
+    [R_j]; the interval is lost only when {e every} replica fails, so
+    with independent per-processor failure probabilities [f_u]
+    ({!Pipeline_model.Reliability}):
+
+    {ul
+    {- [interval_failure j = Π_{u∈R_j} f_u];}
+    {- [failure = 1 - Π_j (1 - interval_failure j)].}}
+
+    On an unreplicated deal mapping this degenerates to the plain
+    {!Pipeline_model.Reliability.mapping_failure} — a bridge the test
+    suite checks. Replicating any interval can only decrease the
+    failure probability (strictly, when the added processor is not
+    certain to fail and the interval was not already safe).
+
+    Note the model charges {e availability}, not performance: a deal
+    whose replica dies degrades to the surviving replicas (the period
+    deteriorates towards the unreplicated one), which is precisely why
+    the tri-criteria heuristic ([Ft_heuristic]) checks the period bound
+    on every replica subset it commits to. *)
+
+open Pipeline_model
+
+val interval_failure : Reliability.t -> Deal_mapping.t -> j:int -> float
+(** [Π_{u∈R_j} f_u] for 0-based interval [j]. *)
+
+val failure : Reliability.t -> Deal_mapping.t -> float
+(** [1 - Π_j (1 - interval_failure j)]. Raises [Invalid_argument] when
+    the deal mapping enrols processors outside the reliability vector. *)
+
+val success : Reliability.t -> Deal_mapping.t -> float
+(** [1 - failure]. *)
+
+val agrees_with_plain : Reliability.t -> Mapping.t -> bool
+(** Sanity bridge: embedding a plain mapping
+    ({!Deal_mapping.of_mapping}) and evaluating {!failure} matches
+    {!Pipeline_model.Reliability.mapping_failure} up to rounding. *)

@@ -1,0 +1,89 @@
+(** Pipeline execution under processor failures.
+
+    The paper's model (equations (1)–(2)) assumes processors never fail;
+    this simulator executes a mapping in the stochastic regime of
+    {!Workload_sim} — same arrival processes, same computation-time
+    noise, same seeded streams — while additionally injecting {e crash}
+    events with optional {e recovery}:
+
+    {ul
+    {- a crashed processor loses its in-flight computation (the data set
+       must be re-executed from scratch — there is no checkpointing);}
+    {- while a processor is down, data transfers to and from it still
+       complete (the interconnect is not the failed component) but no
+       computation starts — under the one-port rendezvous discipline the
+       stall back-pressures the upstream intervals;}
+    {- on recovery, a configurable retry policy re-executes lost data
+       sets: each (interval, data set) computation may be retried up to
+       [max_retries] times, each retry starting [backoff] simulated time
+       units after the recovery;}
+    {- a data set whose retries are exhausted (or whose processor never
+       recovers) is {e dropped}: the drop propagates downstream so later
+       intervals skip the missing data set, and the crashed interval
+       moves on to its next data set — which, on a permanent crash,
+       parks forever, stalling that interval and (by back-pressure)
+       eventually the whole upstream pipeline.}}
+
+    Everything is deterministic: crashes are explicit timed events, the
+    stochastic ingredients flow through the seeded streams of
+    {!Workload_sim}, and a retried computation reuses the noise factor
+    drawn for its (interval, data set) pair. With no crash events the run
+    is {e bit-for-bit identical} to {!Workload_sim.run} under the same
+    configuration — a property the test suite checks — so any measured
+    degradation is attributable to the injected faults alone. *)
+
+open Pipeline_model
+
+type crash = {
+  at : float;                 (** crash instant (≥ 0) *)
+  proc : int;                 (** the processor that fails *)
+  recover_at : float option;  (** [None]: permanent; [Some r] with
+                                  [r > at]: the processor comes back *)
+}
+
+type retry = {
+  max_retries : int;  (** re-execution budget per (interval, data set) *)
+  backoff : float;    (** simulated delay between recovery and re-execution *)
+}
+
+val no_retry : retry
+(** [{ max_retries = 0; backoff = 0. }] — lost work is dropped. *)
+
+type config = {
+  base : Workload_sim.config;  (** arrivals, noise, slowdowns, datasets, seed *)
+  crashes : crash list;
+  retry : retry;
+}
+
+val default_config : config
+(** {!Workload_sim.default_config}, no crashes, {!no_retry}. *)
+
+type stats = {
+  workload : Workload_sim.stats;
+      (** measured over the data sets that completed; with no crashes
+          this equals the {!Workload_sim.run} output exactly.
+          [completed] counts the survivors; [latencies] lists them in
+          arrival order. When nothing completes, makespan/period/
+          throughput are 0 and the latency statistics are [nan]. *)
+  offered : int;   (** the configured number of data sets *)
+  dropped : int;   (** data sets abandoned after exhausting retries *)
+  killed : int;    (** in-flight computations lost to a crash *)
+  retries : int;   (** re-executions scheduled *)
+}
+
+val survival : stats -> float
+(** [workload.completed / offered] — the fraction of the offered data
+    sets that made it through. *)
+
+val run : ?config:config -> Instance.t -> Mapping.t -> stats
+(** Raises [Invalid_argument] on everything {!Workload_sim.run} rejects,
+    plus, for the fault layer:
+
+    {ul
+    {- a crash at a negative (or NaN) time;}
+    {- a crash naming a processor outside the platform;}
+    {- a recovery not strictly after its crash, or not finite;}
+    {- overlapping crash windows on one processor (a processor must
+       recover before it can crash again);}
+    {- [max_retries < 0], or a [backoff] that is negative or not
+       finite.}} *)
