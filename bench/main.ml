@@ -35,6 +35,7 @@ type options = {
   mutable points : int;
   mutable seed : int;
   mutable out : string;
+  mutable jobs : int;
 }
 
 let options =
@@ -49,6 +50,7 @@ let options =
     points = 15;
     seed = 2007;
     out = "results";
+    jobs = Pipeline_util.Pool.recommended_jobs ();
   }
 
 let select which =
@@ -101,11 +103,17 @@ let parse_args () =
       ("--points", Arg.Int (fun v -> options.points <- v), "N sweep points");
       ("--seed", Arg.Int (fun v -> options.seed <- v), "N campaign seed");
       ("--out", Arg.String (fun v -> options.out <- v), "DIR output directory");
+      ("--jobs", Arg.Int (fun v -> options.jobs <- v),
+       Printf.sprintf
+         "N worker domains for the campaign loops (default %d here; 1 = \
+          sequential; any value yields bit-identical artefacts)"
+         options.jobs);
     ]
   in
   Arg.parse (Arg.align spec)
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %s" a)))
-    "dune exec bench/main.exe -- [options]"
+    "dune exec bench/main.exe -- [options]";
+  Pipeline_util.Pool.set_jobs options.jobs
 
 let section title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 74 '=') title (String.make 74 '=')
@@ -180,6 +188,37 @@ let paper_table1 = function
       ("H5", [ 3.0; 4.0; 7.0; 11.0 ]);
       ("H6", [ 3.0; 4.0; 7.0; 11.0 ]) ]
 
+(* Reproduction gate (see EXPERIMENTS.md "Table 1"): every measured
+   threshold must lie within a factor 4 of the paper's value, loosened
+   to a factor 8 for the H2/H3 cells at n >= 20 — the documented "known
+   deviation" of the 3-exploration heuristics. The gate turns --table1
+   into a CI check: out-of-tolerance cells make the bench exit
+   non-zero. Skipped off the documented campaign (non-default seed) and
+   in smoke mode, where 2-pair batches are pure noise. *)
+let table1_failures = ref []
+
+let table1_tolerance ~heuristic ~n =
+  if (heuristic = "H2" || heuristic = "H3") && n >= 20 then 8. else 4.
+
+let check_table1 experiment (table : E.Failure.table) reference =
+  if (not options.smoke) && options.seed = 2007 then
+    List.iter
+      (fun (name, measured) ->
+        let paper = List.assoc name reference in
+        List.iter2
+          (fun n (m, p) ->
+            let tol = table1_tolerance ~heuristic:name ~n in
+            if m > p *. tol || m < p /. tol then
+              table1_failures :=
+                Printf.sprintf
+                  "%s %s n=%d: measured %.1f vs paper %.1f (tolerance x%g)"
+                  (E.Config.experiment_name experiment)
+                  name n m p tol
+                :: !table1_failures)
+          table.E.Failure.ns
+          (List.combine measured paper))
+      table.E.Failure.rows
+
 let run_table1 () =
   section
     (Printf.sprintf
@@ -193,6 +232,7 @@ let run_table1 () =
           ~ns
       in
       let reference = paper_table1 experiment in
+      check_table1 experiment table reference;
       Printf.printf "%s (%s)\n"
         (E.Config.experiment_name experiment)
         (E.Config.experiment_title experiment);
@@ -213,7 +253,14 @@ let run_table1 () =
       ignore (E.Report.write_table ~dir:options.out table);
       print_newline ())
     E.Config.all_experiments;
-  print_endline "  cell format: measured (paper)"
+  print_endline "  cell format: measured (paper)";
+  match !table1_failures with
+  | [] ->
+    if (not options.smoke) && options.seed = 2007 then
+      print_endline "  reproduction gate: all cells within tolerance"
+  | failures ->
+    print_endline "  REPRODUCTION GATE FAILED:";
+    List.iter (Printf.printf "    %s\n") (List.rev failures)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timings                                                    *)
@@ -319,16 +366,21 @@ let ablation_overlap () =
   Printf.printf
     "\nAblation 2: one-port/no-overlap (paper model) vs multi-port overlap\n";
   Printf.printf "(simulated steady-state period on mapped E2 instances)\n\n";
+  (* Instance generation consumes the shared RNG stream and stays
+     sequential; the simulations are pure per-instance work and fan out
+     across the pool, reassembled in draw order. *)
   let rng = Pipeline_util.Rng.create options.seed in
-  let ratios = ref [] in
-  for i = 1 to scale 30 do
-    let n = 5 + Pipeline_util.Rng.int rng 30 in
-    let app = App_generator.generate rng (App_generator.e2 ~n) in
-    let platform = Platform_generator.comm_homogeneous rng ~p:10 in
-    let inst = Instance.make ~id:i app platform in
+  let insts =
+    Array.init (scale 30) (fun i ->
+        let n = 5 + Pipeline_util.Rng.int rng 30 in
+        let app = App_generator.generate rng (App_generator.e2 ~n) in
+        let platform = Platform_generator.comm_homogeneous rng ~p:10 in
+        Instance.make ~id:(i + 1) app platform)
+  in
+  let evaluate inst =
     let threshold = Instance.single_proc_period inst *. 0.6 in
     match Sp_mono_p.solve inst ~period:threshold with
-    | None -> ()
+    | None -> None
     | Some sol ->
       let run mode =
         Pipeline_sim.Trace.steady_period
@@ -336,8 +388,15 @@ let ablation_overlap () =
       in
       let no = run Pipeline_sim.Runner.One_port_no_overlap in
       let ov = run Pipeline_sim.Runner.Multi_port_overlap in
-      if no > 0. then ratios := (ov /. no) :: !ratios
-  done;
+      if no > 0. then Some (ov /. no) else None
+  in
+  let ratios =
+    ref
+      (Array.fold_left
+         (fun acc r -> match r with None -> acc | Some v -> v :: acc)
+         []
+         (Pipeline_util.Pool.map evaluate insts))
+  in
   match !ratios with
   | [] -> Printf.printf "  (no mapped instance)\n"
   | rs ->
@@ -361,7 +420,11 @@ let ablation_baselines () =
   in
   let batch = E.Workload.instances setup in
   let avg f =
-    let values = List.filter_map f batch in
+    (* Per-pair fan-out; the filter keeps batch order for the mean. *)
+    let values =
+      List.filter_map Fun.id
+        (Pipeline_util.Pool.map_list f batch)
+    in
     Pipeline_util.Stats.mean values
   in
   let h5 =
@@ -390,28 +453,41 @@ let ablation_deal () =
   Printf.printf
     "(min period with unbounded latency budget; the deal replicates the hot stage)\n\n";
   let rng = Pipeline_util.Rng.create (options.seed + 13) in
+  (* Shared-stream draws first, pooled evaluation second (see ablation 2). *)
+  let insts =
+    Array.init (scale 20) (fun i ->
+        let n = 5 + Pipeline_util.Rng.int rng 10 in
+        let works =
+          Array.init n (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 5 20))
+        in
+        (* One hot stage dominating the rest. *)
+        works.(Pipeline_util.Rng.int rng n) <-
+          float_of_int (Pipeline_util.Rng.int_in rng 300 600);
+        let deltas =
+          Array.init (n + 1) (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 1 20))
+        in
+        let app = Application.make ~deltas works in
+        let platform = Platform_generator.comm_homogeneous rng ~p:8 in
+        Instance.make ~id:(i + 1) app platform)
+  in
+  let outcomes =
+    Pipeline_util.Pool.map
+      (fun inst ->
+        ( Option.map
+            (fun (s : Solution.t) -> s.Solution.period)
+            (Sp_mono_l.solve inst ~latency:infinity),
+          Option.map
+            (fun s -> s.Pipeline_deal.Deal_heuristic.period)
+            (Pipeline_deal.Deal_heuristic.minimise_period_under_latency inst
+               ~latency:infinity) ))
+      insts
+  in
   let split_periods = ref [] and deal_periods = ref [] in
-  for i = 1 to scale 20 do
-    let n = 5 + Pipeline_util.Rng.int rng 10 in
-    let works =
-      Array.init n (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 5 20))
-    in
-    (* One hot stage dominating the rest. *)
-    works.(Pipeline_util.Rng.int rng n) <-
-      float_of_int (Pipeline_util.Rng.int_in rng 300 600);
-    let deltas =
-      Array.init (n + 1) (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 1 20))
-    in
-    let app = Application.make ~deltas works in
-    let platform = Platform_generator.comm_homogeneous rng ~p:8 in
-    let inst = Instance.make ~id:i app platform in
-    (match Sp_mono_l.solve inst ~latency:infinity with
-    | Some s -> split_periods := s.Solution.period :: !split_periods
-    | None -> ());
-    match Pipeline_deal.Deal_heuristic.minimise_period_under_latency inst ~latency:infinity with
-    | Some s -> deal_periods := s.Pipeline_deal.Deal_heuristic.period :: !deal_periods
-    | None -> ()
-  done;
+  Array.iter
+    (fun (split, deal) ->
+      Option.iter (fun v -> split_periods := v :: !split_periods) split;
+      Option.iter (fun v -> deal_periods := v :: !deal_periods) deal)
+    outcomes;
   Printf.printf "  %-34s %10.2f\n" "splitting only (Sp mono L)"
     (Pipeline_util.Stats.mean !split_periods);
   Printf.printf "  %-34s %10.2f\n" "splitting + round-robin deal"
@@ -427,27 +503,35 @@ let ablation_het () =
     "(min period, unbounded budget: het-aware splitting vs exhaustive optimum,\n\
     \ 20 random fully-het instances, n <= 8, p <= 4)\n\n";
   let rng = Pipeline_util.Rng.create (options.seed + 17) in
-  let ratios = ref [] in
-  for i = 1 to scale 20 do
-    let n = 2 + Pipeline_util.Rng.int rng 7 in
-    let p = 2 + Pipeline_util.Rng.int rng 3 in
-    let works =
-      Array.init n (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 1 20))
-    in
-    let deltas =
-      Array.init (n + 1) (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 1 30))
-    in
-    let app = Application.make ~deltas works in
-    let platform = Platform_generator.fully_heterogeneous rng ~p in
-    let inst = Instance.make ~id:i app platform in
+  (* Shared-stream draws first, pooled evaluation second (see ablation 2). *)
+  let insts =
+    Array.init (scale 20) (fun i ->
+        let n = 2 + Pipeline_util.Rng.int rng 7 in
+        let p = 2 + Pipeline_util.Rng.int rng 3 in
+        let works =
+          Array.init n (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 1 20))
+        in
+        let deltas =
+          Array.init (n + 1) (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 1 30))
+        in
+        let app = Application.make ~deltas works in
+        let platform = Platform_generator.fully_heterogeneous rng ~p in
+        Instance.make ~id:(i + 1) app platform)
+  in
+  let evaluate inst =
     let opt = (Pipeline_optimal.Exhaustive.min_period inst).Solution.period in
-    match
-      Pipeline_het.Het_heuristics.minimise_period_under_latency inst
-        ~latency:infinity
-    with
-    | Some sol -> ratios := (sol.Solution.period /. opt) :: !ratios
-    | None -> ()
-  done;
+    Option.map
+      (fun (sol : Solution.t) -> sol.Solution.period /. opt)
+      (Pipeline_het.Het_heuristics.minimise_period_under_latency inst
+         ~latency:infinity)
+  in
+  let ratios =
+    ref
+      (Array.fold_left
+         (fun acc r -> match r with None -> acc | Some v -> v :: acc)
+         []
+         (Pipeline_util.Pool.map evaluate insts))
+  in
   Printf.printf
     "  het heuristic period / optimal period: mean %.3f, max %.3f (%d runs)\n"
     (Pipeline_util.Stats.mean !ratios)
@@ -496,28 +580,39 @@ let ablation_polish () =
   List.iter
     (fun (info : Registry.info) ->
       if info.Registry.kind = Registry.Period_fixed then begin
+        let outcomes =
+          Pipeline_util.Pool.map
+            (fun inst ->
+              let threshold = Instance.single_proc_period inst *. 0.5 in
+              match info.Registry.solve inst ~threshold with
+              | None -> None
+              | Some sol ->
+                let better =
+                  Pipeline_optimal.Local_search.improve
+                    ~objective:Pipeline_optimal.Local_search.Latency_then_period
+                    ~feasible:(fun s -> Solution.respects_period s threshold)
+                    inst sol
+                in
+                let exact =
+                  Pipeline_optimal.Bicriteria.min_latency_under_period inst
+                    ~period:threshold
+                in
+                Some
+                  ( sol.Solution.latency,
+                    better.Solution.latency,
+                    Option.map (fun (e : Solution.t) -> e.Solution.latency) exact
+                  ))
+            (Array.of_list batch)
+        in
         let raws = ref [] and polished = ref [] and exacts = ref [] in
-        List.iter
-          (fun inst ->
-            let threshold = Instance.single_proc_period inst *. 0.5 in
-            match info.Registry.solve inst ~threshold with
+        Array.iter
+          (function
             | None -> ()
-            | Some sol ->
-              raws := sol.Solution.latency :: !raws;
-              let better =
-                Pipeline_optimal.Local_search.improve
-                  ~objective:Pipeline_optimal.Local_search.Latency_then_period
-                  ~feasible:(fun s -> Solution.respects_period s threshold)
-                  inst sol
-              in
-              polished := better.Solution.latency :: !polished;
-              (match
-                 Pipeline_optimal.Bicriteria.min_latency_under_period inst
-                   ~period:threshold
-               with
-              | Some e -> exacts := e.Solution.latency :: !exacts
-              | None -> ()))
-          batch;
+            | Some (raw, p, exact) ->
+              raws := raw :: !raws;
+              polished := p :: !polished;
+              Option.iter (fun e -> exacts := e :: !exacts) exact)
+          outcomes;
         match !raws with
         | [] -> ()
         | _ ->
@@ -538,23 +633,31 @@ let ablation_branch_bound () =
     E.Config.default_setup ~pairs:(scale 10) ~seed:options.seed E.Config.E2 ~n:12 ~p:100
   in
   let batch = E.Workload.instances setup in
+  let outcomes =
+    Pipeline_util.Pool.map
+      (fun inst ->
+        match Sp_mono_l.solve inst ~latency:infinity with
+        | None -> None
+        | Some h ->
+          let result =
+            Pipeline_optimal.Branch_bound.min_period
+              ~node_budget:(if options.smoke then 20_000 else 500_000)
+              ~initial:h inst
+          in
+          Some
+            ( h.Solution.period
+              /. result.Pipeline_optimal.Branch_bound.solution.Solution.period,
+              result.Pipeline_optimal.Branch_bound.proven_optimal ))
+      (Array.of_list batch)
+  in
   let gaps = ref [] and proven = ref 0 in
-  List.iter
-    (fun inst ->
-      match Sp_mono_l.solve inst ~latency:infinity with
+  Array.iter
+    (function
       | None -> ()
-      | Some h ->
-        let result =
-          Pipeline_optimal.Branch_bound.min_period
-            ~node_budget:(if options.smoke then 20_000 else 500_000)
-            ~initial:h inst
-        in
-        if result.Pipeline_optimal.Branch_bound.proven_optimal then incr proven;
-        gaps :=
-          (h.Solution.period
-          /. result.Pipeline_optimal.Branch_bound.solution.Solution.period)
-          :: !gaps)
-    batch;
+      | Some (gap, optimal) ->
+        if optimal then incr proven;
+        gaps := gap :: !gaps)
+    outcomes;
   Printf.printf
     "  heuristic period / B&B period: mean %.3f, max %.3f (%d/%d proven optimal)\n"
     (Pipeline_util.Stats.mean !gaps)
@@ -604,13 +707,23 @@ let run_faults () =
 
 let () =
   parse_args ();
+  let started = Unix.gettimeofday () in
   Printf.printf
     "Multi-criteria scheduling of pipeline workflows (Benoit et al., 2007)\n";
-  Printf.printf "Reproduction harness. Output directory: %s\n" options.out;
+  Printf.printf "Reproduction harness. Output directory: %s (jobs: %d)\n"
+    options.out
+    (Pipeline_util.Pool.jobs ());
   if options.figures then run_figures ();
   if options.table1 then run_table1 ();
   if options.ablation then run_ablation ();
   if options.faults then run_faults ();
   if options.timings then run_timings ();
   print_newline ();
+  Printf.printf "wall-clock: %.2f s (jobs %d)\n"
+    (Unix.gettimeofday () -. started)
+    (Pipeline_util.Pool.jobs ());
+  if !table1_failures <> [] then begin
+    print_endline "FAILED: Table 1 outside the documented tolerance (see above).";
+    exit 1
+  end;
   print_endline "done."

@@ -79,6 +79,27 @@ let points_arg =
 
 let seed_arg = Arg.(value & opt int 2007 & info [ "seed" ] ~doc:"Campaign seed.")
 
+(* Multicore execution: the flag sets the process-wide pool width used
+   by every parallel loop (campaign sweeps, exhaustive root splitting).
+   Any value produces bit-identical results; 1 disables parallelism. *)
+let jobs_arg =
+  let default = Pipeline_util.Pool.recommended_jobs () in
+  Arg.(
+    value
+    & opt int default
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          (Printf.sprintf
+             "Worker domains for the parallel loops (default %d = recommended \
+              for this machine, capped; 1 = sequential; results are \
+              bit-identical for every value)."
+             default))
+
+(* Evaluated before the command body runs: cmdliner evaluates argument
+   terms before applying the run function, so threading this [unit
+   Term.t] as the first argument installs the pool width up front. *)
+let jobs_setup = Term.(const Pipeline_util.Pool.set_jobs $ jobs_arg)
+
 let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
 
 (* The instance comes either from --file or from the three array
@@ -172,7 +193,7 @@ let solve_cmd =
       & info [ "polish" ]
           ~doc:"Post-optimise each heuristic solution by local search.")
   in
-  let run inst period latency heuristic exact polish reliability fail_prob =
+  let run () inst period latency heuristic exact polish reliability fail_prob =
     Format.printf "%a@." Instance.pp inst;
     match reliability with
     | Some failure ->
@@ -258,8 +279,8 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Map one pipeline instance (het platforms use the het extension).")
     Term.(
-      const run $ instance_args $ period_arg $ latency_arg $ heuristic $ exact
-      $ polish $ reliability_arg $ fail_prob_arg)
+      const run $ jobs_setup $ instance_args $ period_arg $ latency_arg
+      $ heuristic $ exact $ polish $ reliability_arg $ fail_prob_arg)
 
 (* ------------------------------------------------------------------ *)
 (* one-to-one                                                          *)
@@ -362,7 +383,7 @@ let figure_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"LABEL" ~doc:"Figure label, e.g. 'Figure 2(a)'.")
   in
-  let run label pairs points seed out =
+  let run () label pairs points seed out =
     if String.lowercase_ascii label = "e5" then begin
       (* Extension figure: fully heterogeneous platforms. *)
       let fig =
@@ -392,7 +413,7 @@ let figure_cmd =
   in
   Cmd.v
     (Cmd.info "figure" ~doc:"Reproduce one paper figure.")
-    Term.(const run $ label $ pairs_arg $ points_arg $ seed_arg $ out_arg)
+    Term.(const run $ jobs_setup $ label $ pairs_arg $ points_arg $ seed_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -430,7 +451,7 @@ let table1_cmd =
       & info [ "max" ]
           ~doc:"Report the worst per-instance boundary instead of the mean.")
   in
-  let run experiment p ns max_aggregate pairs seed out =
+  let run () experiment p ns max_aggregate pairs seed out =
     let aggregate =
       if max_aggregate then Pipeline_experiments.Failure.Max
       else Pipeline_experiments.Failure.Mean
@@ -457,15 +478,15 @@ let table1_cmd =
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce the failure-threshold table (Table 1).")
     Term.(
-      const run $ experiment $ p $ ns $ max_aggregate $ pairs_arg $ seed_arg
-      $ out_arg)
+      const run $ jobs_setup $ experiment $ p $ ns $ max_aggregate $ pairs_arg
+      $ seed_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* campaign                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let campaign_cmd =
-  let run pairs points seed out =
+  let run () pairs points seed out =
     List.iter
       (fun (label, _) ->
         match
@@ -493,7 +514,7 @@ let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run the full simulation campaign (all figures + tables).")
-    Term.(const run $ pairs_arg $ points_arg $ seed_arg $ out_arg)
+    Term.(const run $ jobs_setup $ pairs_arg $ points_arg $ seed_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* validate                                                            *)
@@ -779,7 +800,7 @@ let simulate_cmd =
 (* ------------------------------------------------------------------ *)
 
 let pareto_cmd =
-  let run inst =
+  let run () inst =
     Format.printf "%a@." Instance.pp inst;
     List.iter
       (fun (sol : Solution.t) -> Format.printf "%a@." Solution.pp sol)
@@ -787,7 +808,7 @@ let pareto_cmd =
   in
   Cmd.v
     (Cmd.info "pareto" ~doc:"Exact period/latency Pareto front (exponential in p).")
-    Term.(const run $ instance_args)
+    Term.(const run $ jobs_setup $ instance_args)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -20,7 +20,12 @@ let count_estimate ~n ~p =
 
 let guard = 1e6
 
-let iter (inst : Instance.t) consider =
+(* The enumeration tree split at the root: one independent branch per
+   end position of the *first* interval. Running the branches in index
+   order reproduces the historical sequential enumeration order exactly,
+   which is what keeps the parallel minimisation below bit-identical to
+   the sequential one (ties break by enumeration order). *)
+let root_branches (inst : Instance.t) =
   let n = Application.n inst.app and p = Platform.p inst.platform in
   if count_estimate ~n ~p > guard then
     invalid_arg "Deal_exhaustive.iter: instance too large to enumerate";
@@ -36,7 +41,7 @@ let iter (inst : Instance.t) consider =
     in
     collect 0 []
   in
-  let rec assign d free acc =
+  let rec assign d free acc consider =
     if d > n then consider (Deal_mapping.make ~n (List.rev acc))
     else
       for e = d to n do
@@ -44,32 +49,56 @@ let iter (inst : Instance.t) consider =
           (fun subset ->
             assign (e + 1)
               (free lxor subset)
-              ((Interval.make ~first:d ~last:e, procs_of_mask subset) :: acc))
+              ((Interval.make ~first:d ~last:e, procs_of_mask subset) :: acc)
+              consider)
           (subsets_of free)
       done
   in
-  assign 1 ((1 lsl p) - 1) []
+  let full = (1 lsl p) - 1 in
+  Array.init n (fun i ->
+      let e = i + 1 in
+      fun consider ->
+        List.iter
+          (fun subset ->
+            assign (e + 1)
+              (full lxor subset)
+              [ (Interval.make ~first:1 ~last:e, procs_of_mask subset) ]
+              consider)
+          (subsets_of full))
+
+let iter (inst : Instance.t) consider =
+  Array.iter (fun branch -> branch consider) (root_branches inst)
 
 let min_period (inst : Instance.t) =
-  let best = ref None in
-  let consider mapping =
-    let s = Deal_metrics.summary inst mapping in
-    let candidate =
-      {
-        Deal_heuristic.mapping;
-        period = s.Deal_metrics.period;
-        latency = s.Deal_metrics.latency;
-      }
-    in
-    match !best with
-    | Some b
-      when b.Deal_heuristic.period < candidate.Deal_heuristic.period
-           || (b.Deal_heuristic.period = candidate.Deal_heuristic.period
-              && b.Deal_heuristic.latency <= candidate.Deal_heuristic.latency) ->
-      ()
-    | _ -> best := Some candidate
+  (* First-seen-wins on (period, latency) ties, per branch; merging the
+     branch winners in index order applies the same rule, so the result
+     matches the sequential scan at any parallelism degree. *)
+  let keep_acc (b : Deal_heuristic.solution) (c : Deal_heuristic.solution) =
+    b.Deal_heuristic.period < c.Deal_heuristic.period
+    || (b.Deal_heuristic.period = c.Deal_heuristic.period
+       && b.Deal_heuristic.latency <= c.Deal_heuristic.latency)
   in
-  iter inst consider;
-  match !best with
+  let merge acc candidate =
+    match (acc, candidate) with
+    | Some b, Some c when keep_acc b c -> acc
+    | _, None -> acc
+    | _ -> candidate
+  in
+  let branch_best branch =
+    let best = ref None in
+    branch (fun mapping ->
+        let s = Deal_metrics.summary inst mapping in
+        let candidate =
+          {
+            Deal_heuristic.mapping;
+            period = s.Deal_metrics.period;
+            latency = s.Deal_metrics.latency;
+          }
+        in
+        best := merge !best (Some candidate));
+    !best
+  in
+  let locals = Pipeline_util.Pool.map branch_best (root_branches inst) in
+  match Array.fold_left merge None locals with
   | Some sol -> sol
   | None -> assert false (* the single-interval single-replica mapping exists *)

@@ -5,7 +5,13 @@
     intervals, scoring with the round-robin cost model — the ground truth
     for {!Deal_heuristic} on tiny instances. The search space is huge
     (partitions × ordered set partitions of the processors), so a guard
-    rejects instances beyond [10^6] enumerated mappings. *)
+    rejects instances beyond [10^6] enumerated mappings.
+
+    {!min_period} splits the enumeration at the root (one branch per end
+    of the first interval) and evaluates branches on
+    {!Pipeline_util.Pool}; branch results merge in branch order with
+    first-seen-wins ties, so the reported optimum is bit-identical to
+    the sequential scan at any pool width. *)
 
 open Pipeline_model
 

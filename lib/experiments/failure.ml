@@ -24,18 +24,23 @@ let instance_threshold ?(iterations = 40) (info : Registry.info) inst =
   done;
   !lo
 
+(* Each per-instance bisection is independent, so the per-pair loop fans
+   out across the domain pool; folding the result array in index order
+   keeps the summation order — and therefore every table cell —
+   identical to the sequential run. *)
+let instance_thresholds ?iterations info instances =
+  Pipeline_util.Pool.map
+    (fun inst -> instance_threshold ?iterations info inst)
+    (Array.of_list instances)
+
 let average_threshold ?iterations (info : Registry.info) instances =
   let total =
-    List.fold_left
-      (fun acc inst -> acc +. instance_threshold ?iterations info inst)
-      0. instances
+    Array.fold_left ( +. ) 0. (instance_thresholds ?iterations info instances)
   in
   total /. float_of_int (List.length instances)
 
 let max_threshold ?iterations (info : Registry.info) instances =
-  List.fold_left
-    (fun acc inst -> Float.max acc (instance_threshold ?iterations info inst))
-    0. instances
+  Array.fold_left Float.max 0. (instance_thresholds ?iterations info instances)
 
 type aggregate = Mean | Max
 

@@ -29,14 +29,16 @@ let mapped_instances setup =
     | Some h -> h
     | None -> assert false
   in
-  List.filter_map
-    (fun (inst : Instance.t) ->
-      let threshold = Instance.single_proc_period inst *. 0.6 in
-      Option.map
-        (fun (sol : Pipeline_core.Solution.t) ->
-          (inst, sol.Pipeline_core.Solution.mapping, threshold))
-        (h1.Pipeline_core.Registry.solve inst ~threshold))
-    (Workload.instances setup)
+  List.filter_map Fun.id
+    (Array.to_list
+       (Pipeline_util.Pool.map
+          (fun (inst : Instance.t) ->
+            let threshold = Instance.single_proc_period inst *. 0.6 in
+            Option.map
+              (fun (sol : Pipeline_core.Solution.t) ->
+                (inst, sol.Pipeline_core.Solution.mapping, threshold))
+              (h1.Pipeline_core.Registry.solve inst ~threshold))
+          (Array.of_list (Workload.instances setup))))
 
 (* Crash [count] distinct processors, enrolled ones first so the faults
    hit the pipeline; one uniform crash instant each over the first half
@@ -60,65 +62,92 @@ let draw_crashes rng (inst : Instance.t) mapping ~count ~datasets =
     (fun u -> (u, Rng.float_in rng 0. (Float.max horizon 1.)))
     victims
 
+(* Everything one mapped pair contributes to a campaign point. The
+   whole computation is a pure function of (instance, mapping,
+   threshold, count): the crash draws come from a task-private RNG
+   stream derived from the instance seed, so the pairs can fan out
+   across the domain pool. *)
+type pair_outcome = {
+  o_survival : float;
+  o_recovery : float;
+  o_success : float;
+  o_ratio : float option;
+  o_migration : float option;
+}
+
+let pair_outcome ~datasets ~count ((inst : Instance.t), mapping, threshold) =
+  let count = min count (Platform.p inst.platform - 1) in
+  let rng = Rng.create ((inst.Instance.seed * 31) + (count * 7) + 11) in
+  let crashes = draw_crashes rng inst mapping ~count ~datasets in
+  let base = { W.default_config with W.datasets; seed = inst.Instance.seed } in
+  let sim retry crash_of =
+    F.run
+      ~config:{ F.base; crashes = List.map crash_of crashes; retry }
+      inst mapping
+  in
+  let permanent =
+    sim F.no_retry (fun (u, at) -> { F.at; proc = u; recover_at = None })
+  in
+  let period = Metrics.period inst.app inst.platform mapping in
+  let recovered =
+    sim
+      { F.max_retries = 3; backoff = period }
+      (fun (u, at) ->
+        { F.at; proc = u; recover_at = Some (at +. (10. *. period)) })
+  in
+  let failed = List.map fst crashes in
+  let success, ratio, migration =
+    match
+      Ft_remap.remap inst ~before:mapping ~failed ~threshold:(threshold *. 1.2)
+    with
+    | None -> (0., None, None)
+    | Some outcome ->
+      ( (if outcome.Ft_remap.met_threshold then 1. else 0.),
+        Some (outcome.Ft_remap.period /. period),
+        Some
+          (float_of_int outcome.Ft_remap.migrated_stages
+          /. float_of_int (Application.n inst.app)) )
+  in
+  {
+    o_survival = F.survival permanent;
+    o_recovery = F.survival recovered;
+    o_success = success;
+    o_ratio = ratio;
+    o_migration = migration;
+  }
+
 let run ?(crash_counts = [ 0; 1; 2; 3 ]) ?(datasets = 150) (setup : Config.setup) =
-  let mapped = mapped_instances setup in
+  let mapped = Array.of_list (mapped_instances setup) in
   let point count =
-    let survivals = ref []
-    and recoveries = ref []
-    and successes = ref []
-    and ratios = ref []
-    and migrations = ref [] in
-    List.iter
-      (fun ((inst : Instance.t), mapping, threshold) ->
-        let count = min count (Platform.p inst.platform - 1) in
-        let rng = Rng.create ((inst.Instance.seed * 31) + (count * 7) + 11) in
-        let crashes = draw_crashes rng inst mapping ~count ~datasets in
-        let base = { W.default_config with W.datasets; seed = inst.Instance.seed } in
-        let sim retry crash_of =
-          F.run
-            ~config:{ F.base; crashes = List.map crash_of crashes; retry }
-            inst mapping
-        in
-        let permanent =
-          sim F.no_retry (fun (u, at) -> { F.at; proc = u; recover_at = None })
-        in
-        survivals := F.survival permanent :: !survivals;
-        let period = Metrics.period inst.app inst.platform mapping in
-        let recovered =
-          sim
-            { F.max_retries = 3; backoff = period }
-            (fun (u, at) ->
-              { F.at; proc = u; recover_at = Some (at +. (10. *. period)) })
-        in
-        recoveries := F.survival recovered :: !recoveries;
-        let failed = List.map fst crashes in
-        match
-          Ft_remap.remap inst ~before:mapping ~failed
-            ~threshold:(threshold *. 1.2)
-        with
-        | None -> successes := 0. :: !successes
-        | Some outcome ->
-          successes :=
-            (if outcome.Ft_remap.met_threshold then 1. else 0.) :: !successes;
-          ratios := (outcome.Ft_remap.period /. period) :: !ratios;
-          migrations :=
-            (float_of_int outcome.Ft_remap.migrated_stages
-            /. float_of_int (Application.n inst.app))
-            :: !migrations)
-      mapped;
+    let outcomes =
+      Pipeline_util.Pool.map (pair_outcome ~datasets ~count) mapped
+    in
+    (* Prepending in index order rebuilds exactly the reversed lists the
+       sequential loop accumulated, so each mean sums in the same order
+       and the campaign stays bit-identical at any --jobs. *)
+    let collect f =
+      Array.fold_left
+        (fun acc o -> match f o with None -> acc | Some v -> v :: acc)
+        [] outcomes
+    in
+    let survivals = collect (fun o -> Some o.o_survival)
+    and recoveries = collect (fun o -> Some o.o_recovery)
+    and successes = collect (fun o -> Some o.o_success)
+    and ratios = collect (fun o -> o.o_ratio)
+    and migrations = collect (fun o -> o.o_migration) in
     let mean = function [] -> nan | values -> Stats.mean values in
     {
       crashes = count;
-      survival = mean !survivals;
-      survival_recovery = mean !recoveries;
-      remap_success = mean !successes;
-      degraded_period = mean !ratios;
-      migrated_fraction = mean !migrations;
+      survival = mean survivals;
+      survival_recovery = mean recoveries;
+      remap_success = mean successes;
+      degraded_period = mean ratios;
+      migrated_fraction = mean migrations;
     }
   in
   {
     setup;
-    instances = List.length mapped;
+    instances = Array.length mapped;
     datasets;
     points = List.map point (List.sort_uniq compare crash_counts);
   }

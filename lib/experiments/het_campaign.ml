@@ -10,7 +10,11 @@ let instance ~seed ~n ~p i =
   Instance.make ~id:i ~seed:tag app platform
 
 let instances ?(pairs = 50) ?(seed = 2007) ~n p =
-  List.init pairs (instance ~seed ~n ~p)
+  (* Per-pair generation: each pair owns the stream derived from its
+     (seed, n, p, index) tag, so generation order is irrelevant. *)
+  Array.to_list
+    (Pipeline_util.Pool.map (instance ~seed ~n ~p)
+       (Array.init pairs Fun.id))
 
 (* Grid anchors valid on any platform class. *)
 let period_bounds batch =
@@ -25,28 +29,31 @@ let period_bounds batch =
     let single = Pipeline_optimal.Latency.solve inst in
     (!lo, single.Pipeline_core.Solution.period)
   in
-  List.fold_left
-    (fun (lo, hi) inst ->
-      let l, h = bounds inst in
-      (Float.min lo l, Float.max hi h))
-    (infinity, neg_infinity) batch
+  Array.fold_left
+    (fun (lo, hi) (l, h) -> (Float.min lo l, Float.max hi h))
+    (infinity, neg_infinity)
+    (Pipeline_util.Pool.map bounds (Array.of_list batch))
 
 let latency_bounds batch =
-  List.fold_left
-    (fun (lo, hi) inst ->
-      let optimal =
-        (Pipeline_optimal.Latency.solve inst).Pipeline_core.Solution.latency
-      in
-      let unconstrained =
-        match
-          Pipeline_het.Het_heuristics.minimise_period_under_latency inst
-            ~latency:infinity
-        with
-        | Some sol -> Float.max optimal sol.Pipeline_core.Solution.latency
-        | None -> optimal
-      in
+  let bounds inst =
+    let optimal =
+      (Pipeline_optimal.Latency.solve inst).Pipeline_core.Solution.latency
+    in
+    let unconstrained =
+      match
+        Pipeline_het.Het_heuristics.minimise_period_under_latency inst
+          ~latency:infinity
+      with
+      | Some sol -> Float.max optimal sol.Pipeline_core.Solution.latency
+      | None -> optimal
+    in
+    (optimal, unconstrained)
+  in
+  Array.fold_left
+    (fun (lo, hi) (optimal, unconstrained) ->
       (Float.min lo optimal, Float.max hi unconstrained))
-    (infinity, neg_infinity) batch
+    (infinity, neg_infinity)
+    (Pipeline_util.Pool.map bounds (Array.of_list batch))
 
 let baseline_point batch =
   let sols =

@@ -20,28 +20,34 @@ let default_levels = [ 0.; 0.05; 0.1; 0.2; 0.3; 0.5 ]
 
 let series ?datasets ?(noise_levels = default_levels)
     (info : Pipeline_core.Registry.info) instances =
+  (* Both per-pair loops (mapping, then simulating) fan out across the
+     domain pool; each simulation draws from a stream derived from its
+     instance's seed, so no state is shared between tasks. *)
   let mapped =
-    List.filter_map
-      (fun inst ->
-        let threshold = Instance.single_proc_period inst *. 0.6 in
-        Option.map
-          (fun (sol : Pipeline_core.Solution.t) ->
-            (inst, sol.Pipeline_core.Solution.mapping))
-          (info.Pipeline_core.Registry.solve inst ~threshold))
-      instances
+    Array.of_list
+      (List.filter_map Fun.id
+         (Array.to_list
+            (Pipeline_util.Pool.map
+               (fun inst ->
+                 let threshold = Instance.single_proc_period inst *. 0.6 in
+                 Option.map
+                   (fun (sol : Pipeline_core.Solution.t) ->
+                     (inst, sol.Pipeline_core.Solution.mapping))
+                   (info.Pipeline_core.Registry.solve inst ~threshold))
+               (Array.of_list instances))))
   in
   let points =
     List.filter_map
       (fun noise ->
-        match mapped with
-        | [] -> None
-        | _ ->
+        if Array.length mapped = 0 then None
+        else
           let values =
-            List.map
-              (fun (inst, mapping) ->
-                inflation ?datasets ~seed:(inst.Instance.seed + 7) inst mapping
-                  ~noise)
-              mapped
+            Array.to_list
+              (Pipeline_util.Pool.map
+                 (fun (inst, mapping) ->
+                   inflation ?datasets ~seed:(inst.Instance.seed + 7) inst
+                     mapping ~noise)
+                 mapped)
           in
           Some (noise, Pipeline_util.Stats.mean values))
       noise_levels

@@ -19,7 +19,9 @@ let period_lower_bound (inst : Instance.t) =
   Float.max !per_stage (Float.max input_bound output_bound)
 
 let fold_bounds f instances =
-  match List.map f instances with
+  match
+    Array.to_list (Pipeline_util.Pool.map f (Array.of_list instances))
+  with
   | [] -> invalid_arg "Sweep: empty batch"
   | x :: xs ->
     List.fold_left
@@ -52,9 +54,16 @@ let grid ~lo ~hi ~points =
         lo +. ((hi -. lo) *. float_of_int i /. float_of_int (points - 1)))
 
 let run (info : Registry.info) instances ~thresholds =
+  let batch = Array.of_list instances in
   let point threshold =
+    (* The per-pair loop: each solve is a pure function of its instance,
+       so the pairs fan out across the domain pool; the filter keeps the
+       batch order, making the average's summation order (and thus the
+       plotted point) independent of the parallelism degree. *)
     let outcomes =
-      List.filter_map (fun inst -> info.solve inst ~threshold) instances
+      List.filter_map Fun.id
+        (Array.to_list
+           (Pipeline_util.Pool.map (fun inst -> info.solve inst ~threshold) batch))
     in
     match outcomes with
     | [] -> None
@@ -72,7 +81,10 @@ let run (info : Registry.info) instances ~thresholds =
   Series.make ~label:info.paper_name (List.filter_map point thresholds)
 
 let success_rate (info : Registry.info) instances ~threshold =
-  let successes =
-    List.length (List.filter_map (fun inst -> info.solve inst ~threshold) instances)
+  let solved =
+    Pipeline_util.Pool.map
+      (fun inst -> info.solve inst ~threshold <> None)
+      (Array.of_list instances)
   in
+  let successes = Array.fold_left (fun n ok -> if ok then n + 1 else n) 0 solved in
   float_of_int successes /. float_of_int (List.length instances)

@@ -19,4 +19,9 @@ let instance (setup : Config.setup) i =
   in
   Instance.make ~id:i ~seed:tag app platform
 
-let instances (setup : Config.setup) = List.init setup.pairs (instance setup)
+let instances (setup : Config.setup) =
+  (* Per-pair generation is embarrassingly parallel: every pair owns the
+     stream derived from its (seed, experiment, n, p, i) tag, so no RNG
+     state crosses task boundaries. *)
+  Array.to_list
+    (Pipeline_util.Pool.map (instance setup) (Array.init setup.pairs Fun.id))

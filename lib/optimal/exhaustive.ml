@@ -20,11 +20,19 @@ let count_mappings ~n ~p =
 
 let guard = 1e7
 
-let iter_mappings (inst : Instance.t) f =
+(* The enumeration tree, split at the root into independent branches:
+   one branch per interval count [m = 1] and per (m, first-cut) pair for
+   [m >= 2]. Branch [i] enumerates a subtree disjoint from every other
+   branch, and running the branches in index order visits exactly the
+   mappings of the historical sequential enumeration, in the same order
+   — which is what lets the parallel folds below reproduce the
+   sequential result bit-for-bit (ties are broken by enumeration
+   order). *)
+let root_branches (inst : Instance.t) =
   let n = Application.n inst.app and p = Platform.p inst.platform in
   if count_mappings ~n ~p > guard then
     invalid_arg "Exhaustive.iter_mappings: instance too large to enumerate";
-  let with_cuts cuts =
+  let with_cuts cuts f =
     let m = List.length cuts + 1 in
     let used = Array.make p false in
     let rec assign k procs_rev =
@@ -43,60 +51,89 @@ let iter_mappings (inst : Instance.t) f =
   in
   (* Choose the internal cut positions: every subset of [1..n-1] of size
      m-1 for every m up to min(n, p). *)
-  let rec choose_cuts start chosen_rev remaining =
-    if remaining = 0 then with_cuts (List.rev chosen_rev)
+  let rec choose_cuts start chosen_rev remaining f =
+    if remaining = 0 then with_cuts (List.rev chosen_rev) f
     else
       for c = start to n - 1 - (remaining - 1) do
-        choose_cuts (c + 1) (c :: chosen_rev) (remaining - 1)
+        choose_cuts (c + 1) (c :: chosen_rev) (remaining - 1) f
       done
   in
-  for m = 1 to min n p do
-    choose_cuts 1 [] (m - 1)
-  done
+  let branches = ref [] in
+  for m = min n p downto 1 do
+    if m = 1 then branches := (fun f -> with_cuts [] f) :: !branches
+    else
+      for c1 = n - 1 - (m - 2) downto 1 do
+        branches := (fun f -> choose_cuts (c1 + 1) [ c1 ] (m - 2) f) :: !branches
+      done
+  done;
+  Array.of_list !branches
 
-let fold_solutions inst f init =
-  let acc = ref init in
-  iter_mappings inst (fun mapping -> acc := f !acc (Solution.of_mapping inst mapping));
-  !acc
+let iter_mappings (inst : Instance.t) f =
+  Array.iter (fun branch -> branch f) (root_branches inst)
+
+(* Fan the root branches out across the domain pool, folding each branch
+   locally; [combine] must merge two branch-local accumulators such that
+   index-ordered merging equals the sequential fold (true for the
+   first-seen-wins "best" folds below). *)
+let parallel_fold inst f init combine =
+  let locals =
+    Pipeline_util.Pool.map
+      (fun branch ->
+        let acc = ref init in
+        branch (fun mapping -> acc := f !acc (Solution.of_mapping inst mapping));
+        !acc)
+      (root_branches inst)
+  in
+  Array.fold_left combine init locals
+
+(* First-seen-wins minimisation: the sequential fold keeps the earlier
+   solution on ties, so merging branch bests left-to-right with the same
+   rule reproduces it exactly. *)
+let keep_better measure acc candidate =
+  match (acc, candidate) with
+  | Some best, Some sol when measure best <= measure sol -> acc
+  | _, None -> acc
+  | _ -> candidate
 
 let best_by measure inst =
-  match
-    fold_solutions inst
-      (fun acc sol ->
-        match acc with
-        | Some best when measure best <= measure sol -> acc
-        | _ -> Some sol)
-      None
-  with
+  let step acc sol = keep_better measure acc (Some sol) in
+  match parallel_fold inst step None (keep_better measure) with
   | Some sol -> sol
   | None -> assert false (* at least the single-interval mappings exist *)
 
 let min_period inst = best_by (fun s -> s.Solution.period) inst
 let min_latency inst = best_by (fun s -> s.Solution.latency) inst
 
+let constrained_best ~feasible ~measure inst =
+  let step acc sol =
+    if not (feasible sol) then acc else keep_better measure acc (Some sol)
+  in
+  parallel_fold inst step None (keep_better measure)
+
 let min_latency_under_period inst ~period =
-  fold_solutions inst
-    (fun acc sol ->
-      if not (Solution.respects_period sol period) then acc
-      else
-        match acc with
-        | Some best when best.Solution.latency <= sol.Solution.latency -> acc
-        | _ -> Some sol)
-    None
+  constrained_best inst
+    ~feasible:(fun sol -> Solution.respects_period sol period)
+    ~measure:(fun s -> s.Solution.latency)
 
 let min_period_under_latency inst ~latency =
-  fold_solutions inst
-    (fun acc sol ->
-      if not (Solution.respects_latency sol latency) then acc
-      else
-        match acc with
-        | Some best when best.Solution.period <= sol.Solution.period -> acc
-        | _ -> Some sol)
-    None
+  constrained_best inst
+    ~feasible:(fun sol -> Solution.respects_latency sol latency)
+    ~measure:(fun s -> s.Solution.period)
 
 let pareto inst =
+  (* Branch-local prepending reverses each branch; prepending whole
+     branch lists in index order then yields exactly the sequential
+     (reversed-global) list, so the sort sees identical input. *)
   let points =
-    fold_solutions inst (fun acc sol -> sol :: acc) []
+    Array.fold_left
+      (fun acc branch_points -> branch_points @ acc)
+      []
+      (Pipeline_util.Pool.map
+         (fun branch ->
+           let acc = ref [] in
+           branch (fun mapping -> acc := Solution.of_mapping inst mapping :: !acc);
+           !acc)
+         (root_branches inst))
   in
   let sorted =
     List.sort

@@ -5,7 +5,14 @@
     {!Pipeline_model.Metrics} cost model — so, unlike {!Bicriteria}, it
     also works on fully heterogeneous platforms. Cost grows as
     [Σ_m C(n-1, m-1) · p!/(p-m)!]; a guard rejects instances whose
-    estimated enumeration exceeds [10^7] mappings. Validation only. *)
+    estimated enumeration exceeds [10^7] mappings. Validation only.
+
+    The solvers split the enumeration at the root (one branch per
+    interval count [m] and first cut) and fan the branches out over
+    {!Pipeline_util.Pool}; branch-local results merge in branch order
+    with first-seen-wins tie-breaking, so every answer — including which
+    of several equal-cost optima is returned — is bit-identical to the
+    sequential enumeration at any pool width. *)
 
 open Pipeline_model
 open Pipeline_core

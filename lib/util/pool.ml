@@ -1,0 +1,54 @@
+let hard_cap = 32
+
+let recommended_jobs () =
+  max 1 (min hard_cap (Domain.recommended_domain_count ()))
+
+let default_jobs = Atomic.make 1
+let set_jobs n = Atomic.set default_jobs (max 1 (min hard_cap n))
+let jobs () = Atomic.get default_jobs
+
+(* Nested [map] calls must not spawn domains of their own: the flag is
+   set inside every worker (including the calling domain while it works
+   its own chunk), and [map] falls back to [Array.map] when it is up. *)
+let inside_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let sequential_map f xs = Array.map f xs
+
+let map ?jobs:requested f xs =
+  let requested = Option.value requested ~default:(jobs ()) in
+  let n = Array.length xs in
+  let workers = max 1 (min hard_cap (min requested n)) in
+  if workers <= 1 || n <= 1 || Domain.DLS.get inside_worker then
+    sequential_map f xs
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make workers None in
+    (* Index-ordered chunks: worker [w] owns [lo(w), lo(w+1)); the first
+       [n mod workers] chunks are one element longer. *)
+    let base = n / workers and rem = n mod workers in
+    let lo w = (w * base) + min w rem in
+    let run w =
+      Domain.DLS.set inside_worker true;
+      (try
+         for i = lo w to lo (w + 1) - 1 do
+           results.(i) <- Some (f xs.(i))
+         done
+       with e -> errors.(w) <- Some (e, Printexc.get_raw_backtrace ()));
+      Domain.DLS.set inside_worker false
+    in
+    let spawned =
+      Array.init (workers - 1) (fun k -> Domain.spawn (fun () -> run (k + 1)))
+    in
+    run 0;
+    Array.iter Domain.join spawned;
+    (* Deterministic error propagation: the lowest-indexed failing chunk
+       wins, whatever the domains' real interleaving was. *)
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list ?jobs f xs = Array.to_list (map ?jobs f (Array.of_list xs))

@@ -1,0 +1,48 @@
+(** Deterministic fixed-size domain pool.
+
+    The campaign parallelises over *independent* tasks — one per
+    (application, platform) pair, per sweep threshold, or per root branch
+    of an exhaustive enumeration. Each task is a pure function of its
+    input (any randomness flows through a task-private
+    {!Pipeline_util.Rng} stream derived from the campaign seed), so the
+    only thing scheduling could perturb is the order in which results are
+    combined. [Pool.map] removes that freedom: work is partitioned into
+    index-ordered chunks, every result is written back into its input
+    slot, and the caller folds the result array in index order — the
+    output is therefore independent of how the domains interleave, and
+    [map ~jobs:n f xs] equals [Array.map f xs] bit-for-bit for every [n]
+    (a property test in [test_util.ml] holds this contract).
+
+    Nested calls run sequentially: a task executing inside a pool worker
+    that itself calls [map] gets the plain [Array.map] path, so the
+    outermost parallel loop wins and domains are never oversubscribed
+    recursively. *)
+
+val hard_cap : int
+(** Upper bound on worker domains per [map] call (guards
+    [Domain.spawn] against absurd [--jobs] values and the runtime's
+    domain limit). *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] capped to {!hard_cap}; the
+    default for the executables' [--jobs]. Always at least 1. *)
+
+val set_jobs : int -> unit
+(** Set the process-wide default parallelism used by {!map} when [?jobs]
+    is omitted. Clamped to [\[1, hard_cap\]]. The library initialises it
+    to [1] (fully sequential), so only the executables' [--jobs] flag
+    ever turns parallelism on. *)
+
+val jobs : unit -> int
+(** Current process-wide default parallelism. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f xs] is [Array.map f xs], computed by up to [jobs]
+    domains over index-ordered chunks (the calling domain works too, as
+    worker 0). [?jobs] defaults to {!jobs}[ ()]; [jobs <= 1], tiny
+    inputs and nested calls fall back to the sequential path. If one or
+    more tasks raise, the exception of the lowest-indexed failing chunk
+    is re-raised after every domain has been joined. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map] over a list, preserving order ([List.map f xs] bit-for-bit). *)

@@ -287,6 +287,21 @@ let test_exhaustive_guard () =
        false
      with Invalid_argument _ -> true)
 
+(* The root-splitting fan-out must return the very same solution
+   (mapping included, ties and all) as the sequential scan. *)
+let with_jobs jobs f =
+  let saved = Pipeline_util.Pool.jobs () in
+  Pipeline_util.Pool.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pipeline_util.Pool.set_jobs saved) f
+
+let prop_exhaustive_parallel_bit_identical =
+  Helpers.qtest ~count:25 "deal exhaustive: jobs=4 = jobs=1 (bit-for-bit)"
+    gen_tiny (fun inst ->
+      Stdlib.compare
+        (with_jobs 1 (fun () -> Deal_exhaustive.min_period inst))
+        (with_jobs 4 (fun () -> Deal_exhaustive.min_period inst))
+      = 0)
+
 let () =
   Alcotest.run "deal"
     [
@@ -325,6 +340,7 @@ let () =
           Alcotest.test_case "replicates hot stage" `Quick
             test_exhaustive_replicates_hot_stage;
           Alcotest.test_case "guard" `Quick test_exhaustive_guard;
+          prop_exhaustive_parallel_bit_identical;
         ] );
       ( "simulation",
         [

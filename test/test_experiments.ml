@@ -380,6 +380,62 @@ let test_het_campaign_deterministic () =
         && Platform.equal x.Instance.platform y.Instance.platform))
     a b
 
+(* ------------------------------------------------------------------ *)
+(* Multicore determinism: parallel == sequential, bit-for-bit          *)
+(* ------------------------------------------------------------------ *)
+
+let with_jobs jobs f =
+  let saved = Pipeline_util.Pool.jobs () in
+  Pipeline_util.Pool.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pipeline_util.Pool.set_jobs saved) f
+
+(* The whole-campaign contract behind `bench --jobs N`: every experiment
+   driver must produce bit-identical results at any parallelism degree
+   (same pattern as test_sim.ml's fault-free bit-equality harness). *)
+let test_campaign_figure_jobs_bit_identical () =
+  let run jobs = with_jobs jobs (fun () -> Campaign.figure (small_setup ())) in
+  Alcotest.(check bool) "figure jobs=4 = jobs=1" true
+    (Stdlib.compare (run 1) (run 4) = 0)
+
+let test_failure_table_jobs_bit_identical () =
+  let run jobs =
+    with_jobs jobs (fun () ->
+        Failure.table ~pairs:3 ~seed:99 Config.E1 ~p:4 ~ns:[ 3; 5 ])
+  in
+  Alcotest.(check bool) "table jobs=4 = jobs=1" true
+    (Stdlib.compare (run 1) (run 4) = 0)
+
+let test_fault_campaign_jobs_bit_identical () =
+  let setup = Config.default_setup ~pairs:3 ~seed:5 Config.E2 ~n:5 ~p:4 in
+  let run jobs =
+    with_jobs jobs (fun () -> Fault_campaign.run ~datasets:30 setup)
+  in
+  Alcotest.(check bool) "fault campaign jobs=4 = jobs=1" true
+    (Stdlib.compare (run 1) (run 4) = 0)
+
+let test_het_campaign_jobs_bit_identical () =
+  let run jobs =
+    with_jobs jobs (fun () ->
+        Het_campaign.figure ~pairs:3 ~sweep_points:4 ~seed:11 ~n:5 4)
+  in
+  Alcotest.(check bool) "het figure jobs=4 = jobs=1" true
+    (Stdlib.compare (run 1) (run 4) = 0)
+
+let test_robustness_jobs_bit_identical () =
+  let setup = small_setup ~experiment:Config.E2 () in
+  let batch = Workload.instances setup in
+  let info =
+    match Pipeline_core.Registry.find "h1-sp-mono-p" with
+    | Some i -> i
+    | None -> Alcotest.fail "H1 not registered"
+  in
+  let run jobs =
+    with_jobs jobs (fun () ->
+        Robustness.series ~datasets:40 ~noise_levels:[ 0.; 0.2 ] info batch)
+  in
+  Alcotest.(check bool) "robustness jobs=4 = jobs=1" true
+    (Stdlib.compare (run 1) (run 4) = 0)
+
 let () =
   Alcotest.run "experiments"
     [
@@ -434,6 +490,19 @@ let () =
         [
           Alcotest.test_case "figure" `Quick test_het_campaign_figure;
           Alcotest.test_case "deterministic" `Quick test_het_campaign_deterministic;
+        ] );
+      ( "multicore-determinism",
+        [
+          Alcotest.test_case "figure bit-identical" `Quick
+            test_campaign_figure_jobs_bit_identical;
+          Alcotest.test_case "table1 bit-identical" `Quick
+            test_failure_table_jobs_bit_identical;
+          Alcotest.test_case "fault campaign bit-identical" `Quick
+            test_fault_campaign_jobs_bit_identical;
+          Alcotest.test_case "het campaign bit-identical" `Quick
+            test_het_campaign_jobs_bit_identical;
+          Alcotest.test_case "robustness bit-identical" `Quick
+            test_robustness_jobs_bit_identical;
         ] );
       ( "campaign-report",
         [

@@ -215,6 +215,30 @@ let test_exhaustive_works_on_het () =
   Alcotest.(check bool) "valid mapping" true
     (Mapping.valid_on sol.Solution.mapping pl)
 
+(* The root-splitting fan-out must return the very same solution objects
+   (mapping included, ties and all) as the sequential scan. *)
+let with_jobs jobs f =
+  let saved = Pipeline_util.Pool.jobs () in
+  Pipeline_util.Pool.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pipeline_util.Pool.set_jobs saved) f
+
+let prop_exhaustive_parallel_bit_identical =
+  Helpers.qtest ~count:40 "exhaustive solvers: jobs=4 = jobs=1 (bit-for-bit)"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let inst = Helpers.random_instance ~n_max:6 ~p_max:4 seed in
+      let period =
+        Instance.single_proc_period inst *. 0.7
+      and latency = Instance.optimal_latency inst *. 1.5 in
+      let all () =
+        ( Exhaustive.min_period inst,
+          Exhaustive.min_latency inst,
+          Exhaustive.min_latency_under_period inst ~period,
+          Exhaustive.min_period_under_latency inst ~latency,
+          Exhaustive.pareto inst )
+      in
+      Stdlib.compare (with_jobs 1 all) (with_jobs 4 all) = 0)
+
 
 (* ------------------------------------------------------------------ *)
 (* Homogeneous (Subhlok-Vondran polynomial solvers)                    *)
@@ -625,5 +649,6 @@ let () =
           Alcotest.test_case "all valid" `Quick test_iter_mappings_all_valid;
           Alcotest.test_case "guard" `Quick test_exhaustive_guard;
           Alcotest.test_case "het platform" `Quick test_exhaustive_works_on_het;
+          prop_exhaustive_parallel_bit_identical;
         ] );
     ]

@@ -536,6 +536,88 @@ let prop_histogram_conserves_samples =
     (fun (bins, samples) ->
       Histogram.total (Histogram.build ~bins samples) = List.length samples)
 
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_defaults () =
+  Alcotest.(check bool) "recommended >= 1" true (Pool.recommended_jobs () >= 1);
+  Alcotest.(check bool) "recommended <= cap" true
+    (Pool.recommended_jobs () <= Pool.hard_cap);
+  Alcotest.(check int) "library default is sequential" 1 (Pool.jobs ());
+  Pool.set_jobs 3;
+  Alcotest.(check int) "set_jobs" 3 (Pool.jobs ());
+  Pool.set_jobs 0;
+  Alcotest.(check int) "clamped below" 1 (Pool.jobs ());
+  Pool.set_jobs 10_000;
+  Alcotest.(check int) "clamped above" Pool.hard_cap (Pool.jobs ());
+  Pool.set_jobs 1
+
+let prop_pool_map_is_array_map =
+  Helpers.qtest ~count:80 "map ~jobs:n f = Array.map f (bit-for-bit)"
+    QCheck2.Gen.(
+      pair (int_range 1 12) (array_size (int_range 0 60) (int_range (-1000) 1000)))
+    (fun (jobs, xs) ->
+      (* A float-valued f whose result depends on index-neighbourhood
+         arithmetic: any chunking or reassembly mistake shows up. *)
+      let f x = (float_of_int x *. 1.7) +. sqrt (float_of_int (abs x)) in
+      Pool.map ~jobs f xs = Array.map f xs)
+
+let prop_pool_map_list_is_list_map =
+  Helpers.qtest ~count:40 "map_list ~jobs:n f = List.map f"
+    QCheck2.Gen.(
+      pair (int_range 1 8) (list_size (int_range 0 40) (int_range 0 500)))
+    (fun (jobs, xs) ->
+      let f x = Printf.sprintf "<%d>" (x * 3) in
+      Pool.map_list ~jobs f xs = List.map f xs)
+
+let test_pool_nested_map () =
+  (* A task that itself calls Pool.map must take the sequential path and
+     still produce the right answer. *)
+  let outer = Array.init 10 (fun i -> i) in
+  let f i =
+    Array.fold_left ( + ) 0 (Pool.map ~jobs:4 (fun j -> (i * 100) + j) (Array.init 5 Fun.id))
+  in
+  Alcotest.(check bool) "nested = sequential" true
+    (Pool.map ~jobs:4 f outer = Array.map f outer)
+
+let test_pool_exception_propagates () =
+  let boom i = if i = 17 then invalid_arg "boom-17" else i in
+  Alcotest.(check bool) "raises the task's exception" true
+    (try
+       ignore (Pool.map ~jobs:4 boom (Array.init 40 Fun.id));
+       false
+     with Invalid_argument m -> m = "boom-17")
+
+let test_pool_first_failing_chunk_wins () =
+  (* Two failing tasks: the exception of the lowest-indexed chunk must
+     be reported whatever the scheduling. *)
+  let boom i =
+    if i = 5 then failwith "early" else if i = 35 then failwith "late" else i
+  in
+  Alcotest.(check bool) "lowest chunk's exception" true
+    (try
+       ignore (Pool.map ~jobs:4 boom (Array.init 40 Fun.id));
+       false
+     with Failure m -> m = "early")
+
+let test_pool_empty_and_single () =
+  Alcotest.(check bool) "empty" true (Pool.map ~jobs:4 succ [||] = [||]);
+  Alcotest.(check bool) "singleton" true (Pool.map ~jobs:4 succ [| 7 |] = [| 8 |])
+
+let prop_pool_rng_per_task =
+  Helpers.qtest ~count:30 "per-task derived Rng streams are schedule-independent"
+    QCheck2.Gen.(pair (int_range 2 8) (int_range 0 1000))
+    (fun (jobs, seed) ->
+      (* The campaign pattern: every task derives its own stream from
+         (campaign seed, task index); results must not depend on jobs. *)
+      let task i =
+        let rng = Rng.create (Hashtbl.hash (seed, i)) in
+        Rng.float rng 1.0 +. float_of_int (Rng.int rng 100)
+      in
+      let tasks = Array.init 20 Fun.id in
+      Pool.map ~jobs task tasks = Pool.map ~jobs:1 task tasks)
+
 let () =
   Alcotest.run "util"
     [
@@ -592,6 +674,19 @@ let () =
           Alcotest.test_case "map/filter" `Quick test_series_map_filter;
           Alcotest.test_case "uniform grid" `Quick test_uniform_grid;
           prop_interpolate_within_bounds;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "defaults and clamping" `Quick test_pool_defaults;
+          prop_pool_map_is_array_map;
+          prop_pool_map_list_is_list_map;
+          Alcotest.test_case "nested map" `Quick test_pool_nested_map;
+          Alcotest.test_case "exception propagates" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "first failing chunk wins" `Quick
+            test_pool_first_failing_chunk_wins;
+          Alcotest.test_case "empty and singleton" `Quick test_pool_empty_and_single;
+          prop_pool_rng_per_task;
         ] );
       ( "histogram",
         [
