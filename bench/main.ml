@@ -36,6 +36,8 @@ type options = {
   mutable seed : int;
   mutable out : string;
   mutable jobs : int;
+  mutable metrics : bool;
+  mutable trace : string option;
 }
 
 let options =
@@ -51,6 +53,8 @@ let options =
     seed = 2007;
     out = "results";
     jobs = Pipeline_util.Pool.recommended_jobs ();
+    metrics = false;
+    trace = None;
   }
 
 let select which =
@@ -108,12 +112,25 @@ let parse_args () =
          "N worker domains for the campaign loops (default %d here; 1 = \
           sequential; any value yields bit-identical artefacts)"
          options.jobs);
+      ("--metrics", Arg.Unit (fun () -> options.metrics <- true),
+       " collect deterministic counters (branches, DES events, ...) and \
+        print a summary table; also writes <out>/metrics.csv. Counter \
+        values are bit-identical at any --jobs");
+      ("--trace", Arg.String (fun v -> options.trace <- Some v),
+       "FILE record timed spans and write them to FILE as Chrome \
+        trace_event JSON (open in chrome://tracing or Perfetto)");
     ]
   in
   Arg.parse (Arg.align spec)
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %s" a)))
-    "dune exec bench/main.exe -- [options]";
-  Pipeline_util.Pool.set_jobs options.jobs
+    "dune exec bench/main.exe -- [options]\n\n\
+     Exit status: 0 on success; 1 when the --table1 reproduction gate \
+     finds a cell\noutside the documented tolerance (seed 2007, non-smoke \
+     runs only); 2 on\nmalformed command-line input.\n\n\
+     Options:";
+  Pipeline_util.Pool.set_jobs options.jobs;
+  Obs.set_metrics options.metrics;
+  if options.trace <> None then Obs.set_tracing true
 
 let section title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 74 '=') title (String.make 74 '=')
@@ -295,6 +312,30 @@ let timing_tests () =
       Test.make_grouped ~name:(E.Config.experiment_name experiment) tests)
     E.Config.all_experiments
 
+(* Small instances the exhaustive solvers can enumerate in microseconds:
+   the group exists to expose any overhead the (disabled) observability
+   hooks add to the hottest enumeration loops. *)
+let exhaustive_timing_tests () =
+  let open Bechamel in
+  let rng = Pipeline_util.Rng.create options.seed in
+  let app = App_generator.generate rng (E.Config.app_spec E.Config.E2 ~n:6) in
+  let platform = Platform_generator.comm_homogeneous rng ~p:4 in
+  let inst = Instance.make ~id:1 app platform in
+  let small_app = App_generator.generate rng (E.Config.app_spec E.Config.E2 ~n:4) in
+  let small_platform = Platform_generator.comm_homogeneous rng ~p:3 in
+  let small = Instance.make ~id:2 small_app small_platform in
+  Test.make_grouped ~name:"exhaustive"
+    [
+      Test.make ~name:"optimal-min-period"
+        (Staged.stage (fun () ->
+             ignore (Pipeline_optimal.Exhaustive.min_period inst)));
+      Test.make ~name:"optimal-pareto"
+        (Staged.stage (fun () -> ignore (Pipeline_optimal.Exhaustive.pareto inst)));
+      Test.make ~name:"deal-min-period"
+        (Staged.stage (fun () ->
+             ignore (Pipeline_deal.Deal_exhaustive.min_period small)));
+    ]
+
 let run_timings () =
   section "BECHAMEL TIMINGS: one group per experiment family (n=40/20, p=10)";
   let open Bechamel in
@@ -303,7 +344,10 @@ let run_timings () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
-  let test = Test.make_grouped ~name:"heuristics" (timing_tests ()) in
+  let test =
+    Test.make_grouped ~name:"heuristics"
+      (timing_tests () @ [ exhaustive_timing_tests () ])
+  in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = ref [] in
@@ -718,6 +762,18 @@ let () =
   if options.ablation then run_ablation ();
   if options.faults then run_faults ();
   if options.timings then run_timings ();
+  if options.metrics then begin
+    section "OBSERVABILITY COUNTERS (deterministic: identical at any --jobs)";
+    print_string (Obs.summary_table ());
+    let path = Filename.concat options.out "metrics.csv" in
+    Pipeline_util.Csv.to_file path (Obs.metrics_csv ());
+    Printf.printf "\n  wrote %s\n" path
+  end;
+  Option.iter
+    (fun path ->
+      Obs.write_trace path;
+      Printf.printf "\nwrote Chrome trace: %s\n" path)
+    options.trace;
   print_newline ();
   Printf.printf "wall-clock: %.2f s (jobs %d)\n"
     (Unix.gettimeofday () -. started)

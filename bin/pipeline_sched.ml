@@ -100,6 +100,43 @@ let jobs_arg =
    Term.t] as the first argument installs the pool width up front. *)
 let jobs_setup = Term.(const Pipeline_util.Pool.set_jobs $ jobs_arg)
 
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Collect the deterministic observability counters (branches \
+           explored, DES events, ...) and print the summary table after the \
+           command. Counter values are bit-identical at any --jobs.")
+
+let obs_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record timed spans and write them to $(docv) as Chrome \
+           trace_event JSON (open in chrome://tracing or Perfetto).")
+
+(* Same trick as [jobs_setup]: the switches flip before the command body
+   runs; the pair is passed back so [with_obs] can report afterwards. *)
+let obs_setup metrics trace =
+  Obs.set_metrics metrics;
+  if trace <> None then Obs.set_tracing true;
+  (metrics, trace)
+
+let obs_args = Term.(const obs_setup $ metrics_arg $ obs_trace_arg)
+
+let with_obs (metrics, trace) f =
+  let result = f () in
+  if metrics then print_string (Obs.summary_table ());
+  Option.iter
+    (fun path ->
+      Obs.write_trace path;
+      Format.printf "wrote Chrome trace: %s@." path)
+    trace;
+  result
+
 let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
 
 (* The instance comes either from --file or from the three array
@@ -193,7 +230,9 @@ let solve_cmd =
       & info [ "polish" ]
           ~doc:"Post-optimise each heuristic solution by local search.")
   in
-  let run () inst period latency heuristic exact polish reliability fail_prob =
+  let run () obs inst period latency heuristic exact polish reliability
+      fail_prob =
+    with_obs obs @@ fun () ->
     Format.printf "%a@." Instance.pp inst;
     match reliability with
     | Some failure ->
@@ -279,8 +318,9 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Map one pipeline instance (het platforms use the het extension).")
     Term.(
-      const run $ jobs_setup $ instance_args $ period_arg $ latency_arg
-      $ heuristic $ exact $ polish $ reliability_arg $ fail_prob_arg)
+      const run $ jobs_setup $ obs_args $ instance_args $ period_arg
+      $ latency_arg $ heuristic $ exact $ polish $ reliability_arg
+      $ fail_prob_arg)
 
 (* ------------------------------------------------------------------ *)
 (* one-to-one                                                          *)
@@ -383,7 +423,8 @@ let figure_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"LABEL" ~doc:"Figure label, e.g. 'Figure 2(a)'.")
   in
-  let run () label pairs points seed out =
+  let run () obs label pairs points seed out =
+    with_obs obs @@ fun () ->
     if String.lowercase_ascii label = "e5" then begin
       (* Extension figure: fully heterogeneous platforms. *)
       let fig =
@@ -400,12 +441,13 @@ let figure_cmd =
         ~seed label
     with
     | None ->
-      Format.printf "Unknown figure %S. Available:@." label;
+      Format.eprintf "Unknown figure %S. Available:@." label;
       List.iter
         (fun (l, setup) ->
-          Format.printf "  %-12s %s@." l (Pipeline_experiments.Config.setup_label setup))
+          Format.eprintf "  %-12s %s@." l (Pipeline_experiments.Config.setup_label setup))
         (Pipeline_experiments.Campaign.paper_figures ());
-      Format.printf "  %-12s extension: fully heterogeneous platforms@." "E5" 
+      Format.eprintf "  %-12s extension: fully heterogeneous platforms@." "E5";
+      exit 2
     | Some fig ->
       print_endline (Pipeline_experiments.Report.figure_to_ascii fig);
       let paths = Pipeline_experiments.Report.write_figure ~dir:out fig in
@@ -413,7 +455,9 @@ let figure_cmd =
   in
   Cmd.v
     (Cmd.info "figure" ~doc:"Reproduce one paper figure.")
-    Term.(const run $ jobs_setup $ label $ pairs_arg $ points_arg $ seed_arg $ out_arg)
+    Term.(
+      const run $ jobs_setup $ obs_args $ label $ pairs_arg $ points_arg
+      $ seed_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -451,7 +495,8 @@ let table1_cmd =
       & info [ "max" ]
           ~doc:"Report the worst per-instance boundary instead of the mean.")
   in
-  let run () experiment p ns max_aggregate pairs seed out =
+  let run () obs experiment p ns max_aggregate pairs seed out =
+    with_obs obs @@ fun () ->
     let aggregate =
       if max_aggregate then Pipeline_experiments.Failure.Max
       else Pipeline_experiments.Failure.Mean
@@ -478,15 +523,16 @@ let table1_cmd =
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce the failure-threshold table (Table 1).")
     Term.(
-      const run $ jobs_setup $ experiment $ p $ ns $ max_aggregate $ pairs_arg
-      $ seed_arg $ out_arg)
+      const run $ jobs_setup $ obs_args $ experiment $ p $ ns $ max_aggregate
+      $ pairs_arg $ seed_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* campaign                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let campaign_cmd =
-  let run () pairs points seed out =
+  let run () obs pairs points seed out =
+    with_obs obs @@ fun () ->
     List.iter
       (fun (label, _) ->
         match
@@ -514,7 +560,9 @@ let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run the full simulation campaign (all figures + tables).")
-    Term.(const run $ jobs_setup $ pairs_arg $ points_arg $ seed_arg $ out_arg)
+    Term.(
+      const run $ jobs_setup $ obs_args $ pairs_arg $ points_arg $ seed_arg
+      $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* validate                                                            *)
@@ -800,7 +848,8 @@ let simulate_cmd =
 (* ------------------------------------------------------------------ *)
 
 let pareto_cmd =
-  let run () inst =
+  let run () obs inst =
+    with_obs obs @@ fun () ->
     Format.printf "%a@." Instance.pp inst;
     List.iter
       (fun (sol : Solution.t) -> Format.printf "%a@." Solution.pp sol)
@@ -808,12 +857,32 @@ let pareto_cmd =
   in
   Cmd.v
     (Cmd.info "pareto" ~doc:"Exact period/latency Pareto front (exponential in p).")
-    Term.(const run $ jobs_setup $ instance_args)
+    Term.(const run $ jobs_setup $ obs_args $ instance_args)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let exits =
+    Cmd.Exit.info 2
+      ~doc:
+        "on malformed input: an unreadable or ill-formed instance file, an \
+         invalid --mapping, inconsistent options (e.g. both --period and \
+         --latency), or an instance the requested solver rejects."
+    :: Cmd.Exit.defaults
+  in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P
+        "Commands exit 0 on success and 2 on malformed input (bad instance \
+         file, invalid mapping, inconsistent options) — scripted callers can \
+         rely on the non-zero status instead of parsing stderr. The \
+         reproduction gate lives in the bench harness: $(b,dune exec \
+         bench/main.exe -- --table1) exits 1 when a Table 1 cell falls \
+         outside the documented tolerance.";
+    ]
+  in
   let info =
-    Cmd.info "pipeline-sched" ~version:"1.0.0"
+    Cmd.info "pipeline-sched" ~version:"1.0.0" ~exits ~man
       ~doc:"Bi-criteria mapping of pipeline workflows (Benoit et al., 2007)."
   in
   (* [~catch:false] + the handler below: malformed input surfaces as a

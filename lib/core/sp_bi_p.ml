@@ -2,6 +2,10 @@ open Pipeline_model
 
 let iterations = 25
 
+let c_bisect =
+  Obs.Counter.make ~doc:"latency-cap bisection attempts in Sp_bi_p.solve"
+    "core.sp_bi_p.bisect_iters"
+
 let attempt inst ~period ~cap =
   Loop.minimise_latency_under_period ~latency_cap:cap ~gen:Loop.gen_two
     ~select:Loop.select_bi inst ~period
@@ -13,8 +17,10 @@ let solve inst ~period =
     let optimal_latency = Instance.optimal_latency inst in
     let best = ref unconstrained in
     let lo = ref optimal_latency and hi = ref unconstrained.Solution.latency in
+    let attempts = ref 0 in
     for _ = 1 to iterations do
       if !hi -. !lo > 1e-12 *. Float.max 1. !hi then begin
+        incr attempts;
         let cap = (!lo +. !hi) /. 2. in
         match attempt inst ~period ~cap with
         | Some sol ->
@@ -23,4 +29,5 @@ let solve inst ~period =
         | None -> lo := cap
       end
     done;
+    Obs.Counter.add c_bisect !attempts;
     Some !best

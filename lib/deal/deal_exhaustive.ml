@@ -20,6 +20,26 @@ let count_estimate ~n ~p =
 
 let guard = 1e6
 
+let c_mappings =
+  Obs.Counter.make ~doc:"deal mappings enumerated by Deal_exhaustive"
+    "deal.exhaustive.mappings"
+
+let c_branches =
+  Obs.Counter.make ~doc:"root branches fanned out by Deal_exhaustive"
+    "deal.exhaustive.branches"
+
+(* Branch-local count, one flush per branch: order-independent sums keep
+   the totals bit-identical at any [--jobs N]. *)
+let counted branch consider =
+  if not (Obs.metrics_enabled ()) then branch consider
+  else begin
+    let local = ref 0 in
+    branch (fun mapping ->
+        incr local;
+        consider mapping);
+    Obs.Counter.add c_mappings !local
+  end
+
 (* The enumeration tree split at the root: one independent branch per
    end position of the *first* interval. Running the branches in index
    order reproduces the historical sequential enumeration order exactly,
@@ -55,16 +75,17 @@ let root_branches (inst : Instance.t) =
       done
   in
   let full = (1 lsl p) - 1 in
+  Obs.Counter.add c_branches n;
   Array.init n (fun i ->
       let e = i + 1 in
-      fun consider ->
-        List.iter
-          (fun subset ->
-            assign (e + 1)
-              (full lxor subset)
-              [ (Interval.make ~first:1 ~last:e, procs_of_mask subset) ]
-              consider)
-          (subsets_of full))
+      counted (fun consider ->
+          List.iter
+            (fun subset ->
+              assign (e + 1)
+                (full lxor subset)
+                [ (Interval.make ~first:1 ~last:e, procs_of_mask subset) ]
+                consider)
+            (subsets_of full)))
 
 let iter (inst : Instance.t) consider =
   Array.iter (fun branch -> branch consider) (root_branches inst)

@@ -25,22 +25,24 @@ type figure = {
 
 let figure ?label (setup : Config.setup) =
   let label = Option.value label ~default:(Config.setup_label setup) in
-  let instances = Workload.instances setup in
-  let period_lo, period_hi = Sweep.period_bounds instances in
-  let latency_lo, latency_hi = Sweep.latency_bounds instances in
-  let series =
-    List.map
-      (fun (info : Registry.info) ->
-        let lo, hi =
-          match info.kind with
-          | Registry.Period_fixed -> (period_lo, period_hi)
-          | Registry.Latency_fixed -> (latency_lo, latency_hi)
-        in
-        let thresholds = Sweep.grid ~lo ~hi ~points:setup.sweep_points in
-        Sweep.run info instances ~thresholds)
-      Registry.all
-  in
-  { label; setup; series }
+  Obs.span ("figure:" ^ label) (fun () ->
+      let instances = Workload.instances setup in
+      let period_lo, period_hi = Sweep.period_bounds instances in
+      let latency_lo, latency_hi = Sweep.latency_bounds instances in
+      let series =
+        List.map
+          (fun (info : Registry.info) ->
+            let lo, hi =
+              match info.kind with
+              | Registry.Period_fixed -> (period_lo, period_hi)
+              | Registry.Latency_fixed -> (latency_lo, latency_hi)
+            in
+            let thresholds = Sweep.grid ~lo ~hi ~points:setup.sweep_points in
+            Obs.span ("sweep:" ^ info.Registry.paper_name) (fun () ->
+                Sweep.run info instances ~thresholds))
+          Registry.all
+      in
+      { label; setup; series })
 
 let run_paper_figure ?pairs ?sweep_points ?seed label =
   let figures = paper_figures ?pairs ?sweep_points ?seed () in

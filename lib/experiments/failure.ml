@@ -2,8 +2,16 @@ open Pipeline_model
 open Pipeline_core
 module Table = Pipeline_util.Table
 
+let c_probes =
+  Obs.Counter.make ~doc:"bisection probes in Failure.instance_threshold"
+    "experiments.threshold_probes"
+
 let instance_threshold ?(iterations = 40) (info : Registry.info) inst =
-  let succeeds threshold = info.solve inst ~threshold <> None in
+  let probes = ref 0 in
+  let succeeds threshold =
+    incr probes;
+    info.solve inst ~threshold <> None
+  in
   (* Bracket the boundary: 0 always fails (periods and latencies are
      positive), [hi] always succeeds. *)
   let hi_start =
@@ -22,6 +30,7 @@ let instance_threshold ?(iterations = 40) (info : Registry.info) inst =
     let mid = (!lo +. !hi) /. 2. in
     if succeeds mid then hi := mid else lo := mid
   done;
+  Obs.Counter.add c_probes !probes;
   !lo
 
 (* Each per-instance bisection is independent, so the per-pair loop fans
@@ -52,6 +61,9 @@ type table = {
 }
 
 let table ?(aggregate = Mean) ?(pairs = 50) ?(seed = 2007) experiment ~p ~ns =
+  Obs.span
+    (Printf.sprintf "table1:%s-p%d" (Config.experiment_name experiment) p)
+  @@ fun () ->
   let batches =
     List.map
       (fun n ->

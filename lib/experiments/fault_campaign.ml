@@ -117,10 +117,12 @@ let pair_outcome ~datasets ~count ((inst : Instance.t), mapping, threshold) =
   }
 
 let run ?(crash_counts = [ 0; 1; 2; 3 ]) ?(datasets = 150) (setup : Config.setup) =
+  Obs.span ("fault-campaign:" ^ Config.setup_label setup) @@ fun () ->
   let mapped = Array.of_list (mapped_instances setup) in
   let point count =
     let outcomes =
-      Pipeline_util.Pool.map (pair_outcome ~datasets ~count) mapped
+      Obs.span (Printf.sprintf "fault-point:%d-crashes" count) (fun () ->
+          Pipeline_util.Pool.map (pair_outcome ~datasets ~count) mapped)
     in
     (* Prepending in index order rebuilds exactly the reversed lists the
        sequential loop accumulated, so each mean sums in the same order

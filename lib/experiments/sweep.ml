@@ -53,9 +53,14 @@ let grid ~lo ~hi ~points =
     List.init points (fun i ->
         lo +. ((hi -. lo) *. float_of_int i /. float_of_int (points - 1)))
 
+let c_solves =
+  Obs.Counter.make ~doc:"heuristic solves issued by experiment sweeps"
+    "experiments.solves"
+
 let run (info : Registry.info) instances ~thresholds =
   let batch = Array.of_list instances in
   let point threshold =
+    Obs.Counter.add c_solves (Array.length batch);
     (* The per-pair loop: each solve is a pure function of its instance,
        so the pairs fan out across the domain pool; the filter keeps the
        batch order, making the average's summation order (and thus the
@@ -81,6 +86,7 @@ let run (info : Registry.info) instances ~thresholds =
   Series.make ~label:info.paper_name (List.filter_map point thresholds)
 
 let success_rate (info : Registry.info) instances ~threshold =
+  Obs.Counter.add c_solves (List.length instances);
   let solved =
     Pipeline_util.Pool.map
       (fun inst -> info.solve inst ~threshold <> None)

@@ -45,8 +45,23 @@ let translate ~n ~survivors mapping =
   in
   Mapping.of_cuts ~n ~cuts ~procs
 
+let c_calls = Obs.Counter.make ~doc:"Ft_remap.remap invocations" "ft.remap.calls"
+
+let c_kept =
+  Obs.Counter.make ~doc:"remaps where the incumbent mapping survived"
+    "ft.remap.kept"
+
+let c_fallbacks =
+  Obs.Counter.make ~doc:"remaps that fell back to the fastest survivor"
+    "ft.remap.fallbacks"
+
+let c_migrated =
+  Obs.Counter.make ~doc:"stages migrated across all remaps"
+    "ft.remap.migrated_stages"
+
 let remap ?heuristic (inst : Instance.t) ~before ~failed ~threshold =
   validate inst before failed ~threshold;
+  Obs.Counter.incr c_calls;
   let heuristic =
     match heuristic with Some h -> h | None -> default_heuristic ()
   in
@@ -71,6 +86,7 @@ let remap ?heuristic (inst : Instance.t) ~before ~failed ~threshold =
     in
     if incumbent_ok then begin
       (* Nothing forces a migration: keep the running mapping. *)
+      Obs.Counter.incr c_kept;
       let sol = Solution.of_mapping inst before in
       Some
         {
@@ -115,6 +131,8 @@ let remap ?heuristic (inst : Instance.t) ~before ~failed ~threshold =
         migration_volume := !migration_volume +. Application.delta app (k - 1)
       end
     done;
+    if fallback then Obs.Counter.incr c_fallbacks;
+    Obs.Counter.add c_migrated !migrated_stages;
     Some
       {
         mapping = solved;

@@ -51,6 +51,11 @@ let candidate_periods (inst : Instance.t) =
   done;
   List.sort_uniq compare !acc
 
+let c_bisect =
+  Obs.Counter.make
+    ~doc:"binary-search probes in Bicriteria.min_period_under_latency"
+    "optimal.bicriteria.bisect_iters"
+
 let min_period_under_latency (inst : Instance.t) ~latency =
   let candidates = Array.of_list (candidate_periods inst) in
   let feasible period =
@@ -67,10 +72,13 @@ let min_period_under_latency (inst : Instance.t) ~latency =
     let lo = ref 0 and hi = ref (count - 1) in
     if feasible candidates.(!hi) = None then None
     else begin
+      let iters = ref 0 in
       while !lo < !hi do
+        incr iters;
         let mid = (!lo + !hi) / 2 in
         if feasible candidates.(mid) <> None then hi := mid else lo := mid + 1
       done;
+      Obs.Counter.add c_bisect !iters;
       feasible candidates.(!lo)
     end
   end

@@ -7,6 +7,14 @@ type result = {
   nodes : int;
 }
 
+let c_nodes =
+  Obs.Counter.make ~doc:"nodes expanded by Branch_bound.min_period"
+    "optimal.bb.nodes"
+
+let c_pruned =
+  Obs.Counter.make ~doc:"subtrees cut by the Branch_bound lower bounds"
+    "optimal.bb.pruned"
+
 let min_period ?(node_budget = 1_000_000) ?initial (inst : Instance.t) =
   if not (Platform.is_comm_homogeneous inst.platform) then
     invalid_arg "Branch_bound: requires a comm-homogeneous platform";
@@ -76,6 +84,7 @@ let min_period ?(node_budget = 1_000_000) ?initial (inst : Instance.t) =
   let best = ref initial_solution in
   let best_period = ref initial_solution.Solution.period in
   let nodes = ref 0 in
+  let pruned = ref 0 in
   let exhausted = ref false in
   let tol = 1e-12 in
   (* Depth-first search: stages d..n remain, [current] is the max cycle so
@@ -110,7 +119,8 @@ let min_period ?(node_budget = 1_000_000) ?initial (inst : Instance.t) =
                 +. (Application.work app d /. s_max);
               ]
         in
-        if lower < !best_period -. tol then
+        if lower >= !best_period -. tol then incr pruned
+        else
           List.iter
             (fun s ->
               if Option.value ~default:0 (Hashtbl.find_opt free_count s) > 0
@@ -127,7 +137,10 @@ let min_period ?(node_budget = 1_000_000) ?initial (inst : Instance.t) =
                   let work = Application.work_sum app d !e in
                   (* Monotone part of the cycle: prune the whole e-loop
                      once input + compute alone exceed the incumbent. *)
-                  if din +. (work /. s) >= !best_period -. tol then stop := true
+                  if din +. (work /. s) >= !best_period -. tol then begin
+                    incr pruned;
+                    stop := true
+                  end
                   else begin
                     let cycle = din +. (work /. s) +. (Application.delta app !e /. b) in
                     let current' = Float.max current cycle in
@@ -148,4 +161,6 @@ let min_period ?(node_budget = 1_000_000) ?initial (inst : Instance.t) =
   in
   branch 1 neg_infinity [];
   ignore p;
+  Obs.Counter.add c_nodes !nodes;
+  Obs.Counter.add c_pruned !pruned;
   { solution = !best; proven_optimal = not !exhausted; nodes = !nodes }

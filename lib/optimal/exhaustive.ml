@@ -20,6 +20,27 @@ let count_mappings ~n ~p =
 
 let guard = 1e7
 
+let c_mappings =
+  Obs.Counter.make ~doc:"mappings enumerated by Optimal.Exhaustive"
+    "optimal.exhaustive.mappings"
+
+let c_branches =
+  Obs.Counter.make ~doc:"root branches fanned out by Optimal.Exhaustive"
+    "optimal.exhaustive.branches"
+
+(* Count mappings branch-locally and flush one sum per branch: totals
+   are order-independent, hence identical at any [--jobs N], and the
+   enabled cost is one atomic add per root branch. *)
+let counted branch f =
+  if not (Obs.metrics_enabled ()) then branch f
+  else begin
+    let local = ref 0 in
+    branch (fun mapping ->
+        incr local;
+        f mapping);
+    Obs.Counter.add c_mappings !local
+  end
+
 (* The enumeration tree, split at the root into independent branches:
    one branch per interval count [m = 1] and per (m, first-cut) pair for
    [m >= 2]. Branch [i] enumerates a subtree disjoint from every other
@@ -66,7 +87,8 @@ let root_branches (inst : Instance.t) =
         branches := (fun f -> choose_cuts (c1 + 1) [ c1 ] (m - 2) f) :: !branches
       done
   done;
-  Array.of_list !branches
+  Obs.Counter.add c_branches (List.length !branches);
+  Array.of_list (List.map (fun b -> counted b) !branches)
 
 let iter_mappings (inst : Instance.t) f =
   Array.iter (fun branch -> branch f) (root_branches inst)

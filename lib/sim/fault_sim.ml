@@ -66,9 +66,23 @@ let validate_faults config (inst : Instance.t) =
 type waiting = { data : Des.t -> unit; skip : Des.t -> unit }
 type cell = Empty | Offered | Waiting of waiting | Fired | Dropped
 
+let c_runs = Obs.Counter.make ~doc:"Fault_sim.run invocations" "sim.fault.runs"
+
+let c_killed =
+  Obs.Counter.make ~doc:"computations killed mid-flight by crashes"
+    "sim.fault.killed"
+
+let c_dropped =
+  Obs.Counter.make ~doc:"data sets dropped after crashes" "sim.fault.dropped"
+
+let c_retries =
+  Obs.Counter.make ~doc:"retry attempts consumed after crashes"
+    "sim.fault.retries"
+
 let run ?(config = default_config) (inst : Instance.t) mapping =
   W.validate config.base inst mapping;
   validate_faults config inst;
+  Obs.Counter.incr c_runs;
   let app = inst.app and platform = inst.platform in
   let m = Mapping.m mapping in
   let k = config.base.W.datasets in
@@ -319,6 +333,9 @@ let run ?(config = default_config) (inst : Instance.t) mapping =
       }
     end
   in
+  Obs.Counter.add c_killed !killed;
+  Obs.Counter.add c_dropped !dropped;
+  Obs.Counter.add c_retries !retries_used;
   {
     workload;
     offered = k;

@@ -62,8 +62,17 @@ let validate config (inst : Instance.t) mapping =
         invalid_arg "Workload_sim.run: slowdown on a processor outside the platform")
     config.slowdowns
 
+let c_runs =
+  Obs.Counter.make ~doc:"Workload_sim.run invocations" "sim.workload.runs"
+
+let c_datasets =
+  Obs.Counter.make ~doc:"data sets pushed through Workload_sim"
+    "sim.workload.datasets"
+
 let run ?(config = default_config) (inst : Instance.t) mapping =
   validate config inst mapping;
+  Obs.Counter.incr c_runs;
+  Obs.Counter.add c_datasets config.datasets;
   let app = inst.app and platform = inst.platform in
   let m = Mapping.m mapping in
   let k = config.datasets in

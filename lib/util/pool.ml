@@ -14,9 +14,17 @@ let inside_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 let sequential_map f xs = Array.map f xs
 
+(* Jobs-independent by construction: every [map] call counts, whichever
+   execution path it takes, so the totals are identical at any jobs
+   setting. *)
+let c_maps = Obs.Counter.make ~doc:"Pool.map calls (any path)" "pool.maps"
+let c_items = Obs.Counter.make ~doc:"items passed through Pool.map" "pool.items"
+
 let map ?jobs:requested f xs =
   let requested = Option.value requested ~default:(jobs ()) in
   let n = Array.length xs in
+  Obs.Counter.incr c_maps;
+  Obs.Counter.add c_items n;
   let workers = max 1 (min hard_cap (min requested n)) in
   if workers <= 1 || n <= 1 || Domain.DLS.get inside_worker then
     sequential_map f xs
@@ -30,9 +38,11 @@ let map ?jobs:requested f xs =
     let run w =
       Domain.DLS.set inside_worker true;
       (try
-         for i = lo w to lo (w + 1) - 1 do
-           results.(i) <- Some (f xs.(i))
-         done
+         Obs.with_track w (fun () ->
+             Obs.span "pool.chunk" (fun () ->
+                 for i = lo w to lo (w + 1) - 1 do
+                   results.(i) <- Some (f xs.(i))
+                 done))
        with e -> errors.(w) <- Some (e, Printexc.get_raw_backtrace ()));
       Domain.DLS.set inside_worker false
     in
