@@ -19,6 +19,7 @@
 open Pipeline_model
 open Pipeline_core
 module E = Pipeline_experiments
+module Ureg = Pipeline_registry
 
 (* ------------------------------------------------------------------ *)
 (* Options                                                             *)
@@ -107,11 +108,15 @@ let parse_args () =
       ("--points", Arg.Int (fun v -> options.points <- v), "N sweep points");
       ("--seed", Arg.Int (fun v -> options.seed <- v), "N campaign seed");
       ("--out", Arg.String (fun v -> options.out <- v), "DIR output directory");
-      ("--jobs", Arg.Int (fun v -> options.jobs <- v),
-       Printf.sprintf
-         "N worker domains for the campaign loops (default %d here; 1 = \
-          sequential; any value yields bit-identical artefacts)"
-         options.jobs);
+      ("--jobs",
+       (* Same validation, cap and help text as the CLI: both flags are
+          built on [Pool.parse_jobs]. *)
+       Arg.String
+         (fun s ->
+           match Pipeline_util.Pool.parse_jobs s with
+           | Ok n -> options.jobs <- n
+           | Error msg -> raise (Arg.Bad msg)),
+       "N " ^ Pipeline_util.Pool.jobs_doc ~default:options.jobs);
       ("--metrics", Arg.Unit (fun () -> options.metrics <- true),
        " collect deterministic counters (branches, DES events, ...) and \
         print a summary table; also writes <out>/metrics.csv. Counter \
@@ -299,15 +304,15 @@ let timing_tests () =
       let lopt = Pipeline_model.Instance.optimal_latency inst in
       let tests =
         List.map
-          (fun (info : Registry.info) ->
+          (fun (info : Ureg.info) ->
             let threshold =
-              match info.Registry.kind with
-              | Registry.Period_fixed -> single *. 0.6
-              | Registry.Latency_fixed -> lopt *. 1.5
+              match info.Ureg.kind with
+              | Ureg.Period_fixed -> single *. 0.6
+              | Ureg.Latency_fixed -> lopt *. 1.5
             in
-            Test.make ~name:info.Registry.id
-              (Staged.stage (fun () -> ignore (info.Registry.solve inst ~threshold))))
-          Registry.all
+            Test.make ~name:info.Ureg.id
+              (Staged.stage (fun () -> ignore (info.Ureg.solve inst ~threshold))))
+          Ureg.paper
       in
       Test.make_grouped ~name:(E.Config.experiment_name experiment) tests)
     E.Config.all_experiments
@@ -336,6 +341,35 @@ let exhaustive_timing_tests () =
              ignore (Pipeline_deal.Deal_exhaustive.min_period small)));
     ]
 
+(* The cost engine itself: a full mapping evaluation with the memo
+   tables warm, cold, and disabled, plus one heuristic end-to-end (the
+   engine's dominant consumer). The memo-off row is the price the
+   refactor would have without the tables; see EXPERIMENTS.md. *)
+let cost_timing_tests () =
+  let open Bechamel in
+  let inst = representative_instance E.Config.E2 in
+  let app = inst.Instance.app and platform = inst.Instance.platform in
+  let threshold = Instance.single_proc_period inst *. 0.6 in
+  let mapping =
+    match Sp_mono_p.solve inst ~period:threshold with
+    | Some sol -> sol.Solution.mapping
+    | None -> Mapping.single ~n:(Application.n app) ~proc:0
+  in
+  Test.make_grouped ~name:"cost"
+    [
+      Test.make ~name:"summary-engine-warm"
+        (Staged.stage (fun () ->
+             ignore (Cost.summary (Cost.get app platform) mapping)));
+      Test.make ~name:"summary-engine-cold"
+        (Staged.stage (fun () ->
+             ignore (Cost.summary (Cost.make app platform) mapping)));
+      Test.make ~name:"summary-memo-off"
+        (Staged.stage (fun () ->
+             ignore (Cost.summary (Cost.make ~memo:false app platform) mapping)));
+      Test.make ~name:"h1-end-to-end"
+        (Staged.stage (fun () -> ignore (Sp_mono_p.solve inst ~period:threshold)));
+    ]
+
 let run_timings () =
   section "BECHAMEL TIMINGS: one group per experiment family (n=40/20, p=10)";
   let open Bechamel in
@@ -346,7 +380,7 @@ let run_timings () =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
   let test =
     Test.make_grouped ~name:"heuristics"
-      (timing_tests () @ [ exhaustive_timing_tests () ])
+      (timing_tests () @ [ exhaustive_timing_tests (); cost_timing_tests () ])
   in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
   let results = Analyze.all ols Instance.monotonic_clock raw in
@@ -390,10 +424,10 @@ let ablation_fallback () =
   print_newline ();
   List.iter
     (fun id ->
-      match Registry.find id with
+      match Ureg.find id with
       | None -> ()
       | Some info ->
-        Printf.printf "%-22s" info.Registry.paper_name;
+        Printf.printf "%-22s" info.Ureg.paper_name;
         List.iter
           (fun n ->
             let setup =
@@ -597,18 +631,18 @@ let ablation_robustness () =
   List.iter (fun l -> Printf.printf "%10s" (Printf.sprintf "eps=%.1f" l)) levels;
   print_newline ();
   List.iter
-    (fun (info : Registry.info) ->
-      if info.Registry.kind = Registry.Period_fixed then begin
+    (fun (info : Ureg.info) ->
+      if info.Ureg.kind = Ureg.Period_fixed then begin
         let series =
           E.Robustness.series ~datasets:(sim_datasets 200) ~noise_levels:levels info batch
         in
-        Printf.printf "%-20s" info.Registry.paper_name;
+        Printf.printf "%-20s" info.Ureg.paper_name;
         List.iter
           (fun (_, y) -> Printf.printf "%10.3f" y)
           (Pipeline_util.Series.points series);
         print_newline ()
       end)
-    Registry.all
+    Ureg.paper
 
 let ablation_polish () =
   Printf.printf
@@ -622,13 +656,16 @@ let ablation_polish () =
   let batch = E.Workload.instances setup in
   Printf.printf "%-20s %12s %12s %12s\n" "heuristic" "raw" "polished" "exact";
   List.iter
-    (fun (info : Registry.info) ->
-      if info.Registry.kind = Registry.Period_fixed then begin
+    (fun (info : Ureg.info) ->
+      if info.Ureg.kind = Ureg.Period_fixed then begin
         let outcomes =
           Pipeline_util.Pool.map
             (fun inst ->
               let threshold = Instance.single_proc_period inst *. 0.5 in
-              match info.Registry.solve inst ~threshold with
+              match
+                Option.bind (info.Ureg.solve inst ~threshold)
+                  Ureg.solution_of_outcome
+              with
               | None -> None
               | Some sol ->
                 let better =
@@ -660,12 +697,12 @@ let ablation_polish () =
         match !raws with
         | [] -> ()
         | _ ->
-          Printf.printf "%-20s %12.2f %12.2f %12.2f\n" info.Registry.paper_name
+          Printf.printf "%-20s %12.2f %12.2f %12.2f\n" info.Ureg.paper_name
             (Pipeline_util.Stats.mean !raws)
             (Pipeline_util.Stats.mean !polished)
             (Pipeline_util.Stats.mean !exacts)
       end)
-    Registry.all
+    Ureg.paper
 
 let ablation_branch_bound () =
   Printf.printf

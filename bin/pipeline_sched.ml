@@ -20,6 +20,7 @@
 open Cmdliner
 open Pipeline_model
 open Pipeline_core
+module Ureg = Pipeline_registry
 
 (* ------------------------------------------------------------------ *)
 (* Shared argument parsing                                             *)
@@ -81,19 +82,22 @@ let seed_arg = Arg.(value & opt int 2007 & info [ "seed" ] ~doc:"Campaign seed."
 
 (* Multicore execution: the flag sets the process-wide pool width used
    by every parallel loop (campaign sweeps, exhaustive root splitting).
-   Any value produces bit-identical results; 1 disables parallelism. *)
+   Validation, cap and help text are Pool's — shared with the bench. *)
 let jobs_arg =
   let default = Pipeline_util.Pool.recommended_jobs () in
+  let jobs_conv =
+    let parse s =
+      match Pipeline_util.Pool.parse_jobs s with
+      | Ok n -> Ok n
+      | Error msg -> Error (`Msg msg)
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
   Arg.(
     value
-    & opt int default
+    & opt jobs_conv default
     & info [ "jobs"; "j" ] ~docv:"N"
-        ~doc:
-          (Printf.sprintf
-             "Worker domains for the parallel loops (default %d = recommended \
-              for this machine, capped; 1 = sequential; results are \
-              bit-identical for every value)."
-             default))
+        ~doc:(Pipeline_util.Pool.jobs_doc ~default ^ "."))
 
 (* Evaluated before the command body runs: cmdliner evaluates argument
    terms before applying the run function, so threading this [unit
@@ -214,12 +218,50 @@ let solve_reliability inst ~period ~failure fail_prob =
       sol.Pipeline_ft.Ft_heuristic.period sol.Pipeline_ft.Ft_heuristic.latency
       sol.Pipeline_ft.Ft_heuristic.failure
 
+(* Print one unified-registry row in the historical formats: plain
+   mappings through [Solution.pp] (and optionally local search on top),
+   replicated ones in the deal notation, with the failure probability
+   when the row reports one. *)
+let print_outcome ~kind ~threshold ~polish (inst : Instance.t)
+    (info : Ureg.info) =
+  match info.Ureg.solve inst ~threshold with
+  | None -> Format.printf "%-18s FAILED@." info.Ureg.paper_name
+  | Some o -> (
+    match Ureg.solution_of_outcome o with
+    | Some sol ->
+      Format.printf "%-18s %a@." info.Ureg.paper_name Solution.pp sol;
+      if polish then begin
+        let objective, feasible =
+          match kind with
+          | Registry.Period_fixed ->
+            ( Pipeline_optimal.Local_search.Latency_then_period,
+              fun s -> Solution.respects_period s threshold )
+          | Registry.Latency_fixed ->
+            ( Pipeline_optimal.Local_search.Period_then_latency,
+              fun s -> Solution.respects_latency s threshold )
+        in
+        let better =
+          Pipeline_optimal.Local_search.improve ~objective ~feasible inst sol
+        in
+        Format.printf "%-18s %a@." "  + local search" Solution.pp better
+      end
+    | None ->
+      Format.printf "%-18s %s period=%g latency=%g%s@." info.Ureg.paper_name
+        (Deal_mapping.to_string o.Ureg.mapping)
+        o.Ureg.period o.Ureg.latency
+        (match o.Ureg.failure with
+        | None -> ""
+        | Some f -> Printf.sprintf " failure=%.3g" f))
+
 let solve_cmd =
   let heuristic =
     Arg.(
       value
       & opt (some string) None
-      & info [ "heuristic" ] ~doc:"Run only this heuristic (id, H1..H6 or paper name).")
+      & info [ "heuristic" ]
+          ~doc:
+            "Run only this heuristic — any unified-registry row (id, H1..H6, \
+             HetP.., DealP/DealL, FtTri or paper name; see $(b,list)).")
   in
   let exact =
     Arg.(value & flag & info [ "exact" ] ~doc:"Also run the exact subset-DP solver.")
@@ -233,7 +275,19 @@ let solve_cmd =
   let run () obs inst period latency heuristic exact polish reliability
       fail_prob =
     with_obs obs @@ fun () ->
-    Format.printf "%a@." Instance.pp inst;
+    (* Resolve --heuristic before producing any output: an unknown id is
+       one diagnostic line on stderr and exit 2, whatever the platform
+       or criteria combination (documented under EXIT STATUS). *)
+    let chosen =
+      match heuristic with
+      | None -> None
+      | Some name -> (
+        match Ureg.find name with
+        | Some info -> Some (name, info)
+        | None ->
+          die "unknown heuristic %s (run 'pipeline-sched list' for the registry)"
+            name)
+    in
     match reliability with
     | Some failure ->
       let period =
@@ -241,6 +295,12 @@ let solve_cmd =
         | Some p, None -> p
         | _ -> die "--reliability requires --period (and excludes --latency)"
       in
+      (match chosen with
+      | Some (name, info) when info.Ureg.stack <> Ureg.Ft ->
+        die "heuristic %s is not a tri-criteria heuristic (only the Ft rows \
+             solve under a failure bound)" name
+      | _ -> ());
+      Format.printf "%a@." Instance.pp inst;
       solve_reliability inst ~period ~failure fail_prob
     | None ->
     let kind, threshold =
@@ -249,56 +309,42 @@ let solve_cmd =
       | None, Some l -> (Registry.Latency_fixed, l)
       | _ -> die "exactly one of --period / --latency is required"
     in
+    (match chosen with
+    | Some (name, info) when info.Ureg.kind <> kind ->
+      die "heuristic %s does not match the threshold kind" name
+    | _ -> ());
     if not (Platform.is_comm_homogeneous inst.Instance.platform) then begin
-      (* Fully heterogeneous platform: dispatch to the het extension. *)
-      let result =
-        match kind with
-        | Registry.Period_fixed ->
-          Pipeline_het.Het_heuristics.minimise_latency_under_period inst
-            ~period:threshold
-        | Registry.Latency_fixed ->
-          Pipeline_het.Het_heuristics.minimise_period_under_latency inst
-            ~latency:threshold
-      in
-      match result with
-      | None -> Format.printf "%-18s FAILED@." "het splitting"
-      | Some sol -> Format.printf "%-18s %a@." "het splitting" Solution.pp sol
+      match chosen with
+      | Some (name, info) when info.Ureg.stack <> Ureg.Het ->
+        die "heuristic %s requires a comm-homogeneous platform" name
+      | Some (_, info) ->
+        Format.printf "%a@." Instance.pp inst;
+        print_outcome ~kind ~threshold ~polish inst info
+      | None ->
+        (* Fully heterogeneous platform: dispatch to the het extension. *)
+        Format.printf "%a@." Instance.pp inst;
+        let result =
+          match kind with
+          | Registry.Period_fixed ->
+            Pipeline_het.Het_heuristics.minimise_latency_under_period inst
+              ~period:threshold
+          | Registry.Latency_fixed ->
+            Pipeline_het.Het_heuristics.minimise_period_under_latency inst
+              ~latency:threshold
+        in
+        match result with
+        | None -> Format.printf "%-18s FAILED@." "het splitting"
+        | Some sol -> Format.printf "%-18s %a@." "het splitting" Solution.pp sol
     end
     else begin
       let selected =
-        match heuristic with
-        | None -> List.filter (fun (i : Registry.info) -> i.kind = kind) Registry.all
-        | Some name -> (
-          match Registry.find name with
-          | Some info when info.Registry.kind = kind -> [ info ]
-          | Some _ -> die "heuristic %s does not match the threshold kind" name
-          | None -> die "unknown heuristic %s" name)
+        match chosen with
+        | None ->
+          List.filter (fun (i : Ureg.info) -> i.Ureg.kind = kind) Ureg.paper
+        | Some (_, info) -> [ info ]
       in
-      List.iter
-        (fun (info : Registry.info) ->
-          match info.Registry.solve inst ~threshold with
-          | None -> Format.printf "%-18s FAILED@." info.Registry.paper_name
-          | Some sol ->
-            Format.printf "%-18s %a@." info.Registry.paper_name Solution.pp sol;
-            if polish then begin
-              let objective, feasible =
-                match kind with
-                | Registry.Period_fixed ->
-                  ( Pipeline_optimal.Local_search.Latency_then_period,
-                    fun s -> Solution.respects_period s threshold )
-                | Registry.Latency_fixed ->
-                  ( Pipeline_optimal.Local_search.Period_then_latency,
-                    fun s -> Solution.respects_latency s threshold )
-              in
-              let better =
-                Pipeline_optimal.Local_search.improve ~objective ~feasible inst
-                  sol
-              in
-              Format.printf "%-18s %a@."
-                ("  + local search")
-                Solution.pp better
-            end)
-        selected;
+      Format.printf "%a@." Instance.pp inst;
+      List.iter (print_outcome ~kind ~threshold ~polish inst) selected;
       if exact then begin
         let sol =
           match kind with
@@ -612,20 +658,21 @@ let list_cmd =
     let print_group title infos =
       Format.printf "%s@." title;
       List.iter
-        (fun (i : Registry.info) ->
-          Format.printf "  %-22s %-24s %s@." i.Registry.id i.Registry.paper_name
-            (match i.Registry.kind with
-            | Registry.Period_fixed -> "period fixed, minimises latency"
-            | Registry.Latency_fixed -> "latency fixed, minimises period"))
+        (fun (i : Ureg.info) ->
+          Format.printf "  %-22s %-24s %s@." i.Ureg.id i.Ureg.paper_name
+            (match i.Ureg.kind with
+            | Ureg.Period_fixed -> "period fixed, minimises latency"
+            | Ureg.Latency_fixed -> "latency fixed, minimises period"))
         infos
     in
-    print_group "Paper heuristics (Table 1 order):" Registry.all;
-    print_group "Extensions:" Registry.extended;
-    print_group "Fully heterogeneous platforms:"
-      Pipeline_het.Het_heuristics.registry
+    print_group "Paper heuristics (Table 1 order):" Ureg.paper;
+    print_group "Extensions:" Ureg.extended;
+    print_group "Fully heterogeneous platforms:" Ureg.het;
+    print_group "Interval replication (deal skeleton):" Ureg.deal;
+    print_group "Tri-criteria (period + latency + failure bound):" Ureg.ft
   in
   Cmd.v
-    (Cmd.info "list" ~doc:"List every available heuristic.")
+    (Cmd.info "list" ~doc:"List every heuristic in the unified registry.")
     Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ *)
@@ -865,8 +912,9 @@ let () =
     Cmd.Exit.info 2
       ~doc:
         "on malformed input: an unreadable or ill-formed instance file, an \
-         invalid --mapping, inconsistent options (e.g. both --period and \
-         --latency), or an instance the requested solver rejects."
+         invalid --mapping, a --heuristic id that is not in the registry, \
+         inconsistent options (e.g. both --period and --latency), or an \
+         instance the requested solver rejects."
     :: Cmd.Exit.defaults
   in
   let man =
@@ -874,8 +922,9 @@ let () =
       `S Manpage.s_exit_status;
       `P
         "Commands exit 0 on success and 2 on malformed input (bad instance \
-         file, invalid mapping, inconsistent options) — scripted callers can \
-         rely on the non-zero status instead of parsing stderr. The \
+         file, invalid mapping, unknown --heuristic id, inconsistent \
+         options) — scripted callers can rely on the non-zero status instead \
+         of parsing stderr; nothing is printed on stdout first. The \
          reproduction gate lives in the bench harness: $(b,dune exec \
          bench/main.exe -- --table1) exits 1 when a Table 1 cell falls \
          outside the documented tolerance.";

@@ -66,13 +66,13 @@ let () =
   (* Where does each heuristic stop finding solutions? (cf. Table 1) *)
   Format.printf "@.--- Feasibility limits (largest infeasible period) ---@.";
   List.iter
-    (fun (info : Registry.info) ->
-      if info.Registry.kind = Registry.Period_fixed then begin
+    (fun (info : Pipeline_registry.info) ->
+      if info.Pipeline_registry.kind = Pipeline_registry.Period_fixed then begin
         let t = Pipeline_experiments.Failure.instance_threshold info inst in
         Format.printf "%-18s period > %6.1f ms  (i.e. < %.1f fps)@."
-          info.Registry.paper_name t (fps_of_period t)
+          info.Pipeline_registry.paper_name t (fps_of_period t)
       end)
-    Registry.all;
+    Pipeline_registry.paper;
 
   (* Deploy the 12-fps mapping and watch it run. *)
   match Sp_bi_p.solve inst ~period:(1000. /. 12.) with

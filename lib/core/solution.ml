@@ -3,8 +3,8 @@ open Pipeline_model
 type t = { mapping : Mapping.t; period : float; latency : float }
 
 let of_mapping (inst : Instance.t) mapping =
-  let s = Metrics.summary inst.app inst.platform mapping in
-  { mapping; period = s.Metrics.period; latency = s.Metrics.latency }
+  let s = Cost.summary (Cost.get inst.app inst.platform) mapping in
+  { mapping; period = s.Cost.period; latency = s.Cost.latency }
 
 let tol v threshold = v <= threshold +. (1e-9 *. Float.max 1. (Float.abs threshold))
 

@@ -17,7 +17,7 @@ type part = { p_first : int; p_last : int; p_proc : int }
 
 type t = {
   inst : Instance.t;
-  b : float;                (* common link (and I/O) bandwidth *)
+  cost : Cost.t;            (* shared evaluation engine (comm-hom) *)
   order : int array;        (* processors by non-increasing speed *)
   next_rank : int;          (* rank of the next unused processor *)
   parts : part array;       (* intervals in pipeline order *)
@@ -25,37 +25,19 @@ type t = {
   latency : float;
 }
 
-let common_bandwidth platform =
-  if not (Platform.is_comm_homogeneous platform) then
-    invalid_arg "Split.initial: heuristics require a comm-homogeneous platform";
-  Platform.io_bandwidth platform 0
-
-(* Cycle-time and latency contribution of stages [d..e] on processor u,
-   under the comm-homogeneous cost model. *)
-let piece_cycle inst b d e u =
-  let app = inst.Instance.app in
-  (Application.delta app (d - 1) /. b)
-  +. (Application.work_sum app d e /. Platform.speed inst.Instance.platform u)
-  +. (Application.delta app e /. b)
-
-let piece_contrib inst b d e u =
-  let app = inst.Instance.app in
-  (Application.delta app (d - 1) /. b)
-  +. (Application.work_sum app d e /. Platform.speed inst.Instance.platform u)
-
 let initial (inst : Instance.t) =
-  let b = common_bandwidth inst.platform in
+  if not (Platform.is_comm_homogeneous inst.platform) then
+    invalid_arg "Split.initial: heuristics require a comm-homogeneous platform";
+  let cost = Cost.get inst.app inst.platform in
   let order = Platform.by_decreasing_speed inst.platform in
   let n = Application.n inst.app in
   let u = order.(0) in
   let part = { p_first = 1; p_last = n; p_proc = u } in
-  let cycle = piece_cycle inst b 1 n u in
-  let latency =
-    piece_contrib inst b 1 n u +. (Application.delta inst.app n /. b)
-  in
+  let cycle = Cost.cycle cost ~d:1 ~e:n ~u in
+  let latency = Cost.contrib cost ~d:1 ~e:n ~u +. Cost.dout cost ~e:n in
   {
     inst;
-    b;
+    cost;
     order;
     next_rank = 1;
     parts = [| part |];
@@ -97,7 +79,7 @@ let candidate_of_pieces t ~j ~enrolled ~max_excl ~old_contrib pieces =
   else begin
     let contrib =
       List.fold_left
-        (fun acc p -> acc +. piece_contrib t.inst t.b p.first p.last p.proc)
+        (fun acc p -> acc +. Cost.contrib t.cost ~d:p.first ~e:p.last ~u:p.proc)
         0. pieces
     in
     let dlatency = contrib -. old_contrib in
@@ -121,7 +103,8 @@ let candidate_of_pieces t ~j ~enrolled ~max_excl ~old_contrib pieces =
       }
   end
 
-let mk_piece t d e u = { first = d; last = e; proc = u; cycle = piece_cycle t.inst t.b d e u }
+let mk_piece t d e u =
+  { first = d; last = e; proc = u; cycle = Cost.cycle t.cost ~d ~e ~u }
 
 let two_split_candidates t ~j =
   if j < 0 || j >= intervals t then
@@ -131,7 +114,7 @@ let two_split_candidates t ~j =
   else begin
     let u = part.p_proc and u' = t.order.(t.next_rank) in
     let max_excl = max_cycle_excluding t j in
-    let old_contrib = piece_contrib t.inst t.b part.p_first part.p_last u in
+    let old_contrib = Cost.contrib t.cost ~d:part.p_first ~e:part.p_last ~u in
     let acc = ref [] in
     for c = part.p_first to part.p_last - 1 do
       let try_assign left_proc right_proc =
@@ -159,7 +142,7 @@ let three_split_candidates t ~j =
     let u = part.p_proc in
     let u' = t.order.(t.next_rank) and u'' = t.order.(t.next_rank + 1) in
     let max_excl = max_cycle_excluding t j in
-    let old_contrib = piece_contrib t.inst t.b part.p_first part.p_last u in
+    let old_contrib = Cost.contrib t.cost ~d:part.p_first ~e:part.p_last ~u in
     let acc = ref [] in
     for c1 = part.p_first to part.p_last - 2 do
       for c2 = c1 + 1 to part.p_last - 1 do

@@ -22,24 +22,8 @@ let initial (inst : Instance.t) =
   evaluate inst mapping
 
 (* The interval whose contribution equals the period. *)
-let bottleneck inst (sol : solution) =
-  let mapping = sol.mapping in
-  let best = ref 0 and worst = ref neg_infinity in
-  for j = 0 to Deal_mapping.m mapping - 1 do
-    let r = float_of_int (Deal_mapping.replication mapping j) in
-    let contribution =
-      List.fold_left
-        (fun acc u -> Float.max acc (Deal_metrics.cycle_time inst mapping ~j ~u))
-        neg_infinity
-        (Deal_mapping.replicas mapping j)
-      /. r
-    in
-    if contribution > !worst then begin
-      worst := contribution;
-      best := j
-    end
-  done;
-  !best
+let bottleneck (inst : Instance.t) (sol : solution) =
+  Cost.deal_bottleneck (Cost.get inst.app inst.platform) sol.mapping
 
 let next_unused (inst : Instance.t) mapping =
   let order = Platform.by_decreasing_speed inst.platform in

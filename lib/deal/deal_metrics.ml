@@ -1,9 +1,13 @@
 open Pipeline_model
 
-let bandwidth_of (inst : Instance.t) =
+(* Thin wrapper over Pipeline_model.Cost's deal layer: this module keeps
+   the historical entry points and diagnostics, the engine owns the
+   arithmetic. *)
+
+let engine_of (inst : Instance.t) =
   if not (Platform.is_comm_homogeneous inst.platform) then
     invalid_arg "Deal_metrics: requires a comm-homogeneous platform";
-  Platform.io_bandwidth inst.platform 0
+  Cost.get inst.app inst.platform
 
 let check (inst : Instance.t) mapping =
   if Deal_mapping.n mapping <> Application.n inst.app then
@@ -11,75 +15,36 @@ let check (inst : Instance.t) mapping =
   if not (Deal_mapping.valid_on mapping inst.platform) then
     invalid_arg "Deal_metrics: mapping references processors outside the platform"
 
-let unchecked_cycle (inst : Instance.t) b mapping ~j ~u =
-  let iv = Deal_mapping.interval mapping j in
-  let d = Interval.first iv and e = Interval.last iv in
-  (Application.delta inst.app (d - 1) /. b)
-  +. (Application.work_sum inst.app d e /. Platform.speed inst.platform u)
-  +. (Application.delta inst.app e /. b)
-
 let cycle_time inst mapping ~j ~u =
   check inst mapping;
-  let b = bandwidth_of inst in
+  let cost = engine_of inst in
   if j < 0 || j >= Deal_mapping.m mapping then
     invalid_arg "Deal_metrics.cycle_time: interval out of range";
   if not (List.mem u (Deal_mapping.replicas mapping j)) then
     invalid_arg "Deal_metrics.cycle_time: processor is not a replica of the interval";
-  unchecked_cycle inst b mapping ~j ~u
-
-let fold_intervals inst mapping f init =
-  check inst mapping;
-  let b = bandwidth_of inst in
-  let acc = ref init in
-  for j = 0 to Deal_mapping.m mapping - 1 do
-    let cycles =
-      List.map
-        (fun u -> unchecked_cycle inst b mapping ~j ~u)
-        (Deal_mapping.replicas mapping j)
-    in
-    acc := f !acc j cycles
-  done;
-  !acc
+  Cost.deal_cycle cost mapping ~j ~u
 
 let period inst mapping =
-  fold_intervals inst mapping
-    (fun acc j cycles ->
-      let r = float_of_int (Deal_mapping.replication mapping j) in
-      let worst = List.fold_left Float.max neg_infinity cycles in
-      Float.max acc (worst /. r))
-    neg_infinity
+  check inst mapping;
+  Cost.deal_period (engine_of inst) mapping
 
 let period_weighted inst mapping =
-  fold_intervals inst mapping
-    (fun acc _j cycles ->
-      let rate = List.fold_left (fun s c -> s +. (1. /. c)) 0. cycles in
-      Float.max acc (1. /. rate))
-    neg_infinity
+  check inst mapping;
+  Cost.deal_period_weighted (engine_of inst) mapping
 
 let latency inst mapping =
-  let b = bandwidth_of inst in
-  let app = inst.app in
-  let total =
-    fold_intervals inst mapping
-      (fun acc j cycles ->
-        (* Worst replica's input + compute: its cycle minus the interval's
-           output transfer (identical for all replicas on comm-hom). *)
-        let iv = Deal_mapping.interval mapping j in
-        let out = Application.delta app (Interval.last iv) /. b in
-        let worst = List.fold_left Float.max neg_infinity cycles in
-        acc +. (worst -. out))
-      0.
-  in
-  total +. (Application.delta app (Application.n app) /. b)
+  check inst mapping;
+  Cost.deal_latency (engine_of inst) mapping
 
-type summary = { period : float; latency : float; processors : int }
+type summary = Cost.deal_summary = {
+  period : float;
+  latency : float;
+  processors : int;
+}
 
 let summary inst mapping =
-  {
-    period = period inst mapping;
-    latency = latency inst mapping;
-    processors = List.length (Deal_mapping.processors mapping);
-  }
+  check inst mapping;
+  Cost.deal_summary (engine_of inst) mapping
 
 let consistent_with_plain (inst : Instance.t) plain =
   let deal = Deal_mapping.of_mapping plain in

@@ -37,7 +37,11 @@ val period_weighted : Instance.t -> Deal_mapping.t -> float
 val latency : Instance.t -> Deal_mapping.t -> float
 (** Worst-path latency (see above). *)
 
-type summary = { period : float; latency : float; processors : int }
+type summary = Cost.deal_summary = {
+  period : float;
+  latency : float;
+  processors : int;
+}
 
 val summary : Instance.t -> Deal_mapping.t -> summary
 

@@ -1,20 +1,17 @@
 open Pipeline_model
 
-let interval_failure rel deal ~j =
-  Reliability.group_failure rel (Deal_mapping.replicas deal j)
+(* Delegates to Pipeline_model.Cost's reliability layer; re-validates
+   eagerly so the error names this entry point. *)
+
+let interval_failure rel deal ~j = Cost.interval_failure rel deal ~j
 
 let failure rel deal =
-  (* Validate enrolment eagerly so the error names this entry point. *)
   List.iter
     (fun u ->
       if u < 0 || u >= Reliability.p rel then
         invalid_arg "Deal_reliability.failure: processor out of range")
     (Deal_mapping.processors deal);
-  let survive_all = ref 1. in
-  for j = 0 to Deal_mapping.m deal - 1 do
-    survive_all := !survive_all *. (1. -. interval_failure rel deal ~j)
-  done;
-  1. -. !survive_all
+  Cost.failure rel deal
 
 let success rel deal = 1. -. failure rel deal
 

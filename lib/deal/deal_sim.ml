@@ -15,19 +15,17 @@ let run (inst : Instance.t) mapping ~datasets =
     invalid_arg "Deal_sim.run: mapping does not fit the platform";
   if not (Platform.is_comm_homogeneous inst.platform) then
     invalid_arg "Deal_sim.run: requires a comm-homogeneous platform";
-  let b = Platform.io_bandwidth inst.platform 0 in
-  let app = inst.app in
+  let cost = Cost.get inst.app inst.platform in
   let m = Deal_mapping.m mapping in
   let replicas = Array.init m (fun j -> Array.of_list (Deal_mapping.replicas mapping j)) in
   (* avail.(j).(i): when replica i of interval j is next free. *)
   let avail = Array.init m (fun j -> Array.make (Array.length replicas.(j)) 0.) in
   let first j = Interval.first (Deal_mapping.interval mapping j) in
   let last j = Interval.last (Deal_mapping.interval mapping j) in
-  let in_time j = Application.delta app (first j - 1) /. b in
-  let out_time j = Application.delta app (last j) /. b in
+  let in_time j = Cost.din cost ~d:(first j) in
+  let out_time j = Cost.dout cost ~e:(last j) in
   let comp_time j i =
-    Application.work_sum app (first j) (last j)
-    /. Platform.speed inst.platform replicas.(j).(i)
+    Cost.compute cost ~d:(first j) ~e:(last j) ~u:replicas.(j).(i)
   in
   let output_completions = Array.make datasets 0. in
   let input_starts = Array.make datasets 0. in

@@ -1,4 +1,4 @@
-open Pipeline_core
+module Registry = Pipeline_registry
 
 let paper_figures ?pairs ?sweep_points ?seed () =
   let setup e ~n ~p = Config.default_setup ?pairs ?sweep_points ?seed e ~n ~p in
@@ -40,7 +40,7 @@ let figure ?label (setup : Config.setup) =
             let thresholds = Sweep.grid ~lo ~hi ~points:setup.sweep_points in
             Obs.span ("sweep:" ^ info.Registry.paper_name) (fun () ->
                 Sweep.run info instances ~thresholds))
-          Registry.all
+          Registry.paper
       in
       { label; setup; series })
 

@@ -1,5 +1,5 @@
 open Pipeline_model
-open Pipeline_core
+module Registry = Pipeline_registry
 module Table = Pipeline_util.Table
 
 let c_probes =
@@ -78,7 +78,7 @@ let table ?(aggregate = Mean) ?(pairs = 50) ?(seed = 2007) experiment ~p ~ns =
     List.map
       (fun (info : Registry.info) ->
         (info.table_name, List.map (fun batch -> measure info batch) batches))
-      Registry.all
+      Registry.paper
   in
   { experiment; p; ns; rows }
 

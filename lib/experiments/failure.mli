@@ -8,7 +8,7 @@
     table's per-(experiment, n) cells. *)
 
 open Pipeline_model
-open Pipeline_core
+module Registry = Pipeline_registry
 
 val instance_threshold : ?iterations:int -> Registry.info -> Instance.t -> float
 (** The largest failing threshold of one heuristic on one instance

@@ -25,7 +25,7 @@ type campaign = {
    period, like the robustness experiment. *)
 let mapped_instances setup =
   let h1 =
-    match Pipeline_core.Registry.find "h1-sp-mono-p" with
+    match Pipeline_registry.find "h1-sp-mono-p" with
     | Some h -> h
     | None -> assert false
   in
@@ -34,10 +34,11 @@ let mapped_instances setup =
        (Pipeline_util.Pool.map
           (fun (inst : Instance.t) ->
             let threshold = Instance.single_proc_period inst *. 0.6 in
-            Option.map
-              (fun (sol : Pipeline_core.Solution.t) ->
-                (inst, sol.Pipeline_core.Solution.mapping, threshold))
-              (h1.Pipeline_core.Registry.solve inst ~threshold))
+            Option.bind (h1.Pipeline_registry.solve inst ~threshold)
+              (fun (o : Pipeline_registry.outcome) ->
+                Option.map
+                  (fun mapping -> (inst, mapping, threshold))
+                  (Deal_mapping.to_mapping o.mapping)))
           (Array.of_list (Workload.instances setup))))
 
 (* Crash [count] distinct processors, enrolled ones first so the faults

@@ -75,15 +75,15 @@ let figure ?(pairs = 50) ?(sweep_points = 15) ?(seed = 2007) ~n p =
   let latency_lo, latency_hi = latency_bounds batch in
   let series =
     List.map
-      (fun (info : Pipeline_core.Registry.info) ->
+      (fun (info : Pipeline_registry.info) ->
         let lo, hi =
-          match info.Pipeline_core.Registry.kind with
-          | Pipeline_core.Registry.Period_fixed -> (period_lo, period_hi)
-          | Pipeline_core.Registry.Latency_fixed -> (latency_lo, latency_hi)
+          match info.Pipeline_registry.kind with
+          | Pipeline_registry.Period_fixed -> (period_lo, period_hi)
+          | Pipeline_registry.Latency_fixed -> (latency_lo, latency_hi)
         in
         let thresholds = Sweep.grid ~lo ~hi ~points:sweep_points in
         Sweep.run info batch ~thresholds)
-      Pipeline_het.Het_heuristics.registry
+      Pipeline_registry.het
   in
   {
     Campaign.label = Printf.sprintf "Figure E5 (n=%d, p=%d)" n p;

@@ -19,7 +19,7 @@ let inflation ?(datasets = 300) ?(seed = 1) (inst : Instance.t) mapping ~noise =
 let default_levels = [ 0.; 0.05; 0.1; 0.2; 0.3; 0.5 ]
 
 let series ?datasets ?(noise_levels = default_levels)
-    (info : Pipeline_core.Registry.info) instances =
+    (info : Pipeline_registry.info) instances =
   (* Both per-pair loops (mapping, then simulating) fan out across the
      domain pool; each simulation draws from a stream derived from its
      instance's seed, so no state is shared between tasks. *)
@@ -30,10 +30,11 @@ let series ?datasets ?(noise_levels = default_levels)
             (Pipeline_util.Pool.map
                (fun inst ->
                  let threshold = Instance.single_proc_period inst *. 0.6 in
-                 Option.map
-                   (fun (sol : Pipeline_core.Solution.t) ->
-                     (inst, sol.Pipeline_core.Solution.mapping))
-                   (info.Pipeline_core.Registry.solve inst ~threshold))
+                 Option.bind (info.Pipeline_registry.solve inst ~threshold)
+                   (fun (o : Pipeline_registry.outcome) ->
+                     Option.map
+                       (fun mapping -> (inst, mapping))
+                       (Deal_mapping.to_mapping o.mapping)))
                (Array.of_list instances))))
   in
   let points =
@@ -52,4 +53,4 @@ let series ?datasets ?(noise_levels = default_levels)
           Some (noise, Pipeline_util.Stats.mean values))
       noise_levels
   in
-  Pipeline_util.Series.make ~label:info.Pipeline_core.Registry.paper_name points
+  Pipeline_util.Series.make ~label:info.Pipeline_registry.paper_name points

@@ -19,7 +19,7 @@ val inflation :
 val series :
   ?datasets:int ->
   ?noise_levels:float list ->
-  Pipeline_core.Registry.info ->
+  Pipeline_registry.info ->
   Instance.t list ->
   Pipeline_util.Series.t
 (** For each noise level, the mean inflation of the mappings the given

@@ -1,22 +1,9 @@
 open Pipeline_model
-open Pipeline_core
+module Registry = Pipeline_registry
 module Series = Pipeline_util.Series
 
 let period_lower_bound (inst : Instance.t) =
-  let app = inst.app and platform = inst.platform in
-  let s_max = Platform.speed platform (Platform.fastest platform) in
-  let b = Platform.io_bandwidth platform 0 in
-  let n = Application.n app in
-  (* Every stage's computation is paid somewhere, at best at full speed;
-     the first interval pays the pipeline input, the last one its
-     output. *)
-  let per_stage = ref 0. in
-  for k = 1 to n do
-    per_stage := Float.max !per_stage (Application.work_sum app k k /. s_max)
-  done;
-  let input_bound = (Application.delta app 0 /. b) +. (Application.work_sum app 1 1 /. s_max) in
-  let output_bound = (Application.delta app n /. b) +. (Application.work_sum app n n /. s_max) in
-  Float.max !per_stage (Float.max input_bound output_bound)
+  Cost.period_lower_bound (Cost.get inst.app inst.platform)
 
 let fold_bounds f instances =
   match
@@ -40,8 +27,8 @@ let latency_bounds instances =
       (* Unconstrained splitting shows how much latency a budget can
          possibly use; beyond that the extra budget is idle. *)
       let hi =
-        match Sp_mono_l.solve inst ~latency:infinity with
-        | Some sol -> Float.max lo sol.Solution.latency
+        match Pipeline_core.Sp_mono_l.solve inst ~latency:infinity with
+        | Some sol -> Float.max lo sol.Pipeline_core.Solution.latency
         | None -> lo
       in
       (lo, hi))
@@ -75,8 +62,8 @@ let run (info : Registry.info) instances ~thresholds =
     | _ ->
       let count = float_of_int (List.length outcomes) in
       let avg f = List.fold_left (fun acc s -> acc +. f s) 0. outcomes /. count in
-      let avg_period = avg (fun s -> s.Solution.period) in
-      let avg_latency = avg (fun s -> s.Solution.latency) in
+      let avg_period = avg (fun (o : Registry.outcome) -> o.period) in
+      let avg_latency = avg (fun (o : Registry.outcome) -> o.latency) in
       (* Latency-versus-period plot: the fixed criterion sits on its own
          axis, the other axis shows the averaged achievement. *)
       (match info.kind with

@@ -11,7 +11,7 @@
     a point with no successful instance is dropped. *)
 
 open Pipeline_model
-open Pipeline_core
+module Registry = Pipeline_registry
 
 val period_lower_bound : Instance.t -> float
 (** A cheap valid lower bound on any mapping's period: the largest

@@ -11,13 +11,13 @@ type solution = {
 let threshold_met value threshold = value <= threshold *. (1. +. 1e-9)
 let failure_met value threshold = value <= (threshold *. (1. +. 1e-9)) +. 1e-12
 
-let evaluate inst rel deal =
-  let s = Deal_metrics.summary inst deal in
+let evaluate (inst : Instance.t) rel deal =
+  let s = Cost.ft_summary (Cost.get inst.app inst.platform) rel deal in
   {
     mapping = deal;
-    period = s.Deal_metrics.period;
-    latency = s.Deal_metrics.latency;
-    failure = Deal_reliability.failure rel deal;
+    period = s.Cost.period;
+    latency = s.Cost.latency;
+    failure = s.Cost.failure;
   }
 
 let feasible sol ~period ~failure =

@@ -112,43 +112,3 @@ let minimise_period_under_latency ?(select = Min_period) (inst : Instance.t)
   in
   let sol = initial inst in
   if threshold_met sol.Solution.latency latency then Some (refine sol) else None
-
-let registry =
-  [
-    {
-      Registry.id = "het-sp-mono-p";
-      paper_name = "Het split mono, P fix";
-      table_name = "HetP";
-      kind = Registry.Period_fixed;
-      solve =
-        (fun inst ~threshold ->
-          minimise_latency_under_period ~select:Min_period inst ~period:threshold);
-    };
-    {
-      Registry.id = "het-sp-bi-p";
-      paper_name = "Het split bi, P fix";
-      table_name = "HetPb";
-      kind = Registry.Period_fixed;
-      solve =
-        (fun inst ~threshold ->
-          minimise_latency_under_period ~select:Min_ratio inst ~period:threshold);
-    };
-    {
-      Registry.id = "het-sp-mono-l";
-      paper_name = "Het split mono, L fix";
-      table_name = "HetL";
-      kind = Registry.Latency_fixed;
-      solve =
-        (fun inst ~threshold ->
-          minimise_period_under_latency ~select:Min_period inst ~latency:threshold);
-    };
-    {
-      Registry.id = "het-sp-bi-l";
-      paper_name = "Het split bi, L fix";
-      table_name = "HetLb";
-      kind = Registry.Latency_fixed;
-      solve =
-        (fun inst ~threshold ->
-          minimise_period_under_latency ~select:Min_ratio inst ~latency:threshold);
-    };
-  ]

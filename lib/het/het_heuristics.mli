@@ -37,10 +37,8 @@ val minimise_period_under_latency :
   ?select:select -> Instance.t -> latency:float -> Solution.t option
 (** Split while an accepted candidate strictly lowers the period and
     keeps the latency within budget. [None] when even the best
-    single-processor mapping violates the budget. *)
+    single-processor mapping violates the budget.
 
-val registry : Registry.info list
-(** The four het heuristics packaged as {!Pipeline_core.Registry.info}
-    records (ids [het-sp-mono-p], [het-sp-bi-p], [het-sp-mono-l],
-    [het-sp-bi-l]) so the sweep machinery of the experiment campaign can
-    drive them like the paper's heuristics. *)
+    The four packaged heuristics (ids [het-sp-mono-p], [het-sp-bi-p],
+    [het-sp-mono-l], [het-sp-bi-l]) live in the unified
+    [Pipeline_registry] alongside every other stack's rows. *)

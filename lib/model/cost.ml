@@ -1,0 +1,408 @@
+(* One cost engine per (application, platform) pair. Every memoised value
+   is produced by exactly the float expression the direct evaluation
+   would use — same operands, same IEEE-754 association — so a cache hit
+   and a cache miss are bit-identical (DESIGN.md §8). *)
+
+type t = {
+  app : Application.t;
+  platform : Platform.t;
+  n : int;
+  comm_hom : bool;
+  b : float;  (* common bandwidth; nan on fully heterogeneous platforms *)
+  speeds : float array;
+  memo : bool;
+  din_t : float array;  (* δ_{d-1}/b, indexed by d = 1..n; [||] off *)
+  dout_t : float array;  (* δ_e/b, indexed by e = 0..n; [||] off *)
+  sums : float array;  (* W(d,e), triangular; [||] off *)
+  cycle_memo : bool;
+  mutable cycles : float array;  (* (d,e,u) cycle-times, lazy; NaN = unset *)
+}
+
+(* Caps keep the eager tables and the lazy cycle table at a few MB even
+   for adversarial n·p; beyond them the engine computes directly (same
+   bits, no cache). *)
+let max_sum_entries = 1 lsl 20
+let max_cycle_entries = 1 lsl 22
+
+let tri n = n * (n + 1) / 2
+
+(* Index of interval (d, e), 1 <= d <= e <= n, rows in d, growing e. *)
+let idx n d e = ((d - 1) * n) - (((d - 1) * (d - 2)) / 2) + (e - d)
+
+let make ?(memo = true) app platform =
+  let n = Application.n app in
+  let p = Platform.p platform in
+  let comm_hom = Platform.is_comm_homogeneous platform in
+  let b = if comm_hom then Platform.io_bandwidth platform 0 else Float.nan in
+  let speeds = Platform.speeds platform in
+  let entries = tri n in
+  let memo = memo && entries <= max_sum_entries in
+  let sums =
+    if not memo then [||]
+    else begin
+      (* Filled left-to-right; Application.work_sum serves each value from
+         its prefix table, so the cached float is the one every historical
+         call site already saw. *)
+      let a = Array.make entries 0. in
+      for d = 1 to n do
+        for e = d to n do
+          a.(idx n d e) <- Application.work_sum app d e
+        done
+      done;
+      a
+    end
+  in
+  let din_t, dout_t =
+    if not (memo && comm_hom) then ([||], [||])
+    else begin
+      let din = Array.make (n + 1) 0. and dout = Array.make (n + 1) 0. in
+      for d = 1 to n do
+        din.(d) <- Application.delta app (d - 1) /. b
+      done;
+      for e = 0 to n do
+        dout.(e) <- Application.delta app e /. b
+      done;
+      (din, dout)
+    end
+  in
+  let cycle_memo = memo && comm_hom && entries * p <= max_cycle_entries in
+  {
+    app;
+    platform;
+    n;
+    comm_hom;
+    b;
+    speeds;
+    memo;
+    din_t;
+    dout_t;
+    sums;
+    cycle_memo;
+    cycles = [||];
+  }
+
+let memoised t = t.memo
+let application t = t.app
+let platform t = t.platform
+
+(* One memoising engine per domain, keyed on physical equality: solvers
+   evaluate one instance many times in a row, and domain-local storage
+   keeps the mutable cycle table race-free without locks. *)
+let slot : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let get app platform =
+  let r = Domain.DLS.get slot in
+  match !r with
+  | Some t when t.app == app && t.platform == platform -> t
+  | _ ->
+    let t = make app platform in
+    r := Some t;
+    t
+
+let require_comm_hom t who =
+  if not t.comm_hom then
+    invalid_arg (who ^ ": requires a comm-homogeneous platform")
+
+(* Unchecked primitives; [_u] = no validation. *)
+
+let din_u t d =
+  if t.memo && t.comm_hom then t.din_t.(d)
+  else Application.delta t.app (d - 1) /. t.b
+
+let dout_u t e =
+  if t.memo && t.comm_hom then t.dout_t.(e)
+  else Application.delta t.app e /. t.b
+
+let ws_u t d e =
+  if t.memo then t.sums.(idx t.n d e) else Application.work_sum t.app d e
+
+let contrib_u t d e u = din_u t d +. (ws_u t d e /. t.speeds.(u))
+let cycle_direct t d e u = din_u t d +. (ws_u t d e /. t.speeds.(u)) +. dout_u t e
+
+let cycle_u t d e u =
+  if not t.cycle_memo then cycle_direct t d e u
+  else begin
+    let p = Array.length t.speeds in
+    if Array.length t.cycles = 0 then
+      t.cycles <- Array.make (tri t.n * p) Float.nan;
+    let i = (idx t.n d e * p) + u in
+    let v = Array.unsafe_get t.cycles i in
+    if Float.is_nan v then begin
+      (* Cycle-times of valid instances are finite and non-negative, so
+         NaN is a safe "unset" sentinel. *)
+      let v = cycle_direct t d e u in
+      Array.unsafe_set t.cycles i v;
+      v
+    end
+    else v
+  end
+
+let check_interval t who d e =
+  if d < 1 || e < d || e > t.n then
+    invalid_arg (who ^ ": invalid stage interval")
+
+let check_proc t who u =
+  if u < 0 || u >= Array.length t.speeds then
+    invalid_arg (who ^ ": processor out of range")
+
+let din t ~d =
+  require_comm_hom t "Cost.din";
+  check_interval t "Cost.din" d d;
+  din_u t d
+
+let dout t ~e =
+  require_comm_hom t "Cost.dout";
+  if e < 0 || e > t.n then invalid_arg "Cost.dout: invalid stage index";
+  dout_u t e
+
+let work_sum t ~d ~e =
+  check_interval t "Cost.work_sum" d e;
+  ws_u t d e
+
+let compute t ~d ~e ~u =
+  check_interval t "Cost.compute" d e;
+  check_proc t "Cost.compute" u;
+  ws_u t d e /. t.speeds.(u)
+
+let contrib t ~d ~e ~u =
+  require_comm_hom t "Cost.contrib";
+  check_interval t "Cost.contrib" d e;
+  check_proc t "Cost.contrib" u;
+  contrib_u t d e u
+
+let cycle t ~d ~e ~u =
+  require_comm_hom t "Cost.cycle";
+  check_interval t "Cost.cycle" d e;
+  check_proc t "Cost.cycle" u;
+  cycle_u t d e u
+
+let period_lower_bound t =
+  let s_max = Platform.speed t.platform (Platform.fastest t.platform) in
+  let b = Platform.io_bandwidth t.platform 0 in
+  let n = t.n in
+  (* Every stage's computation is paid somewhere, at best at full speed;
+     the first interval pays the pipeline input, the last one its
+     output. *)
+  let per_stage = ref 0. in
+  for k = 1 to n do
+    per_stage := Float.max !per_stage (ws_u t k k /. s_max)
+  done;
+  let input_bound = (Application.delta t.app 0 /. b) +. (ws_u t 1 1 /. s_max) in
+  let output_bound = (Application.delta t.app n /. b) +. (ws_u t n n /. s_max) in
+  Float.max !per_stage (Float.max input_bound output_bound)
+
+(* Plain interval mappings (any platform kind). *)
+
+let check t mapping =
+  if Mapping.n mapping <> t.n then
+    invalid_arg "Cost: mapping and application disagree on n";
+  if not (Mapping.valid_on mapping t.platform) then
+    invalid_arg "Cost: mapping references processors outside the platform"
+
+let in_bandwidth t mapping j =
+  if j = 0 then Platform.io_bandwidth t.platform (Mapping.proc mapping 0)
+  else
+    Platform.bandwidth t.platform
+      (Mapping.proc mapping (j - 1))
+      (Mapping.proc mapping j)
+
+let out_bandwidth t mapping j =
+  let m = Mapping.m mapping in
+  if j = m - 1 then Platform.io_bandwidth t.platform (Mapping.proc mapping j)
+  else
+    Platform.bandwidth t.platform (Mapping.proc mapping j)
+      (Mapping.proc mapping (j + 1))
+
+let cycle_time_u t mapping j =
+  let iv = Mapping.interval mapping j in
+  let u = Mapping.proc mapping j in
+  let d = Interval.first iv and e = Interval.last iv in
+  if t.comm_hom then cycle_u t d e u
+  else
+    Application.delta t.app (d - 1) /. in_bandwidth t mapping j
+    +. (ws_u t d e /. t.speeds.(u))
+    +. (Application.delta t.app e /. out_bandwidth t mapping j)
+
+let cycle_time t mapping j =
+  check t mapping;
+  if j < 0 || j >= Mapping.m mapping then
+    invalid_arg "Cost.cycle_time: interval index out of range";
+  cycle_time_u t mapping j
+
+let period_u t mapping =
+  let worst = ref neg_infinity in
+  for j = 0 to Mapping.m mapping - 1 do
+    worst := Float.max !worst (cycle_time_u t mapping j)
+  done;
+  !worst
+
+let period t mapping =
+  check t mapping;
+  period_u t mapping
+
+let bottleneck t mapping =
+  check t mapping;
+  let best_j = ref 0 and best = ref neg_infinity in
+  for j = 0 to Mapping.m mapping - 1 do
+    let c = cycle_time_u t mapping j in
+    if c > !best then begin
+      best := c;
+      best_j := j
+    end
+  done;
+  !best_j
+
+let latency_u t mapping =
+  let m = Mapping.m mapping in
+  let total = ref 0. in
+  for j = 0 to m - 1 do
+    let iv = Mapping.interval mapping j in
+    let u = Mapping.proc mapping j in
+    let d = Interval.first iv and e = Interval.last iv in
+    let input =
+      if t.comm_hom then din_u t d
+      else Application.delta t.app (d - 1) /. in_bandwidth t mapping j
+    in
+    total := !total +. input +. (ws_u t d e /. t.speeds.(u))
+  done;
+  let output =
+    if t.comm_hom then dout_u t t.n
+    else Application.delta t.app t.n /. out_bandwidth t mapping (m - 1)
+  in
+  !total +. output
+
+let latency t mapping =
+  check t mapping;
+  latency_u t mapping
+
+type summary = { period : float; latency : float; intervals : int }
+
+let summary t mapping =
+  check t mapping;
+  {
+    period = period_u t mapping;
+    latency = latency_u t mapping;
+    intervals = Mapping.m mapping;
+  }
+
+(* Deal-replication layer (comm-homogeneous only). *)
+
+let deal_check t deal =
+  require_comm_hom t "Cost.deal";
+  if Deal_mapping.n deal <> t.n then
+    invalid_arg "Cost: deal mapping and application disagree on n";
+  if not (Deal_mapping.valid_on deal t.platform) then
+    invalid_arg "Cost: deal mapping references processors outside the platform"
+
+let deal_cycle_u t deal j u =
+  let iv = Deal_mapping.interval deal j in
+  cycle_u t (Interval.first iv) (Interval.last iv) u
+
+let deal_cycle t deal ~j ~u =
+  deal_check t deal;
+  if j < 0 || j >= Deal_mapping.m deal then
+    invalid_arg "Cost.deal_cycle: interval out of range";
+  if not (List.mem u (Deal_mapping.replicas deal j)) then
+    invalid_arg "Cost.deal_cycle: processor is not a replica of the interval";
+  deal_cycle_u t deal j u
+
+let fold_intervals_u t deal f init =
+  let acc = ref init in
+  for j = 0 to Deal_mapping.m deal - 1 do
+    let cycles =
+      List.map (fun u -> deal_cycle_u t deal j u) (Deal_mapping.replicas deal j)
+    in
+    acc := f !acc j cycles
+  done;
+  !acc
+
+let deal_period_u t deal =
+  fold_intervals_u t deal
+    (fun acc j cycles ->
+      let r = float_of_int (Deal_mapping.replication deal j) in
+      let worst = List.fold_left Float.max neg_infinity cycles in
+      Float.max acc (worst /. r))
+    neg_infinity
+
+let deal_period t deal =
+  deal_check t deal;
+  deal_period_u t deal
+
+let deal_period_weighted t deal =
+  deal_check t deal;
+  fold_intervals_u t deal
+    (fun acc _j cycles ->
+      let rate = List.fold_left (fun s c -> s +. (1. /. c)) 0. cycles in
+      Float.max acc (1. /. rate))
+    neg_infinity
+
+let deal_latency_u t deal =
+  let total =
+    fold_intervals_u t deal
+      (fun acc j cycles ->
+        (* Worst replica's input + compute: its cycle minus the interval's
+           output transfer (identical for all replicas on comm-hom). *)
+        let iv = Deal_mapping.interval deal j in
+        let out = dout_u t (Interval.last iv) in
+        let worst = List.fold_left Float.max neg_infinity cycles in
+        acc +. (worst -. out))
+      0.
+  in
+  total +. dout_u t t.n
+
+let deal_latency t deal =
+  deal_check t deal;
+  deal_latency_u t deal
+
+let deal_bottleneck t deal =
+  deal_check t deal;
+  let best = ref 0 and worst = ref neg_infinity in
+  for j = 0 to Deal_mapping.m deal - 1 do
+    let r = float_of_int (Deal_mapping.replication deal j) in
+    let contribution =
+      List.fold_left
+        (fun acc u -> Float.max acc (deal_cycle_u t deal j u))
+        neg_infinity
+        (Deal_mapping.replicas deal j)
+      /. r
+    in
+    if contribution > !worst then begin
+      worst := contribution;
+      best := j
+    end
+  done;
+  !best
+
+type deal_summary = { period : float; latency : float; processors : int }
+
+let deal_summary t deal =
+  deal_check t deal;
+  {
+    period = deal_period_u t deal;
+    latency = deal_latency_u t deal;
+    processors = List.length (Deal_mapping.processors deal);
+  }
+
+(* Reliability layer. *)
+
+let interval_failure rel deal ~j =
+  Reliability.group_failure rel (Deal_mapping.replicas deal j)
+
+let failure rel deal =
+  (* Validate enrolment eagerly so the error names this entry point. *)
+  List.iter
+    (fun u ->
+      if u < 0 || u >= Reliability.p rel then
+        invalid_arg "Cost.failure: processor out of range")
+    (Deal_mapping.processors deal);
+  let survive_all = ref 1. in
+  for j = 0 to Deal_mapping.m deal - 1 do
+    survive_all := !survive_all *. (1. -. interval_failure rel deal ~j)
+  done;
+  1. -. !survive_all
+
+type ft_summary = { period : float; latency : float; failure : float }
+
+let ft_summary t rel deal =
+  let (s : deal_summary) = deal_summary t deal in
+  { period = s.period; latency = s.latency; failure = failure rel deal }

@@ -1,0 +1,162 @@
+(** The cost engine: one implementation of the paper's equations (1)–(2)
+    per platform kind, shared by every solver stack.
+
+    An engine is built once per [(application, platform)] pair and owns
+    all period/latency/failure evaluation:
+
+    {ul
+    {- {e plain interval mappings} ({!period}, {!latency}, {!summary}) on
+       any platform — comm-homogeneous platforms recover the paper's
+       formulas verbatim, fully heterogeneous ones use the actual link
+       bandwidths (the extension of DESIGN.md §6);}
+    {- the {e deal-replication layer} ({!deal_period}, {!deal_latency},
+       …) on comm-homogeneous platforms (DESIGN.md §7);}
+    {- the {e reliability layer} ({!failure}, {!ft_summary}) combining a
+       deal mapping with a {!Reliability} vector.}}
+
+    {2 Memoisation and determinism}
+
+    The engine memoises, per application: the interval work sums
+    [W(d,e)] (served from {!Application.work_sum}'s prefix table and
+    copied left-to-right into a triangular array at construction), the
+    communication terms [δ_{d-1}/b] and [δ_e/b] on comm-homogeneous
+    platforms, and — lazily — the full interval cycle-times indexed by
+    [(d, e, u)]. Every cached value is produced by exactly the float
+    expression the pre-engine code evaluated, in the same IEEE-754
+    association, so memoisation cannot move a single bit: a cache hit
+    returns the very float a cache miss would compute. Tables above a
+    fixed size cap fall back to direct evaluation (still bit-identical).
+
+    Engines are {e not} thread-safe: the lazy cycle table is mutated in
+    place. {!get} hands out one engine per domain (domain-local storage),
+    which is what every solver should use; {!make} is for benchmarks and
+    tests that want explicit control over memoisation. *)
+
+type t
+(** A cost engine for one [(application, platform)] pair. *)
+
+val make : ?memo:bool -> Application.t -> Platform.t -> t
+(** [make ?memo app platform] builds an engine. [~memo:false] disables
+    every cache and recomputes each term from first principles — used by
+    the bench's [cost] group and the equivalence property tests; results
+    are bit-identical either way. Default [true]. *)
+
+val get : Application.t -> Platform.t -> t
+(** The shared, memoising engine for this domain. Cached on physical
+    equality of both arguments (one slot per domain), so repeated
+    evaluation of the same instance — the common solver pattern — reuses
+    all tables with no synchronisation. *)
+
+val memoised : t -> bool
+(** Whether the engine serves cached tables (false for [~memo:false] or
+    above the size cap). *)
+
+val application : t -> Application.t
+
+val platform : t -> Platform.t
+
+(** {2 Comm-homogeneous primitives}
+
+    The building blocks of equations (1)–(2) for an interval [\[d, e\]]
+    on processor [u] of a comm-homogeneous platform with common
+    bandwidth [b]. All raise [Invalid_argument] on other platforms. *)
+
+val din : t -> d:int -> float
+(** [δ_{d-1} / b] — the interval's input transfer. *)
+
+val dout : t -> e:int -> float
+(** [δ_e / b] — the interval's output transfer. *)
+
+val work_sum : t -> d:int -> e:int -> float
+(** [Σ_{k=d..e} w_k] (valid on every platform kind). *)
+
+val compute : t -> d:int -> e:int -> u:int -> float
+(** [W(d,e)/s_u] — the interval's computation time (valid on every
+    platform kind). *)
+
+val contrib : t -> d:int -> e:int -> u:int -> float
+(** [δ_{d-1}/b + W(d,e)/s_u] — the interval's latency contribution
+    (input + compute, output charged to the successor). *)
+
+val cycle : t -> d:int -> e:int -> u:int -> float
+(** [δ_{d-1}/b + W(d,e)/s_u + δ_e/b] — the interval's cycle-time,
+    equation (1)'s per-interval term. Memoised per [(d, e, u)]. *)
+
+val period_lower_bound : t -> float
+(** The coarse relaxation used to seed threshold sweeps: every stage
+    computed alone on the fastest processor, and the pipeline input /
+    output transfers each paired with their adjacent stage. *)
+
+(** {2 Plain interval mappings (equations (1) and (2))}
+
+    All functions raise [Invalid_argument] when the mapping does not
+    match the application's stage count or references processors outside
+    the platform. Any platform kind. *)
+
+val cycle_time : t -> Mapping.t -> int -> float
+(** Cycle-time of interval [j] (0-based). *)
+
+val period : t -> Mapping.t -> float
+(** Equation (1): the largest interval cycle-time. *)
+
+val bottleneck : t -> Mapping.t -> int
+(** Index of an interval achieving the period (smallest on ties). *)
+
+val latency : t -> Mapping.t -> float
+(** Equation (2). *)
+
+type summary = {
+  period : float;
+  latency : float;
+  intervals : int;  (** number of enrolled processors *)
+}
+
+val summary : t -> Mapping.t -> summary
+(** Both objectives in one traversal. *)
+
+(** {2 Deal-replication layer (comm-homogeneous only)} *)
+
+val deal_cycle : t -> Deal_mapping.t -> j:int -> u:int -> float
+(** Cycle-time of replica [u] of interval [j]; identical to the plain
+    {!cycle} of the interval on [u]. Raises when [j] is out of range or
+    [u] is not a replica of interval [j]. *)
+
+val deal_period : t -> Deal_mapping.t -> float
+(** Round-robin deal: each interval's worst replica cycle-time divided
+    by its replication factor, maximised over intervals. *)
+
+val deal_period_weighted : t -> Deal_mapping.t -> float
+(** Rate-balanced deal: per interval, the inverse of the summed replica
+    rates [Σ 1/cycle]. *)
+
+val deal_latency : t -> Deal_mapping.t -> float
+(** Worst replica's input + compute per interval, plus the final
+    [δ_n/b]. *)
+
+val deal_bottleneck : t -> Deal_mapping.t -> int
+(** Interval whose period contribution (worst replica cycle over
+    replication) is largest; smallest index on ties. *)
+
+type deal_summary = {
+  period : float;
+  latency : float;
+  processors : int;  (** total enrolled processors over all replicas *)
+}
+
+val deal_summary : t -> Deal_mapping.t -> deal_summary
+
+(** {2 Reliability layer} *)
+
+val interval_failure : Reliability.t -> Deal_mapping.t -> j:int -> float
+(** Probability that every replica of interval [j] fails. *)
+
+val failure : Reliability.t -> Deal_mapping.t -> float
+(** Probability that at least one interval loses all its replicas
+    (stage executions are independent). Raises [Invalid_argument] when
+    the deal mapping enrolls processors outside the reliability
+    vector. *)
+
+type ft_summary = { period : float; latency : float; failure : float }
+
+val ft_summary : t -> Reliability.t -> Deal_mapping.t -> ft_summary
+(** The tri-criteria objective vector of a replicated mapping. *)

@@ -1,84 +1,39 @@
+(* Thin wrapper over the Cost engine: this module keeps the historical
+   entry points and diagnostics, the engine owns the arithmetic. *)
+
 let check app platform mapping =
   if Mapping.n mapping <> Application.n app then
     invalid_arg "Metrics: mapping and application disagree on n";
   if not (Mapping.valid_on mapping platform) then
     invalid_arg "Metrics: mapping references processors outside the platform"
 
-let in_bandwidth platform mapping j =
-  if j = 0 then Platform.io_bandwidth platform (Mapping.proc mapping 0)
-  else Platform.bandwidth platform (Mapping.proc mapping (j - 1)) (Mapping.proc mapping j)
-
-let out_bandwidth platform mapping j =
-  let m = Mapping.m mapping in
-  if j = m - 1 then Platform.io_bandwidth platform (Mapping.proc mapping j)
-  else Platform.bandwidth platform (Mapping.proc mapping j) (Mapping.proc mapping (j + 1))
-
-let unchecked_cycle_time app platform mapping j =
-  let iv = Mapping.interval mapping j in
-  let u = Mapping.proc mapping j in
-  let d = Interval.first iv and e = Interval.last iv in
-  Application.delta app (d - 1) /. in_bandwidth platform mapping j
-  +. (Application.work_sum app d e /. Platform.speed platform u)
-  +. (Application.delta app e /. out_bandwidth platform mapping j)
-
 let cycle_time app platform mapping j =
   check app platform mapping;
   if j < 0 || j >= Mapping.m mapping then
     invalid_arg "Metrics.cycle_time: interval index out of range";
-  unchecked_cycle_time app platform mapping j
+  Cost.cycle_time (Cost.get app platform) mapping j
 
 let period app platform mapping =
   check app platform mapping;
-  let worst = ref neg_infinity in
-  for j = 0 to Mapping.m mapping - 1 do
-    worst := Float.max !worst (unchecked_cycle_time app platform mapping j)
-  done;
-  !worst
+  Cost.period (Cost.get app platform) mapping
 
 let bottleneck app platform mapping =
   check app platform mapping;
-  let best_j = ref 0 and best = ref neg_infinity in
-  for j = 0 to Mapping.m mapping - 1 do
-    let c = unchecked_cycle_time app platform mapping j in
-    if c > !best then begin
-      best := c;
-      best_j := j
-    end
-  done;
-  !best_j
-
-let unchecked_latency app platform mapping =
-  let m = Mapping.m mapping in
-  let total = ref 0. in
-  for j = 0 to m - 1 do
-    let iv = Mapping.interval mapping j in
-    let u = Mapping.proc mapping j in
-    let d = Interval.first iv and e = Interval.last iv in
-    total :=
-      !total
-      +. (Application.delta app (d - 1) /. in_bandwidth platform mapping j)
-      +. (Application.work_sum app d e /. Platform.speed platform u)
-  done;
-  let n = Application.n app in
-  !total +. (Application.delta app n /. out_bandwidth platform mapping (m - 1))
+  Cost.bottleneck (Cost.get app platform) mapping
 
 let latency app platform mapping =
   check app platform mapping;
-  unchecked_latency app platform mapping
+  Cost.latency (Cost.get app platform) mapping
 
-type summary = { period : float; latency : float; intervals : int }
+type summary = Cost.summary = {
+  period : float;
+  latency : float;
+  intervals : int;
+}
 
 let summary app platform mapping =
   check app platform mapping;
-  let worst = ref neg_infinity in
-  for j = 0 to Mapping.m mapping - 1 do
-    worst := Float.max !worst (unchecked_cycle_time app platform mapping j)
-  done;
-  {
-    period = !worst;
-    latency = unchecked_latency app platform mapping;
-    intervals = Mapping.m mapping;
-  }
+  Cost.summary (Cost.get app platform) mapping
 
 let pp_summary fmt s =
   Format.fprintf fmt "period=%g latency=%g intervals=%d" s.period s.latency

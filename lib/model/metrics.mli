@@ -21,7 +21,10 @@
 
     All functions raise [Invalid_argument] when the mapping does not match
     the application's stage count or references processors outside the
-    platform. *)
+    platform.
+
+    Evaluation is delegated to the shared {!Cost} engine ({!Cost.get});
+    this module only keeps the historical signatures and diagnostics. *)
 
 val cycle_time : Application.t -> Platform.t -> Mapping.t -> int -> float
 (** [cycle_time app platform mapping j] is the cycle-time of interval [j]
@@ -36,7 +39,7 @@ val bottleneck : Application.t -> Platform.t -> Mapping.t -> int
 val latency : Application.t -> Platform.t -> Mapping.t -> float
 (** Equation (2). *)
 
-type summary = {
+type summary = Cost.summary = {
   period : float;
   latency : float;
   intervals : int;  (** number of enrolled processors *)

@@ -7,6 +7,22 @@ let default_jobs = Atomic.make 1
 let set_jobs n = Atomic.set default_jobs (max 1 (min hard_cap n))
 let jobs () = Atomic.get default_jobs
 
+(* The one definition of the --jobs flag shared by every executable: one
+   validation rule (a positive integer), one error message, one cap. *)
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Ok (min n hard_cap)
+  | Some _ | None ->
+    Error
+      (Printf.sprintf "invalid --jobs value %S: expected an integer >= 1" s)
+
+let jobs_doc ~default =
+  Printf.sprintf
+    "Worker domains for the parallel loops (default %d = recommended for \
+     this machine; capped at %d; 1 = sequential; results are bit-identical \
+     for every value)"
+    default hard_cap
+
 (* Nested [map] calls must not spawn domains of their own: the flag is
    set inside every worker (including the calling domain while it works
    its own chunk), and [map] falls back to [Array.map] when it is up. *)

@@ -36,6 +36,16 @@ val set_jobs : int -> unit
 val jobs : unit -> int
 (** Current process-wide default parallelism. *)
 
+val parse_jobs : string -> (int, string) result
+(** The one validation rule for the executables' [--jobs] flag: an
+    integer [>= 1], silently capped to {!hard_cap}. [Error] carries the
+    one shared diagnostic. Both the CLI and the bench build their flag on
+    this, so the accepted syntax, the cap and the error message cannot
+    drift apart. *)
+
+val jobs_doc : default:int -> string
+(** The shared help text for the [--jobs] flag. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs f xs] is [Array.map f xs], computed by up to [jobs]
     domains over index-ordered chunks (the calling domain works too, as

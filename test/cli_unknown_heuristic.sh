@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Exit-code contract of `pipeline-sched solve --heuristic <id>`:
+#   - unknown id: exit 2, one diagnostic line on stderr, empty stdout
+#     (the instance must NOT be printed before the rejection);
+#   - known ids from every stack resolve and exit 0.
+set -u
+bin="$1"
+fail() { echo "cli_unknown_heuristic: $1" >&2; exit 1; }
+
+args=(solve --works 1,2,3 --deltas 1,1,1,1 --speeds 1,2 --period 100)
+
+out=$("$bin" "${args[@]}" --heuristic no-such-id 2>/tmp/cli-err.$$)
+code=$?
+err=$(cat /tmp/cli-err.$$); rm -f /tmp/cli-err.$$
+
+[ "$code" -eq 2 ] || fail "expected exit 2 on unknown id, got $code"
+[ -z "$out" ] || fail "expected empty stdout on unknown id, got: $out"
+[ "$(printf '%s' "$err" | wc -l)" -eq 0 ] || fail "expected one-line stderr, got: $err"
+case "$err" in
+  "unknown heuristic no-such-id"*) ;;
+  *) fail "unexpected diagnostic: $err" ;;
+esac
+
+# Every stack's rows resolve through the same flag.
+for id in h1-sp-mono-p H4 deal-split-rep-p het-sp-mono-p; do
+  "$bin" "${args[@]}" --heuristic "$id" >/dev/null 2>&1 \
+    || fail "known id $id should solve (exit 0)"
+done
+
+# ft-rep-tri is period-fixed too, but tri-criteria: accepted with
+# --reliability, rejected without a matching kind is not an issue here.
+"$bin" "${args[@]}" --heuristic ft-rep-tri >/dev/null 2>&1 \
+  || fail "ft-rep-tri should run under a period threshold"
+
+# A latency-fixed id under --period is a kind mismatch: exit 2.
+"$bin" "${args[@]}" --heuristic h5-sp-mono-l >/dev/null 2>&1
+[ $? -eq 2 ] || fail "kind mismatch should exit 2"
+
+echo "cli unknown-heuristic contract: ok"

@@ -115,11 +115,11 @@ let test_sweep_grid () =
 
 let test_sweep_run_period_fixed () =
   let batch = Workload.instances (small_setup ()) in
-  let info = List.hd Pipeline_core.Registry.all in
+  let info = List.hd Pipeline_registry.paper in
   let lo, hi = Sweep.period_bounds batch in
   let thresholds = Sweep.grid ~lo ~hi ~points:6 in
   let series = Sweep.run info batch ~thresholds in
-  Alcotest.(check string) "label" info.Pipeline_core.Registry.paper_name
+  Alcotest.(check string) "label" info.Pipeline_registry.paper_name
     (Series.label series);
   Alcotest.(check bool) "at most one point per threshold" true
     (Series.length series <= 6);
@@ -136,9 +136,9 @@ let test_sweep_run_latency_fixed () =
   let batch = Workload.instances (small_setup ()) in
   let info =
     List.find
-      (fun (i : Pipeline_core.Registry.info) ->
-        i.Pipeline_core.Registry.kind = Pipeline_core.Registry.Latency_fixed)
-      Pipeline_core.Registry.all
+      (fun (i : Pipeline_registry.info) ->
+        i.Pipeline_registry.kind = Pipeline_registry.Latency_fixed)
+      Pipeline_registry.paper
   in
   let lo, hi = Sweep.latency_bounds batch in
   let thresholds = Sweep.grid ~lo ~hi ~points:6 in
@@ -152,7 +152,7 @@ let test_sweep_run_latency_fixed () =
 
 let test_success_rate_extremes () =
   let batch = Workload.instances (small_setup ()) in
-  let info = List.hd Pipeline_core.Registry.all in
+  let info = List.hd Pipeline_registry.paper in
   let _, hi = Sweep.period_bounds batch in
   Helpers.check_float "everyone succeeds at single-proc period" 1.
     (Sweep.success_rate info batch ~threshold:hi);
@@ -167,20 +167,23 @@ let test_latency_fixed_threshold_is_optimal_latency () =
   let inst = Helpers.random_instance 31337 in
   let lopt = Instance.optimal_latency inst in
   List.iter
-    (fun (info : Pipeline_core.Registry.info) ->
+    (fun (info : Pipeline_registry.info) ->
       let t = Failure.instance_threshold info inst in
       Alcotest.(check bool) "converges to L_opt" true
         (Float.abs (t -. lopt) <= 1e-6 *. Float.max 1. lopt))
-    Pipeline_core.Registry.latency_fixed
+    (List.filter
+       (fun (i : Pipeline_registry.info) ->
+         i.Pipeline_registry.kind = Pipeline_registry.Latency_fixed)
+       Pipeline_registry.paper)
 
 let test_failure_threshold_brackets_behaviour () =
   let inst = Helpers.random_instance 777 in
-  let info = List.hd Pipeline_core.Registry.all in
+  let info = List.hd Pipeline_registry.paper in
   let t = Failure.instance_threshold info inst in
   Alcotest.(check bool) "fails just below" true
-    (info.Pipeline_core.Registry.solve inst ~threshold:(t *. 0.999) = None);
+    (info.Pipeline_registry.solve inst ~threshold:(t *. 0.999) = None);
   Alcotest.(check bool) "succeeds just above" true
-    (info.Pipeline_core.Registry.solve inst ~threshold:(t *. 1.001 +. 1e-6) <> None)
+    (info.Pipeline_registry.solve inst ~threshold:(t *. 1.001 +. 1e-6) <> None)
 
 let test_failure_table_shape () =
   let table = Failure.table ~pairs:3 ~seed:5 Config.E1 ~p:4 ~ns:[ 4; 6 ] in
@@ -278,7 +281,7 @@ let test_robustness_noise_inflates () =
 let test_robustness_series_shape () =
   let setup = small_setup () in
   let batch = Workload.instances setup in
-  let info = List.hd Pipeline_core.Registry.all in
+  let info = List.hd Pipeline_registry.paper in
   let series =
     Robustness.series ~datasets:60 ~noise_levels:[ 0.; 0.2 ] info batch
   in
@@ -425,7 +428,7 @@ let test_robustness_jobs_bit_identical () =
   let setup = small_setup ~experiment:Config.E2 () in
   let batch = Workload.instances setup in
   let info =
-    match Pipeline_core.Registry.find "h1-sp-mono-p" with
+    match Pipeline_registry.find "h1-sp-mono-p" with
     | Some i -> i
     | None -> Alcotest.fail "H1 not registered"
   in

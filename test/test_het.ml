@@ -162,30 +162,29 @@ let prop_bi_variant_sound =
       | None -> false
       | Some sol -> Solution.respects_latency sol l_threshold)
 
+(* The four packaged het rows now live in the unified registry. *)
 let test_het_registry_shape () =
-  Alcotest.(check int) "four entries" 4
-    (List.length Het_heuristics.registry);
-  let kinds =
-    List.map (fun (i : Registry.info) -> i.Registry.kind) Het_heuristics.registry
-  in
+  let module U = Pipeline_registry in
+  Alcotest.(check int) "four entries" 4 (List.length U.het);
+  let kinds = List.map (fun (i : U.info) -> i.U.kind) U.het in
   Alcotest.(check int) "two period-fixed" 2
-    (List.length (List.filter (fun k -> k = Registry.Period_fixed) kinds));
+    (List.length (List.filter (fun k -> k = U.Period_fixed) kinds));
+  Alcotest.(check bool) "all het stack" true
+    (List.for_all (fun (i : U.info) -> i.U.stack = U.Het) U.het);
   (* The registry entries actually solve. *)
   let inst = Helpers.small_instance () in
   List.iter
-    (fun (info : Registry.info) ->
+    (fun (info : U.info) ->
       let threshold =
-        match info.Registry.kind with
-        | Registry.Period_fixed ->
-          Pipeline_model.Instance.single_proc_period inst
-        | Registry.Latency_fixed ->
-          Pipeline_model.Instance.optimal_latency inst
+        match info.U.kind with
+        | U.Period_fixed -> Pipeline_model.Instance.single_proc_period inst
+        | U.Latency_fixed -> Pipeline_model.Instance.optimal_latency inst
       in
       Alcotest.(check bool)
-        (info.Registry.id ^ " solves at the trivial threshold")
+        (info.U.id ^ " solves at the trivial threshold")
         true
-        (info.Registry.solve inst ~threshold <> None))
-    Het_heuristics.registry
+        (info.U.solve inst ~threshold <> None))
+    U.het
 
 let () =
   Alcotest.run "het"

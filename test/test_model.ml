@@ -784,6 +784,243 @@ let test_scale () =
     (try ignore (Transform.scale ~work:0. app); false
      with Invalid_argument _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Cost engine vs the pre-engine arithmetic                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference implementations: verbatim copies of the metric code as it
+   stood before the Cost engine (Metrics / Deal_metrics /
+   Deal_reliability each computing equations (1)-(2) inline). The
+   engine's contract is bit-identity, so every comparison below uses
+   (=), never a tolerance. *)
+module Ref = struct
+  let in_bandwidth platform mapping j =
+    if j = 0 then Platform.io_bandwidth platform (Mapping.proc mapping 0)
+    else
+      Platform.bandwidth platform
+        (Mapping.proc mapping (j - 1))
+        (Mapping.proc mapping j)
+
+  let out_bandwidth platform mapping j =
+    let m = Mapping.m mapping in
+    if j = m - 1 then Platform.io_bandwidth platform (Mapping.proc mapping j)
+    else
+      Platform.bandwidth platform (Mapping.proc mapping j)
+        (Mapping.proc mapping (j + 1))
+
+  let cycle_time app platform mapping j =
+    let iv = Mapping.interval mapping j in
+    let u = Mapping.proc mapping j in
+    let d = Interval.first iv and e = Interval.last iv in
+    Application.delta app (d - 1) /. in_bandwidth platform mapping j
+    +. (Application.work_sum app d e /. Platform.speed platform u)
+    +. (Application.delta app e /. out_bandwidth platform mapping j)
+
+  let period app platform mapping =
+    let worst = ref neg_infinity in
+    for j = 0 to Mapping.m mapping - 1 do
+      worst := Float.max !worst (cycle_time app platform mapping j)
+    done;
+    !worst
+
+  let latency app platform mapping =
+    let m = Mapping.m mapping in
+    let total = ref 0. in
+    for j = 0 to m - 1 do
+      let iv = Mapping.interval mapping j in
+      let u = Mapping.proc mapping j in
+      let d = Interval.first iv and e = Interval.last iv in
+      total :=
+        !total
+        +. (Application.delta app (d - 1) /. in_bandwidth platform mapping j)
+        +. (Application.work_sum app d e /. Platform.speed platform u)
+    done;
+    let n = Application.n app in
+    !total +. (Application.delta app n /. out_bandwidth platform mapping (m - 1))
+
+  let deal_cycle (inst : Instance.t) b mapping ~j ~u =
+    let iv = Deal_mapping.interval mapping j in
+    let d = Interval.first iv and e = Interval.last iv in
+    (Application.delta inst.app (d - 1) /. b)
+    +. (Application.work_sum inst.app d e /. Platform.speed inst.platform u)
+    +. (Application.delta inst.app e /. b)
+
+  let fold_intervals (inst : Instance.t) mapping f init =
+    let b = Platform.io_bandwidth inst.platform 0 in
+    let acc = ref init in
+    for j = 0 to Deal_mapping.m mapping - 1 do
+      let cycles =
+        List.map
+          (fun u -> deal_cycle inst b mapping ~j ~u)
+          (Deal_mapping.replicas mapping j)
+      in
+      acc := f !acc j cycles
+    done;
+    !acc
+
+  let deal_period inst mapping =
+    fold_intervals inst mapping
+      (fun acc j cycles ->
+        let r = float_of_int (Deal_mapping.replication mapping j) in
+        let worst = List.fold_left Float.max neg_infinity cycles in
+        Float.max acc (worst /. r))
+      neg_infinity
+
+  let deal_period_weighted inst mapping =
+    fold_intervals inst mapping
+      (fun acc _j cycles ->
+        let rate = List.fold_left (fun s c -> s +. (1. /. c)) 0. cycles in
+        Float.max acc (1. /. rate))
+      neg_infinity
+
+  let deal_latency (inst : Instance.t) mapping =
+    let b = Platform.io_bandwidth inst.platform 0 in
+    let app = inst.app in
+    let total =
+      fold_intervals inst mapping
+        (fun acc j cycles ->
+          let iv = Deal_mapping.interval mapping j in
+          let out = Application.delta app (Interval.last iv) /. b in
+          let worst = List.fold_left Float.max neg_infinity cycles in
+          acc +. (worst -. out))
+        0.
+    in
+    total +. (Application.delta app (Application.n app) /. b)
+
+  let failure rel deal =
+    let survive_all = ref 1. in
+    for j = 0 to Deal_mapping.m deal - 1 do
+      survive_all :=
+        !survive_all
+        *. (1. -. Reliability.group_failure rel (Deal_mapping.replicas deal j))
+    done;
+    1. -. !survive_all
+end
+
+(* A random mapping of [inst] (1 to min(n,p) intervals). *)
+let random_mapping rng (inst : Instance.t) =
+  let n = Application.n inst.Instance.app in
+  let p = Platform.p inst.Instance.platform in
+  let m = 1 + Pipeline_util.Rng.int rng (min n p) in
+  let cuts =
+    if m = 1 then []
+    else begin
+      let positions = Array.init (n - 1) (fun i -> i + 1) in
+      Pipeline_util.Rng.shuffle rng positions;
+      List.sort compare (Array.to_list (Array.sub positions 0 (m - 1)))
+    end
+  in
+  let procs = Array.to_list (Array.sub (Pipeline_util.Rng.permutation rng p) 0 m) in
+  Mapping.of_cuts ~n ~cuts ~procs
+
+(* A random deal mapping: a random plain mapping with the spare
+   processors dealt to random intervals as extra replicas. *)
+let random_deal_mapping rng (inst : Instance.t) =
+  let plain = random_mapping rng inst in
+  let p = Platform.p inst.Instance.platform in
+  let deal = ref (Deal_mapping.of_mapping plain) in
+  for u = 0 to p - 1 do
+    if (not (Mapping.uses plain u)) && Pipeline_util.Rng.int rng 2 = 0 then
+      deal :=
+        Deal_mapping.replicate !deal
+          ~j:(Pipeline_util.Rng.int rng (Mapping.m plain))
+          ~proc:u
+  done;
+  !deal
+
+(* One random instance per platform kind: comm-homogeneous, fully
+   homogeneous, fully heterogeneous. *)
+let cost_instance kind_choice seed =
+  let rng = Pipeline_util.Rng.create seed in
+  match kind_choice mod 3 with
+  | 0 -> Helpers.random_instance seed
+  | 1 ->
+    let n = 1 + Pipeline_util.Rng.int rng 10 in
+    let p = 1 + Pipeline_util.Rng.int rng 6 in
+    let works =
+      Array.init n (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 1 20))
+    in
+    let deltas =
+      Array.init (n + 1) (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 0 30))
+    in
+    let app = Application.make ~deltas works in
+    let platform = Platform.fully_homogeneous ~speed:3. ~bandwidth:7. p in
+    Instance.make ~seed app platform
+  | _ ->
+    let n = 1 + Pipeline_util.Rng.int rng 10 in
+    let p = 1 + Pipeline_util.Rng.int rng 6 in
+    let works =
+      Array.init n (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 1 20))
+    in
+    let deltas =
+      Array.init (n + 1) (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 0 30))
+    in
+    let app = Application.make ~deltas works in
+    let platform = Platform_generator.fully_heterogeneous rng ~p in
+    Instance.make ~seed app platform
+
+let prop_cost_plain_matches_reference =
+  Helpers.qtest ~count:200 "Cost == pre-engine Metrics, bitwise, all platform kinds"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 0 2))
+    (fun (seed, kind_choice) ->
+      let inst = cost_instance kind_choice seed in
+      let app = inst.Instance.app and platform = inst.Instance.platform in
+      let rng = Pipeline_util.Rng.create (seed + 23) in
+      let mapping = random_mapping rng inst in
+      let check (cost : Cost.t) =
+        Cost.period cost mapping = Ref.period app platform mapping
+        && Cost.latency cost mapping = Ref.latency app platform mapping
+        && (let s = Cost.summary cost mapping in
+            s.Cost.period = Ref.period app platform mapping
+            && s.Cost.latency = Ref.latency app platform mapping
+            && s.Cost.intervals = Mapping.m mapping)
+        && List.for_all
+             (fun j ->
+               Cost.cycle_time cost mapping j
+               = Ref.cycle_time app platform mapping j)
+             (List.init (Mapping.m mapping) Fun.id)
+      in
+      (* Memoised, shared, and memo-free engines must all reproduce the
+         reference bits. *)
+      check (Cost.make app platform)
+      && check (Cost.get app platform)
+      && check (Cost.make ~memo:false app platform))
+
+let prop_cost_deal_matches_reference =
+  Helpers.qtest ~count:200 "Cost deal layer == pre-engine Deal_metrics, bitwise"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let inst = Helpers.random_instance seed in
+      let rng = Pipeline_util.Rng.create (seed + 29) in
+      let deal = random_deal_mapping rng inst in
+      let check (cost : Cost.t) =
+        Cost.deal_period cost deal = Ref.deal_period inst deal
+        && Cost.deal_period_weighted cost deal
+           = Ref.deal_period_weighted inst deal
+        && Cost.deal_latency cost deal = Ref.deal_latency inst deal
+        &&
+        let s = Cost.deal_summary cost deal in
+        s.Cost.period = Ref.deal_period inst deal
+        && s.Cost.latency = Ref.deal_latency inst deal
+      in
+      check (Cost.get inst.Instance.app inst.Instance.platform)
+      && check (Cost.make ~memo:false inst.Instance.app inst.Instance.platform))
+
+let prop_cost_failure_matches_reference =
+  Helpers.qtest ~count:200 "Cost reliability layer == pre-engine Deal_reliability"
+    QCheck2.Gen.(pair (int_range 0 100_000) (float_range 0.01 0.5))
+    (fun (seed, prob) ->
+      let inst = Helpers.random_instance seed in
+      let rng = Pipeline_util.Rng.create (seed + 31) in
+      let deal = random_deal_mapping rng inst in
+      let rel = Reliability.uniform ~p:(Platform.p inst.Instance.platform) prob in
+      Cost.failure rel deal = Ref.failure rel deal
+      && List.for_all
+           (fun j ->
+             Cost.interval_failure rel deal ~j
+             = Reliability.group_failure rel (Deal_mapping.replicas deal j))
+           (List.init (Deal_mapping.m deal) Fun.id))
+
 let () =
   Alcotest.run "model"
     [
@@ -896,5 +1133,11 @@ let () =
           Alcotest.test_case "platform ranges" `Quick test_platform_generator_ranges;
           Alcotest.test_case "platform het" `Quick test_platform_generator_het;
           Alcotest.test_case "instance helpers" `Quick test_instance_helpers;
+        ] );
+      ( "cost-engine",
+        [
+          prop_cost_plain_matches_reference;
+          prop_cost_deal_matches_reference;
+          prop_cost_failure_matches_reference;
         ] );
     ]

@@ -1,0 +1,228 @@
+(* The unified registry (Pipeline_registry): shape, lookup, and — the
+   refactor's contract — bit-identical agreement between every unified
+   row and the direct per-stack call it wraps. *)
+
+open Pipeline_model
+module U = Pipeline_registry
+module Core_registry = Pipeline_core.Registry
+
+let het_instance seed =
+  let rng = Pipeline_util.Rng.create seed in
+  let n = 1 + Pipeline_util.Rng.int rng 8 in
+  let p = 1 + Pipeline_util.Rng.int rng 4 in
+  let works =
+    Array.init n (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 1 20))
+  in
+  let deltas =
+    Array.init (n + 1) (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 0 30))
+  in
+  let app = Application.make ~deltas works in
+  let platform = Platform_generator.fully_heterogeneous rng ~p in
+  Instance.make ~seed app platform
+
+(* ------------------------------------------------------------------ *)
+(* Shape and lookup                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_shape () =
+  Alcotest.(check int) "six paper rows" 6 (List.length U.paper);
+  Alcotest.(check int) "two extensions" 2 (List.length U.extended);
+  Alcotest.(check int) "four het rows" 4 (List.length U.het);
+  Alcotest.(check int) "two deal rows" 2 (List.length U.deal);
+  Alcotest.(check int) "one ft row" 1 (List.length U.ft);
+  Alcotest.(check int) "all = every stack" 15 (List.length U.all);
+  (* ids are unique across the whole surface. *)
+  let ids = List.map (fun (i : U.info) -> i.U.id) U.all in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  (* Core ids survived the unification unchanged, in Table 1 order. *)
+  Alcotest.(check (list string)) "core ids preserved"
+    (List.map (fun (i : Core_registry.info) -> i.Core_registry.id) Core_registry.all)
+    (List.map (fun (i : U.info) -> i.U.id) U.paper)
+
+let test_find () =
+  (match U.find "H1" with
+  | Some i -> Alcotest.(check string) "by table name" "h1-sp-mono-p" i.U.id
+  | None -> Alcotest.fail "H1 not found");
+  (match U.find "DEAL-SPLIT-REP-P" with
+  | Some i -> Alcotest.(check bool) "deal stack" true (i.U.stack = U.Deal)
+  | None -> Alcotest.fail "deal row not found");
+  (match U.find "FtTri" with
+  | Some i -> Alcotest.(check bool) "ft stack" true (i.U.stack = U.Ft)
+  | None -> Alcotest.fail "ft row not found");
+  (match U.find "het split mono, p fix" with
+  | Some i -> Alcotest.(check string) "het by paper name" "het-sp-mono-p" i.U.id
+  | None -> Alcotest.fail "het row not found");
+  Alcotest.(check bool) "unknown" true (U.find "no-such-id" = None)
+
+let test_outcome_roundtrip () =
+  let inst = Helpers.small_instance () in
+  let threshold = Instance.single_proc_period inst in
+  match U.find "h1-sp-mono-p" with
+  | None -> Alcotest.fail "H1 missing"
+  | Some info -> (
+    match info.U.solve inst ~threshold with
+    | None -> Alcotest.fail "H1 should solve at the single-proc period"
+    | Some o -> (
+      match U.solution_of_outcome o with
+      | None -> Alcotest.fail "core outcome should be a plain mapping"
+      | Some sol ->
+        Helpers.check_float "period copied" o.U.period sol.Pipeline_core.Solution.period;
+        Helpers.check_float "latency copied" o.U.latency
+          sol.Pipeline_core.Solution.latency))
+
+(* ------------------------------------------------------------------ *)
+(* Unified rows == direct per-stack calls, bit for bit                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Outcomes compare with (=) — any diverging bit fails. Deal mappings
+   compare by their (interval, replicas) assignment. *)
+let dm_repr t =
+  List.init (Deal_mapping.m t) (fun j ->
+      (Deal_mapping.interval t j, Deal_mapping.replicas t j))
+
+let same_as_direct (o : U.outcome option) direct of_direct =
+  match (o, direct) with
+  | None, None -> true
+  | Some o, Some d ->
+    let (m, p, l, f) : Deal_mapping.t * float * float * float option =
+      of_direct d
+    in
+    dm_repr o.U.mapping = dm_repr m
+    && o.U.period = p && o.U.latency = l && o.U.failure = f
+  | _ -> false
+
+let prop_core_rows_match =
+  Helpers.qtest ~count:60 "core rows == Pipeline_core.Registry, bitwise"
+    QCheck2.Gen.(pair (int_range 0 100_000) (float_range 0.4 1.6))
+    (fun (seed, scale) ->
+      let inst = Helpers.random_instance seed in
+      List.for_all2
+        (fun (u : U.info) (c : Core_registry.info) ->
+          let threshold =
+            match u.U.kind with
+            | U.Period_fixed -> Instance.single_proc_period inst *. scale
+            | U.Latency_fixed ->
+              Instance.optimal_latency inst *. Float.max 1. scale
+          in
+          same_as_direct
+            (u.U.solve inst ~threshold)
+            (c.Core_registry.solve inst ~threshold)
+            (fun (s : Pipeline_core.Solution.t) ->
+              (Deal_mapping.of_mapping s.mapping, s.period, s.latency, None)))
+        U.paper Core_registry.all)
+
+let prop_het_rows_match =
+  Helpers.qtest ~count:60 "het rows == Het_heuristics, bitwise"
+    QCheck2.Gen.(pair (int_range 0 100_000) (float_range 0.4 1.6))
+    (fun (seed, scale) ->
+      let inst = het_instance seed in
+      let single = Instance.single_proc_period inst in
+      let selects =
+        [
+          ("het-sp-mono-p", Pipeline_het.Het_heuristics.Min_period);
+          ("het-sp-bi-p", Pipeline_het.Het_heuristics.Min_ratio);
+          ("het-sp-mono-l", Pipeline_het.Het_heuristics.Min_period);
+          ("het-sp-bi-l", Pipeline_het.Het_heuristics.Min_ratio);
+        ]
+      in
+      List.for_all
+        (fun (id, select) ->
+          let info = Option.get (U.find id) in
+          let threshold, direct =
+            match info.U.kind with
+            | U.Period_fixed ->
+              let t = single *. scale in
+              ( t,
+                Pipeline_het.Het_heuristics.minimise_latency_under_period
+                  ~select inst ~period:t )
+            | U.Latency_fixed ->
+              (* Any single-processor latency upper-bounds the optimum. *)
+              let t = single *. Float.max 1. scale in
+              ( t,
+                Pipeline_het.Het_heuristics.minimise_period_under_latency
+                  ~select inst ~latency:t )
+          in
+          same_as_direct
+            (info.U.solve inst ~threshold)
+            direct
+            (fun (s : Pipeline_core.Solution.t) ->
+              (Deal_mapping.of_mapping s.mapping, s.period, s.latency, None)))
+        selects)
+
+let prop_deal_rows_match =
+  Helpers.qtest ~count:60 "deal rows == Deal_heuristic, bitwise"
+    QCheck2.Gen.(pair (int_range 0 100_000) (float_range 0.4 1.6))
+    (fun (seed, scale) ->
+      let inst = Helpers.random_instance seed in
+      let p_threshold = Instance.single_proc_period inst *. scale in
+      let l_threshold = Instance.optimal_latency inst *. Float.max 1. scale in
+      let of_deal (s : Pipeline_deal.Deal_heuristic.solution) =
+        (s.Pipeline_deal.Deal_heuristic.mapping,
+         s.Pipeline_deal.Deal_heuristic.period,
+         s.Pipeline_deal.Deal_heuristic.latency,
+         None)
+      in
+      same_as_direct
+        ((Option.get (U.find "deal-split-rep-p")).U.solve inst
+           ~threshold:p_threshold)
+        (Pipeline_deal.Deal_heuristic.minimise_latency_under_period inst
+           ~period:p_threshold)
+        of_deal
+      && same_as_direct
+           ((Option.get (U.find "deal-split-rep-l")).U.solve inst
+              ~threshold:l_threshold)
+           (Pipeline_deal.Deal_heuristic.minimise_period_under_latency inst
+              ~latency:l_threshold)
+           of_deal)
+
+let prop_ft_row_matches =
+  Helpers.qtest ~count:60 "ft row == Ft_heuristic, bitwise (default + ctx)"
+    QCheck2.Gen.(triple (int_range 0 100_000) (float_range 0.4 1.6)
+                   (float_range 0.01 0.3))
+    (fun (seed, scale, bound) ->
+      let inst = Helpers.random_instance seed in
+      let threshold = Instance.single_proc_period inst *. scale in
+      let info = Option.get (U.find "ft-rep-tri") in
+      let of_ft (s : Pipeline_ft.Ft_heuristic.solution) =
+        (s.Pipeline_ft.Ft_heuristic.mapping,
+         s.Pipeline_ft.Ft_heuristic.period,
+         s.Pipeline_ft.Ft_heuristic.latency,
+         Some s.Pipeline_ft.Ft_heuristic.failure)
+      in
+      let p = Platform.p inst.Instance.platform in
+      (* Default context: uniform default_fail_prob, default bound. *)
+      same_as_direct
+        (info.U.solve inst ~threshold)
+        (Pipeline_ft.Ft_heuristic.minimise_latency inst
+           (Reliability.uniform ~p U.default_fail_prob)
+           ~period:threshold ~failure:U.default_failure_bound)
+        of_ft
+      &&
+      (* Explicit context threads through unchanged. *)
+      let rel = Reliability.uniform ~p (bound /. 2.) in
+      same_as_direct
+        (info.U.solve
+           ~ctx:{ U.rel = Some rel; failure_bound = Some bound }
+           inst ~threshold)
+        (Pipeline_ft.Ft_heuristic.minimise_latency inst rel ~period:threshold
+           ~failure:bound)
+        of_ft)
+
+let () =
+  Alcotest.run "registry"
+    [
+      ( "shape",
+        [
+          Alcotest.test_case "stacks and ids" `Quick test_shape;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "outcome roundtrip" `Quick test_outcome_roundtrip;
+        ] );
+      ( "equivalence",
+        [
+          prop_core_rows_match;
+          prop_het_rows_match;
+          prop_deal_rows_match;
+          prop_ft_row_matches;
+        ] );
+    ]
