@@ -39,6 +39,7 @@ type options = {
   mutable jobs : int;
   mutable metrics : bool;
   mutable trace : string option;
+  mutable perf_summary : bool;
 }
 
 let options =
@@ -56,6 +57,7 @@ let options =
     jobs = Pipeline_util.Pool.recommended_jobs ();
     metrics = false;
     trace = None;
+    perf_summary = false;
   }
 
 let select which =
@@ -124,6 +126,11 @@ let parse_args () =
       ("--trace", Arg.String (fun v -> options.trace <- Some v),
        "FILE record timed spans and write them to FILE as Chrome \
         trace_event JSON (open in chrome://tracing or Perfetto)");
+      ("--perf-summary", Arg.Unit (fun () -> options.perf_summary <- true),
+       " write <out>/perf-summary.json (per-section wall-clock plus the \
+        Obs counters; combine with --metrics for non-zero counters). Not \
+        part of the deterministic artefact set: wall-clocks vary by \
+        machine");
     ]
   in
   Arg.parse (Arg.align spec)
@@ -139,6 +146,45 @@ let parse_args () =
 
 let section title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 74 '=') title (String.make 74 '=')
+
+(* Per-section wall-clocks for --perf-summary, in run order. *)
+let section_times : (string * float) list ref = ref []
+
+let timed name f () =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  section_times := (name, Unix.gettimeofday () -. t0) :: !section_times
+
+(* Counters snapshot for --perf-summary, taken before the Bechamel
+   timings section runs: Bechamel's adaptive sampling re-runs solvers a
+   load-dependent number of times, so counters accumulated after this
+   point are not deterministic and must not enter the CI baseline. *)
+let perf_counters : (string * int) list ref = ref []
+
+(* Machine-readable perf snapshot for CI: per-section wall-clock plus
+   every Obs counter (probe counts included) from the seeded sections
+   only. Deliberately separate from the deterministic artefact set —
+   timings vary run to run (the counter values do not). *)
+let write_perf_summary ~wall path =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b
+    "{\n  \"seed\": %d,\n  \"jobs\": %d,\n  \"pairs\": %d,\n  \"wall_clock_s\": %.3f,\n"
+    options.seed
+    (Pipeline_util.Pool.jobs ())
+    options.pairs wall;
+  Buffer.add_string b "  \"sections\": {";
+  List.iteri
+    (fun i (name, seconds) ->
+      Printf.bprintf b "%s\n    \"%s\": %.3f" (if i = 0 then "" else ",") name
+        seconds)
+    (List.rev !section_times);
+  Buffer.add_string b "\n  },\n  \"counters\": {";
+  List.iteri
+    (fun i (name, value) ->
+      Printf.bprintf b "%s\n    \"%s\": %d" (if i = 0 then "" else ",") name value)
+    !perf_counters;
+  Buffer.add_string b "\n  }\n}\n";
+  Pipeline_util.Csv.to_file path (Buffer.contents b)
 
 (* ------------------------------------------------------------------ *)
 (* Figures 2-7                                                         *)
@@ -370,6 +416,47 @@ let cost_timing_tests () =
         (Staged.stage (fun () -> ignore (Sp_mono_p.solve inst ~period:threshold)));
     ]
 
+(* The threshold engines (DESIGN.md §9): the exact candidate search
+   against the ε-bisection it replaced — same probe, same instance —
+   plus the candidate enumeration itself, cold and from the engine
+   cache. *)
+let threshold_timing_tests () =
+  let open Bechamel in
+  let inst = representative_instance E.Config.E2 in
+  let app = inst.Instance.app and platform = inst.Instance.platform in
+  let info =
+    List.find (fun (i : Ureg.info) -> i.Ureg.kind = Ureg.Period_fixed) Ureg.paper
+  in
+  let succeeds t = info.Ureg.solve inst ~threshold:t <> None in
+  let legacy_bisection () =
+    (* The pre-candidate-search boundary location: 40 blind halvings of
+       [0, single-processor period]. *)
+    let lo = ref 0. and hi = ref (Instance.single_proc_period inst) in
+    for _ = 1 to 40 do
+      let mid = (!lo +. !hi) /. 2. in
+      if succeeds mid then hi := mid else lo := mid
+    done;
+    !lo
+  in
+  ignore (Candidates.periods (Cost.get app platform));
+  Test.make_grouped ~name:"threshold"
+    [
+      Test.make ~name:"candidates-enumerate-cold"
+        (Staged.stage (fun () ->
+             ignore (Candidates.periods (Cost.make app platform))));
+      Test.make ~name:"candidates-cache-warm"
+        (Staged.stage (fun () ->
+             ignore (Candidates.periods (Cost.get app platform))));
+      Test.make ~name:"boundary-candidate-search"
+        (Staged.stage (fun () ->
+             ignore
+               (Threshold.boundary
+                  ~candidates:(Candidates.periods (Cost.get app platform))
+                  ~succeeds)));
+      Test.make ~name:"boundary-legacy-bisection"
+        (Staged.stage (fun () -> ignore (legacy_bisection ())));
+    ]
+
 let run_timings () =
   section "BECHAMEL TIMINGS: one group per experiment family (n=40/20, p=10)";
   let open Bechamel in
@@ -380,7 +467,11 @@ let run_timings () =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
   let test =
     Test.make_grouped ~name:"heuristics"
-      (timing_tests () @ [ exhaustive_timing_tests (); cost_timing_tests () ])
+      (timing_tests ()
+      @ [
+          exhaustive_timing_tests (); cost_timing_tests ();
+          threshold_timing_tests ();
+        ])
   in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
   let results = Analyze.all ols Instance.monotonic_clock raw in
@@ -794,11 +885,12 @@ let () =
   Printf.printf "Reproduction harness. Output directory: %s (jobs: %d)\n"
     options.out
     (Pipeline_util.Pool.jobs ());
-  if options.figures then run_figures ();
-  if options.table1 then run_table1 ();
-  if options.ablation then run_ablation ();
-  if options.faults then run_faults ();
-  if options.timings then run_timings ();
+  if options.figures then timed "figures" run_figures ();
+  if options.table1 then timed "table1" run_table1 ();
+  if options.ablation then timed "ablation" run_ablation ();
+  if options.faults then timed "faults" run_faults ();
+  perf_counters := Obs.metrics ();
+  if options.timings then timed "timings" run_timings ();
   if options.metrics then begin
     section "OBSERVABILITY COUNTERS (deterministic: identical at any --jobs)";
     print_string (Obs.summary_table ());
@@ -812,8 +904,13 @@ let () =
       Printf.printf "\nwrote Chrome trace: %s\n" path)
     options.trace;
   print_newline ();
-  Printf.printf "wall-clock: %.2f s (jobs %d)\n"
-    (Unix.gettimeofday () -. started)
+  let wall = Unix.gettimeofday () -. started in
+  if options.perf_summary then begin
+    let path = Filename.concat options.out "perf-summary.json" in
+    write_perf_summary ~wall path;
+    Printf.printf "wrote %s\n" path
+  end;
+  Printf.printf "wall-clock: %.2f s (jobs %d)\n" wall
     (Pipeline_util.Pool.jobs ());
   if !table1_failures <> [] then begin
     print_endline "FAILED: Table 1 outside the documented tolerance (see above).";

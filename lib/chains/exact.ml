@@ -1,34 +1,24 @@
 let candidates prefix =
   let n = Prefix.n prefix in
-  let all = Array.make (n * (n + 1) / 2) 0. in
-  let idx = ref 0 in
+  let all = ref [] in
   for d = 1 to n do
     for e = d to n do
-      all.(!idx) <- Prefix.sum prefix d e;
-      incr idx
+      all := Prefix.sum prefix d e :: !all
     done
   done;
-  Array.sort compare all;
-  (* Deduplicate in place. *)
-  let out = ref [] in
-  Array.iter
-    (fun v -> match !out with w :: _ when w = v -> () | _ -> out := v :: !out)
-    all;
-  let dedup = Array.of_list (List.rev !out) in
-  dedup
+  Pipeline_model.Candidates.of_values !all
 
 let solve a ~p =
   if p < 1 then invalid_arg "Exact.solve: p must be >= 1";
   let prefix = Prefix.make a in
-  let cand = candidates prefix in
-  (* Binary search for the smallest feasible candidate. The largest
-     candidate (the total sum) is always feasible. *)
-  let lo = ref 0 and hi = ref (Array.length cand - 1) in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if Probe.feasible prefix ~p ~bound:cand.(mid) then hi := mid else lo := mid + 1
-  done;
-  let bound = cand.(!lo) in
-  match Probe.partition prefix ~p ~bound with
-  | Some partition -> (bound, partition)
-  | None -> assert false (* the bound was just probed feasible *)
+  (* Exact search for the smallest feasible candidate. The largest
+     candidate (the total sum) is always feasible, and the winning
+     partition comes out of the search memo — no final re-probe. *)
+  match
+    Pipeline_model.Threshold.search ~candidates:(candidates prefix)
+      ~probe:(fun bound -> Probe.partition prefix ~p ~bound)
+  with
+  | Some found ->
+    (found.Pipeline_model.Threshold.threshold,
+     found.Pipeline_model.Threshold.payload)
+  | None -> assert false (* the total sum is always feasible *)

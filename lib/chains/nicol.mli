@@ -1,13 +1,16 @@
 (** Nicol's exact algorithm for homogeneous chains-to-chains.
 
     A third, independently-derived exact solver (after {!Dp} and the
-    parametric search of {!Exact}), following Nicol's recursive scheme as
-    described by Pinar & Aykanat (2004): the optimal bottleneck for a
-    suffix and [k] processors is [min_e max(sum(i..e), opt(e+1, k-1))];
-    since the first term increases with [e] and the second decreases, the
-    minimum sits at their crossing, found by binary search. With
-    memoisation the cost is [O(np log n)] — and the test suite checks all
-    three solvers agree bit-for-bit. *)
+    candidate search of {!Exact}), following Nicol's probe-based scheme
+    as described by Pinar & Aykanat (2004): walking left to right,
+    processor [k] starting at element [i] binary-searches the smallest
+    interval end [e] whose sum — used as a bound for the shared greedy
+    {!Probe} over the remaining suffix — covers the rest of the chain
+    with the remaining processors. Each such [sum(i..e)] is an
+    achievable candidate bottleneck and the optimum is among them, so
+    [O(p log n)] probes of [O(n)] each suffice — no ε-bisection. Every
+    candidate is a {!Prefix.sum} value, so the test suite can check all
+    three solvers agree bit-for-bit (DESIGN.md §9). *)
 
 val solve : float array -> p:int -> float * Partition.t
 (** Same contract as {!Dp.solve}. *)

@@ -1,29 +1,36 @@
-let greedy_cuts prefix ~bound =
-  (* Returns the cut positions of the leftmost-greedy partition, or None
-     when some single element exceeds the bound. *)
+let greedy_cuts ?(from = 1) prefix ~bound =
+  (* Returns the cut positions of the leftmost-greedy partition of
+     [from..n], or None when some single element exceeds the bound. *)
   let n = Prefix.n prefix in
-  if Prefix.max_element prefix > bound then None
+  if from < 1 || from > n then invalid_arg "Probe: from out of range";
+  let rec max_tail_element k acc =
+    if k > n then acc else max_tail_element (k + 1) (Float.max acc (Prefix.element prefix k))
+  in
+  let max_element =
+    if from = 1 then Prefix.max_element prefix else max_tail_element from 0.
+  in
+  if max_element > bound then None
   else begin
-    let rec walk from acc =
-      if from > n then List.rev acc
+    let rec walk start acc =
+      if start > n then List.rev acc
       else
-        let e = Prefix.longest_fitting prefix ~from ~budget:bound in
-        (* max_element <= bound guarantees e >= from. *)
+        let e = Prefix.longest_fitting prefix ~from:start ~budget:bound in
+        (* max_element <= bound guarantees e >= start. *)
         if e >= n then List.rev acc else walk (e + 1) (e :: acc)
     in
-    Some (walk 1 [])
+    Some (walk from [])
   end
 
-let min_intervals prefix ~bound =
+let min_intervals ?from prefix ~bound =
   if bound < 0. then None
   else
-    match greedy_cuts prefix ~bound with
+    match greedy_cuts ?from prefix ~bound with
     | None -> None
     | Some cuts -> Some (List.length cuts + 1)
 
-let feasible prefix ~p ~bound =
+let feasible ?from prefix ~p ~bound =
   if p < 1 then invalid_arg "Probe.feasible: p must be >= 1";
-  match min_intervals prefix ~bound with
+  match min_intervals ?from prefix ~bound with
   | None -> false
   | Some m -> m <= p
 

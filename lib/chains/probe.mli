@@ -1,18 +1,24 @@
 (** Greedy feasibility probe for the homogeneous chains-to-chains problem.
 
-    [PROBE(B)]: can [\[1..n\]] be partitioned into at most [p] consecutive
-    intervals with every interval sum at most [B]? Because elements are
-    non-negative, cutting each interval as late as possible is optimal, so
-    the greedy answer is exact. This is the classic building block of the
-    parametric-search algorithms surveyed by Pinar & Aykanat (2004). *)
+    [PROBE(B)]: can [\[from..n\]] be partitioned into at most [p]
+    consecutive intervals with every interval sum at most [B]? Because
+    elements are non-negative, cutting each interval as late as possible
+    is optimal, so the greedy answer is exact. This is the classic
+    building block of the parametric-search algorithms surveyed by Pinar
+    & Aykanat (2004) — and the {e single} probe implementation behind
+    {!Exact}, {!Nicol}, {!Approx} and {!Bounds} (DESIGN.md §9).
 
-val feasible : Prefix.t -> p:int -> bound:float -> bool
-(** O(p log n). [p ≥ 1] required. *)
+    [from] defaults to 1 (the whole chain); suffix probes ([from > 1])
+    serve {!Nicol}'s recursive scheme. *)
+
+val feasible : ?from:int -> Prefix.t -> p:int -> bound:float -> bool
+(** O(p log n). [p ≥ 1] and [1 ≤ from ≤ n] required. *)
 
 val partition : Prefix.t -> p:int -> bound:float -> Partition.t option
-(** The leftmost-greedy witness partition (at most [p] intervals), or
-    [None] when infeasible. The witness may use fewer than [p] intervals. *)
+(** The leftmost-greedy witness partition of the whole chain (at most
+    [p] intervals), or [None] when infeasible. The witness may use fewer
+    than [p] intervals. *)
 
-val min_intervals : Prefix.t -> bound:float -> int option
+val min_intervals : ?from:int -> Prefix.t -> bound:float -> int option
 (** Smallest number of intervals achieving bottleneck [≤ bound];
     [None] when a single element already exceeds [bound]. *)

@@ -29,8 +29,7 @@ let gen_three_with_fallback config ~j =
   | [] -> Split.two_split_candidates config ~j
   | candidates -> candidates
 
-let threshold_met value threshold =
-  value <= threshold +. (1e-9 *. Float.max 1. (Float.abs threshold))
+let threshold_met = Pipeline_util.Tol.meets
 
 let minimise_latency_under_period ?(latency_cap = infinity) ~gen ~select inst
     ~period =

@@ -6,10 +6,8 @@ let of_mapping (inst : Instance.t) mapping =
   let s = Cost.summary (Cost.get inst.app inst.platform) mapping in
   { mapping; period = s.Cost.period; latency = s.Cost.latency }
 
-let tol v threshold = v <= threshold +. (1e-9 *. Float.max 1. (Float.abs threshold))
-
-let respects_period t p = tol t.period p
-let respects_latency t l = tol t.latency l
+let respects_period t p = Pipeline_util.Tol.meets t.period p
+let respects_latency t l = Pipeline_util.Tol.meets t.latency l
 
 let pp fmt t =
   Format.fprintf fmt "%s period=%g latency=%g" (Mapping.to_string t.mapping)

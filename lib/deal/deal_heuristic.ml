@@ -6,8 +6,7 @@ type solution = {
   latency : float;
 }
 
-let threshold_met value threshold =
-  value <= threshold +. (1e-9 *. Float.max 1. (Float.abs threshold))
+let threshold_met = Pipeline_util.Tol.meets
 
 let evaluate inst mapping =
   let s = Deal_metrics.summary inst mapping in

@@ -3,8 +3,29 @@ module Registry = Pipeline_registry
 module Table = Pipeline_util.Table
 
 let c_probes =
-  Obs.Counter.make ~doc:"bisection probes in Failure.instance_threshold"
+  Obs.Counter.make ~doc:"feasibility probes in Failure.instance_threshold"
     "experiments.threshold_probes"
+
+(* The latency boundaries sit strictly between the acceptance slack
+   (1e-9, {!Pipeline_util.Tol.accept_rel}) and the full bisection grain,
+   so the adaptive bisection may stop as soon as the bracket is
+   invisible at the acceptance scale. *)
+let latency_rel = 1e-10
+
+(* Period-direction rows flip feasibility at an achievable period — a
+   member of the finite candidate set — so their boundary is found
+   exactly by binary search over that set (DESIGN.md §9). Stacks whose
+   achievable periods leave the plain-interval grid keep the adaptive
+   bisection: het cycle-times depend on the neighbouring processors, and
+   the ft rows charge replication overheads on top of the plain cycle. *)
+let period_candidates (info : Registry.info) (inst : Instance.t) =
+  if not (Platform.is_comm_homogeneous inst.platform) then None
+  else
+    let cost = Cost.get inst.app inst.platform in
+    match info.stack with
+    | Registry.Core | Registry.Extension -> Some (Candidates.periods cost)
+    | Registry.Deal -> Some (Candidates.deal_periods cost)
+    | Registry.Het | Registry.Ft -> None
 
 let instance_threshold ?(iterations = 40) (info : Registry.info) inst =
   let probes = ref 0 in
@@ -12,26 +33,44 @@ let instance_threshold ?(iterations = 40) (info : Registry.info) inst =
     incr probes;
     info.solve inst ~threshold <> None
   in
-  (* Bracket the boundary: 0 always fails (periods and latencies are
-     positive), [hi] always succeeds. *)
-  let hi_start =
-    match info.kind with
-    | Registry.Period_fixed -> Instance.single_proc_period inst
-    | Registry.Latency_fixed -> Instance.optimal_latency inst
+  let bisection () =
+    (* Bracket the boundary: 0 always fails (periods and latencies are
+       positive), [hi] always succeeds. *)
+    let hi_start =
+      match info.kind with
+      | Registry.Period_fixed -> Instance.single_proc_period inst
+      | Registry.Latency_fixed -> Instance.optimal_latency inst
+    in
+    let hi = ref (Float.max hi_start 1e-9) in
+    if not (succeeds !hi) then
+      (* Pathological: even the guaranteed-feasible threshold fails; widen
+         until success (finite instances always succeed eventually). *)
+      while not (succeeds !hi) do
+        hi := !hi *. 2.
+      done;
+    let b =
+      Threshold.bisect ~max_probes:iterations ~rel:latency_rel ~lo:0. ~hi:!hi
+        ~feasible:succeeds ()
+    in
+    b.Threshold.lo
   in
-  let lo = ref 0. and hi = ref (Float.max hi_start 1e-9) in
-  if not (succeeds !hi) then
-    (* Pathological: even the guaranteed-feasible threshold fails; widen
-       until success (finite instances always succeed eventually). *)
-    while not (succeeds !hi) do
-      hi := !hi *. 2.
-    done;
-  for _ = 1 to iterations do
-    let mid = (!lo +. !hi) /. 2. in
-    if succeeds mid then hi := mid else lo := mid
-  done;
+  let result =
+    match info.kind with
+    | Registry.Latency_fixed -> bisection ()
+    | Registry.Period_fixed -> (
+      match period_candidates info inst with
+      | None -> bisection ()
+      | Some candidates -> (
+        match Threshold.boundary ~candidates ~succeeds with
+        | Some boundary -> boundary
+        | None ->
+          (* Even the top candidate failed (the heuristic rejects
+             thresholds the single-processor mapping meets): fall back
+             to the widening bisection. *)
+          bisection ()))
+  in
   Obs.Counter.add c_probes !probes;
-  !lo
+  result
 
 (* Each per-instance bisection is independent, so the per-pair loop fans
    out across the domain pool; folding the result array in index order

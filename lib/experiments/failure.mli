@@ -2,8 +2,12 @@
 
     The paper defines the failure threshold of a heuristic as the largest
     fixed period (resp. latency) for which it cannot find a solution —
-    i.e. the boundary of its feasible region. Per instance the boundary
-    is located by bisection on the success predicate; the reported value
+    i.e. the boundary of its feasible region. For period-fixed rows on
+    comm-homogeneous platforms the boundary is an achievable period, so
+    it is located {e exactly} by {!Pipeline_model.Threshold.search} over
+    the finite candidate set; latency-fixed rows (and stacks off the
+    plain candidate grid) use the adaptive bisection of
+    {!Pipeline_model.Threshold.bisect} (DESIGN.md §9). The reported value
     averages the per-instance boundaries over the batch, matching the
     table's per-(experiment, n) cells. *)
 
@@ -11,10 +15,13 @@ open Pipeline_model
 module Registry = Pipeline_registry
 
 val instance_threshold : ?iterations:int -> Registry.info -> Instance.t -> float
-(** The largest failing threshold of one heuristic on one instance
-    (bisection, default 40 iterations). For latency-fixed heuristics this
-    converges to the optimal latency — H5 and H6 necessarily tie, which
-    is exactly the paper's "surprising" observation. *)
+(** The feasibility boundary of one heuristic on one instance: the exact
+    smallest succeeding candidate for period-fixed rows, the adaptive
+    bisection's bracket otherwise ([iterations], default 40, caps the
+    bisection probes; the candidate search needs no cap). For
+    latency-fixed heuristics this converges to the optimal latency — H5
+    and H6 necessarily tie, which is exactly the paper's "surprising"
+    observation. *)
 
 val average_threshold :
   ?iterations:int -> Registry.info -> Instance.t list -> float

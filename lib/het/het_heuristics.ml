@@ -1,8 +1,7 @@
 open Pipeline_model
 open Pipeline_core
 
-let threshold_met value threshold =
-  value <= threshold +. (1e-9 *. Float.max 1. (Float.abs threshold))
+let threshold_met = Pipeline_util.Tol.meets
 
 (* Best single-processor mapping by latency (on het platforms speed alone
    does not decide: I/O bandwidths matter). *)

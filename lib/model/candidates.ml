@@ -1,0 +1,85 @@
+(* The finite candidate sets behind the exact threshold searches
+   (DESIGN.md §9). Every value is produced by the engine's own cost
+   expressions — Cost.cycle for periods, cycle /. float r for deal
+   periods — so a threshold found here is bit-identical to the objective
+   value of the mapping that realises it. *)
+
+let of_values values =
+  let a = Array.of_list (List.sort_uniq compare values) in
+  if Array.exists (fun v -> Float.is_nan v) a then
+    invalid_arg "Candidates.of_values: NaN candidate";
+  a
+
+(* One representative processor per distinct speed, smallest index first:
+   cycle-times depend on the processor only through its speed, so the
+   value set is unchanged and the enumeration shrinks from p to
+   |distinct speeds| columns. *)
+let speed_representatives platform =
+  let speeds = Platform.speeds platform in
+  let seen = Hashtbl.create 16 in
+  let reps = ref [] in
+  Array.iteri
+    (fun u s ->
+      if not (Hashtbl.mem seen s) then begin
+        Hashtbl.add seen s ();
+        reps := u :: !reps
+      end)
+    speeds;
+  List.rev !reps
+
+let enumerate cost =
+  let platform = Cost.platform cost in
+  if not (Platform.is_comm_homogeneous platform) then
+    invalid_arg "Candidates: requires a comm-homogeneous platform";
+  let n = Application.n (Cost.application cost) in
+  let reps = speed_representatives platform in
+  let acc = ref [] in
+  for d = 1 to n do
+    for e = d to n do
+      List.iter (fun u -> acc := Cost.cycle cost ~d ~e ~u :: !acc) reps
+    done
+  done;
+  of_values !acc
+
+let periods cost = Cost.cached_candidates cost ~build:enumerate
+
+(* A replicated interval contributes (worst replica cycle) / r, so the
+   deal candidates are the plain ones divided by every feasible
+   replication factor — the same float expression Cost.deal_period
+   evaluates. *)
+let enumerate_deal cost =
+  let plain = periods cost in
+  let p = Platform.p (Cost.platform cost) in
+  let acc = ref [] in
+  Array.iter
+    (fun c ->
+      for r = 1 to p do
+        acc := c /. float_of_int r :: !acc
+      done)
+    plain;
+  of_values !acc
+
+let deal_periods cost = Cost.cached_deal_candidates cost ~build:enumerate_deal
+
+let mem candidates value =
+  let lo = ref 0 and hi = ref (Array.length candidates - 1) in
+  if !hi < 0 then false
+  else begin
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if candidates.(mid) < value then lo := mid + 1 else hi := mid
+    done;
+    candidates.(!lo) = value
+  end
+
+let ceiling candidates value =
+  let count = Array.length candidates in
+  if count = 0 || candidates.(count - 1) < value then None
+  else begin
+    let lo = ref 0 and hi = ref (count - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if candidates.(mid) < value then lo := mid + 1 else hi := mid
+    done;
+    Some candidates.(!lo)
+  end

@@ -1,0 +1,38 @@
+(** The finite candidate sets of the exact threshold searches.
+
+    Equation (1) makes a mapping's period the {e max} of its interval
+    cycle-times, so on a comm-homogeneous platform every achievable
+    period is one of the at most [n(n+1)/2 × |distinct speeds|] values
+    [cycle(d, e, s)] — and a threshold search over periods only needs to
+    probe those (DESIGN.md §9). The arrays returned here are sorted,
+    deduplicated, produced by the engine's own {!Cost.cycle} expressions
+    (no new float associations), and cached lazily on the engine, so
+    enumeration is paid once per [(application, platform)] pair.
+
+    All functions raise [Invalid_argument] on platforms that are not
+    comm-homogeneous (fully heterogeneous cycle-times depend on the
+    neighbouring processors, so the candidate set is not small there). *)
+
+val periods : Cost.t -> float array
+(** Sorted, deduplicated cycle-times over every interval and distinct
+    speed: the complete set of achievable periods for plain interval
+    mappings. Built on first use, cached on the engine. *)
+
+val deal_periods : Cost.t -> float array
+(** The deal-replication variant: every plain candidate divided by every
+    replication factor [1..p] — a superset of the periods achievable by
+    {!Cost.deal_period} (round-robin deals). Built on first use, cached
+    on the engine. *)
+
+val of_values : float list -> float array
+(** Sort and deduplicate an explicit candidate list (exact float
+    equality). Raises [Invalid_argument] on NaN. *)
+
+val mem : float array -> float -> bool
+(** [mem candidates v] — binary search for exact membership in a sorted
+    candidate array. *)
+
+val ceiling : float array -> float -> float option
+(** [ceiling candidates v] — the smallest candidate [>= v], or [None]
+    when [v] exceeds them all. Used to snap relaxation lower bounds up
+    onto the achievable grid. *)

@@ -16,6 +16,8 @@ type t = {
   sums : float array;  (* W(d,e), triangular; [||] off *)
   cycle_memo : bool;
   mutable cycles : float array;  (* (d,e,u) cycle-times, lazy; NaN = unset *)
+  mutable period_cands : float array;  (* sorted candidate periods; [||] = unset *)
+  mutable deal_cands : float array;  (* deal variant (cycle / r); [||] = unset *)
 }
 
 (* Caps keep the eager tables and the lazy cycle table at a few MB even
@@ -79,11 +81,34 @@ let make ?(memo = true) app platform =
     sums;
     cycle_memo;
     cycles = [||];
+    period_cands = [||];
+    deal_cands = [||];
   }
 
 let memoised t = t.memo
 let application t = t.app
 let platform t = t.platform
+
+(* Storage for the candidate-period arrays; the enumeration itself lives
+   in Candidates so the engine stays agnostic of search concerns. A
+   valid instance always has at least one candidate, so [||] is a safe
+   "unset" sentinel. *)
+
+let cached_candidates t ~build =
+  if Array.length t.period_cands > 0 then t.period_cands
+  else begin
+    let a = build t in
+    t.period_cands <- a;
+    a
+  end
+
+let cached_deal_candidates t ~build =
+  if Array.length t.deal_cands > 0 then t.deal_cands
+  else begin
+    let a = build t in
+    t.deal_cands <- a;
+    a
+  end
 
 (* One memoising engine per domain, keyed on physical equality: solvers
    evaluate one instance many times in a row, and domain-local storage

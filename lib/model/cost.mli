@@ -55,6 +55,16 @@ val application : t -> Application.t
 
 val platform : t -> Platform.t
 
+val cached_candidates : t -> build:(t -> float array) -> float array
+(** Lazily caches the sorted candidate-period array on the engine: the
+    first call runs [build] and stores its result, later calls return
+    the stored array. The enumeration lives in {!Candidates} — use
+    {!Candidates.periods}, not this hook. *)
+
+val cached_deal_candidates : t -> build:(t -> float array) -> float array
+(** Same cache slot for the deal-replication candidate set
+    ({!Candidates.deal_periods}). *)
+
 (** {2 Comm-homogeneous primitives}
 
     The building blocks of equations (1)–(2) for an interval [\[d, e\]]

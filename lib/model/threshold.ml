@@ -1,0 +1,92 @@
+(* The shared threshold-search engine (DESIGN.md §9): exact binary
+   search over a finite candidate array for the period direction,
+   adaptive bisection for the latency direction. Both drivers only
+   assume the probe is monotone (feasible at t implies feasible at every
+   t' > t); both count their probes so the reduction over the legacy
+   fixed-iteration bisections shows up in metrics.csv. *)
+
+let c_candidate_probes =
+  Obs.Counter.make ~doc:"feasibility probes issued by Threshold.search"
+    "model.threshold.candidate_probes"
+
+let c_bisect_probes =
+  Obs.Counter.make ~doc:"feasibility probes issued by Threshold.bisect"
+    "model.threshold.bisect_probes"
+
+let c_memo_hits =
+  Obs.Counter.make
+    ~doc:"probe results served from the Threshold memo instead of re-probing"
+    "model.threshold.memo_hits"
+
+type 'a found = { threshold : float; payload : 'a; probes : int }
+
+let search ~candidates ~probe =
+  let count = Array.length candidates in
+  if count = 0 then None
+  else begin
+    let probes = ref 0 in
+    let run i =
+      incr probes;
+      probe candidates.(i)
+    in
+    (* The search keeps the payload of the lowest feasible index seen, so
+       the winning candidate is probed exactly once: the legacy drivers
+       re-probed it after the loop to recover the solution. *)
+    match run (count - 1) with
+    | None ->
+      Obs.Counter.add c_candidate_probes !probes;
+      None
+    | Some top ->
+      let best = ref (count - 1, top) in
+      let lo = ref 0 and hi = ref (count - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        match run mid with
+        | Some payload ->
+          best := (mid, payload);
+          hi := mid
+        | None -> lo := mid + 1
+      done;
+      Obs.Counter.add c_candidate_probes !probes;
+      Obs.Counter.add c_memo_hits 1;
+      let i, payload = !best in
+      assert (i = !lo);
+      Some { threshold = candidates.(i); payload; probes = !probes }
+  end
+
+let boundary ~candidates ~succeeds =
+  match
+    search ~candidates ~probe:(fun t -> if succeeds t then Some () else None)
+  with
+  | None -> None
+  | Some { threshold; _ } -> Some threshold
+
+type bisection = { lo : float; hi : float; probes : int }
+
+let bisect ?(max_probes = 64) ?(rel = Pipeline_util.Tol.bisect_rel) ~lo ~hi
+    ~feasible () =
+  let lo = ref lo and hi = ref hi in
+  let probes = ref 0 in
+  (* Memoised midpoints: brackets that collapse onto a previous midpoint
+     (degenerate spans) are served from the memo instead of re-probing. *)
+  let memo = ref [] in
+  let run mid =
+    match List.assoc_opt mid !memo with
+    | Some ok ->
+      Obs.Counter.add c_memo_hits 1;
+      ok
+    | None ->
+      incr probes;
+      let ok = feasible mid in
+      memo := (mid, ok) :: !memo;
+      ok
+  in
+  while
+    (not (Pipeline_util.Tol.converged ~rel ~lo:!lo ~hi:!hi ()))
+    && !probes < max_probes
+  do
+    let mid = (!lo +. !hi) /. 2. in
+    if run mid then hi := mid else lo := mid
+  done;
+  Obs.Counter.add c_bisect_probes !probes;
+  { lo = !lo; hi = !hi; probes = !probes }

@@ -37,19 +37,11 @@ let min_latency_under_period (inst : Instance.t) ~period =
   | None -> None
   | Some (_, assignment) -> Some (solution_of_assignment inst assignment)
 
-(* All values an interval cycle-time can take: the candidate periods. *)
+(* All values an interval cycle-time can take: the candidate periods,
+   served from the engine's cache (same floats as the local [cycle]
+   closure — both run the Cost expressions of DESIGN.md §8). *)
 let candidate_periods (inst : Instance.t) =
-  let _, cycle, _ = costs inst in
-  let n = Application.n inst.app and p = Platform.p inst.platform in
-  let acc = ref [] in
-  for d = 1 to n do
-    for e = d to n do
-      for u = 0 to p - 1 do
-        acc := cycle ~d ~e ~u :: !acc
-      done
-    done
-  done;
-  List.sort_uniq compare !acc
+  Candidates.periods (Cost.get inst.app inst.platform)
 
 let c_bisect =
   Obs.Counter.make
@@ -57,34 +49,21 @@ let c_bisect =
     "optimal.bicriteria.bisect_iters"
 
 let min_period_under_latency (inst : Instance.t) ~latency =
-  let candidates = Array.of_list (candidate_periods inst) in
   let feasible period =
     match min_latency_under_period inst ~period with
     | Some sol when Solution.respects_latency sol latency -> Some sol
     | _ -> None
   in
-  let count = Array.length candidates in
-  if count = 0 then None
-  else begin
-    (* Binary search for the smallest candidate period whose latency-
-       optimal mapping fits the latency budget (feasibility is monotone
-       in the period threshold). *)
-    let lo = ref 0 and hi = ref (count - 1) in
-    if feasible candidates.(!hi) = None then None
-    else begin
-      let iters = ref 0 in
-      while !lo < !hi do
-        incr iters;
-        let mid = (!lo + !hi) / 2 in
-        if feasible candidates.(mid) <> None then hi := mid else lo := mid + 1
-      done;
-      Obs.Counter.add c_bisect !iters;
-      feasible candidates.(!lo)
-    end
-  end
+  (* Smallest candidate period whose latency-optimal mapping fits the
+     latency budget (feasibility is monotone in the period threshold). *)
+  match Threshold.search ~candidates:(candidate_periods inst) ~probe:feasible with
+  | None -> None
+  | Some found ->
+    Obs.Counter.add c_bisect found.Threshold.probes;
+    Some found.Threshold.payload
 
 let pareto (inst : Instance.t) =
-  let candidates = candidate_periods inst in
+  let candidates = Array.to_list (candidate_periods inst) in
   let points =
     List.filter_map
       (fun period -> min_latency_under_period inst ~period)

@@ -72,6 +72,37 @@ let min_period ?(node_budget = 1_000_000) ?initial (inst : Instance.t) =
   for k = n downto 1 do
     suffix_max_work.(k) <- Float.max suffix_max_work.(k + 1) (Application.work app k)
   done;
+  let tol = 1e-12 in
+  (* Every completion's period is a max of interval cycle-times, i.e. a
+     member of the finite candidate set — so any relaxation lower bound
+     can be snapped up to the next achievable period (DESIGN.md §9). The
+     [tol] backoff covers the bounds' own rounding, mirroring the prune
+     test below. *)
+  let cands = Candidates.periods (Cost.get app platform) in
+  let snap lower =
+    match Candidates.ceiling cands (lower -. tol) with
+    | Some c -> Float.max lower c
+    | None -> lower
+  in
+  (* Capacity + per-stage lower bounds on the suffix d..n, given the
+     current free-processor pool and the max cycle fixed so far. *)
+  let suffix_lower d current =
+    let s_max = max_free_speed () in
+    if s_max = 0. then infinity
+    else
+      (* Valid bounds on the remaining suffix: total capacity; the
+         heaviest remaining stage at the best free speed; the next
+         interval's unavoidable input transfer plus its first stage.
+         (Adding δ_in to the capacity bound would be wrong: the
+         bottleneck interval need not be the one paying δ_in.) *)
+      List.fold_left Float.max current
+        [
+          suffix_work.(d) /. !free_speed_sum;
+          suffix_max_work.(d) /. s_max;
+          (Application.delta app (d - 1) /. b)
+          +. (Application.work app d /. s_max);
+        ]
+  in
   (* Incumbent. *)
   let initial_solution =
     match initial with
@@ -83,10 +114,18 @@ let min_period ?(node_budget = 1_000_000) ?initial (inst : Instance.t) =
   in
   let best = ref initial_solution in
   let best_period = ref initial_solution.Solution.period in
+  (* Seed: probe the snapped root bound with the splitting heuristic —
+     when it lands a solution at (or under) the root bound the search
+     below proves optimality at its first node. *)
+  let root_lb = snap (suffix_lower 1 neg_infinity) in
+  (match Sp_mono_p.solve inst ~period:root_lb with
+  | Some probe when probe.Solution.period < !best_period ->
+    best := probe;
+    best_period := probe.Solution.period
+  | _ -> ());
   let nodes = ref 0 in
   let pruned = ref 0 in
   let exhausted = ref false in
-  let tol = 1e-12 in
   (* Depth-first search: stages d..n remain, [current] is the max cycle so
      far, [partial] the reversed assignment. *)
   let rec branch d current partial =
@@ -101,24 +140,7 @@ let min_period ?(node_budget = 1_000_000) ?initial (inst : Instance.t) =
         end
       end
       else begin
-        (* Capacity + per-stage lower bounds on the remaining suffix. *)
-        let s_max = max_free_speed () in
-        let lower =
-          if s_max = 0. then infinity
-          else
-            (* Valid bounds on the remaining suffix: total capacity; the
-               heaviest remaining stage at the best free speed; the next
-               interval's unavoidable input transfer plus its first
-               stage. (Adding δ_in to the capacity bound would be wrong:
-               the bottleneck interval need not be the one paying δ_in.) *)
-            List.fold_left Float.max current
-              [
-                suffix_work.(d) /. !free_speed_sum;
-                suffix_max_work.(d) /. s_max;
-                (Application.delta app (d - 1) /. b)
-                +. (Application.work app d /. s_max);
-              ]
-        in
+        let lower = snap (suffix_lower d current) in
         if lower >= !best_period -. tol then incr pruned
         else
           List.iter

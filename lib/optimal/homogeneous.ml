@@ -83,48 +83,35 @@ let min_period (inst : Instance.t) =
 let min_latency_under_period (inst : Instance.t) ~period =
   let cycle, contrib = costs inst in
   let n = Application.n inst.app and p = Platform.p inst.platform in
-  let tol = 1e-9 *. Float.max 1. (Float.abs period) in
-  let cost d e = if cycle d e <= period +. tol then contrib d e else infinity in
+  let cost d e =
+    if Pipeline_util.Tol.meets (cycle d e) period then contrib d e else infinity
+  in
   match
     prefix_dp ~n ~p ~cost ~combine:( +. ) ~accept:(fun c -> c < infinity)
   with
   | Some (_, cuts) -> Some (solution_of_cuts inst cuts)
   | None -> None
 
+(* Identical speeds collapse the candidate set to one value per interval;
+   the engine's cache serves the same floats as the local [cycle]. *)
 let candidate_periods (inst : Instance.t) =
-  let cycle, _ = costs inst in
-  let n = Application.n inst.app in
-  let acc = ref [] in
-  for d = 1 to n do
-    for e = d to n do
-      acc := cycle d e :: !acc
-    done
-  done;
-  List.sort_uniq compare !acc
+  Candidates.periods (Cost.get inst.app inst.platform)
 
 let min_period_under_latency (inst : Instance.t) ~latency =
-  let candidates = Array.of_list (candidate_periods inst) in
   let feasible period =
     match min_latency_under_period inst ~period with
     | Some sol when Solution.respects_latency sol latency -> Some sol
     | _ -> None
   in
-  let count = Array.length candidates in
-  if count = 0 || feasible candidates.(count - 1) = None then None
-  else begin
-    let lo = ref 0 and hi = ref (count - 1) in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if feasible candidates.(mid) <> None then hi := mid else lo := mid + 1
-    done;
-    feasible candidates.(!lo)
-  end
+  match Threshold.search ~candidates:(candidate_periods inst) ~probe:feasible with
+  | None -> None
+  | Some found -> Some found.Threshold.payload
 
 let pareto (inst : Instance.t) =
   let points =
     List.filter_map
       (fun period -> min_latency_under_period inst ~period)
-      (candidate_periods inst)
+      (Array.to_list (candidate_periods inst))
   in
   let sorted =
     List.sort_uniq

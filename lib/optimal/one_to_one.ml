@@ -27,11 +27,10 @@ let solution_of_assignment (inst : Instance.t) assignment =
    cycle-time <= threshold. *)
 let feasible_assignment (inst : Instance.t) ~threshold =
   let n, p, _, cycle, _ = costs inst in
-  let tol = 1e-9 *. Float.max 1. (Float.abs threshold) in
   let adjacency =
     Array.init n (fun k0 ->
         List.filter
-          (fun u -> cycle (k0 + 1) u <= threshold +. tol)
+          (fun u -> Pipeline_util.Tol.meets (cycle (k0 + 1) u) threshold)
           (List.init p Fun.id))
   in
   let result = Bipartite.max_matching ~left:n ~right:p ~adjacency in
@@ -46,24 +45,23 @@ let min_period (inst : Instance.t) =
       candidates := cycle k u :: !candidates
     done
   done;
-  let sorted = Array.of_list (List.sort_uniq compare !candidates) in
-  let lo = ref 0 and hi = ref (Array.length sorted - 1) in
-  (* The largest candidate admits a perfect matching (every edge open,
-     and n <= p guarantees one). *)
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if feasible_assignment inst ~threshold:sorted.(mid) <> None then hi := mid
-    else lo := mid + 1
-  done;
-  match feasible_assignment inst ~threshold:sorted.(!lo) with
-  | Some assignment -> solution_of_assignment inst assignment
+  (* One-to-one candidates pair each stage's input and output transfer
+     ((δ_{d-1} + δ_d)/b), so the set differs from Candidates.periods and
+     stays local. The largest candidate admits a perfect matching (every
+     edge open, and n <= p guarantees one). *)
+  match
+    Threshold.search
+      ~candidates:(Candidates.of_values !candidates)
+      ~probe:(fun threshold -> feasible_assignment inst ~threshold)
+  with
+  | Some found -> solution_of_assignment inst found.Threshold.payload
   | None -> assert false
 
 let hungarian_under_period (inst : Instance.t) ~period =
   let n, p, _, cycle, contrib = costs inst in
-  let tol = 1e-9 *. Float.max 1. (Float.abs period) in
   let cost k0 u =
-    if cycle (k0 + 1) u <= period +. tol then contrib (k0 + 1) u else infinity
+    if Pipeline_util.Tol.meets (cycle (k0 + 1) u) period then contrib (k0 + 1) u
+    else infinity
   in
   match Hungarian.solve ~rows:n ~cols:p ~cost with
   | None -> None

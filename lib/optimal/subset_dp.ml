@@ -79,8 +79,7 @@ let minimise_sum_under_cap ~n ~p ~cap_cost ~sum_cost ~cap =
   (* Cost pairs: accept on the cap, accumulate the sum. Evaluating both
      costs per transition keeps the generic core single-purpose. *)
   let cost ~d ~e ~u =
-    if cap_cost ~d ~e ~u <= cap +. (1e-9 *. Float.max 1. (Float.abs cap)) then
-      sum_cost ~d ~e ~u
+    if Pipeline_util.Tol.meets (cap_cost ~d ~e ~u) cap then sum_cost ~d ~e ~u
     else infinity
   in
   run ~n ~p ~cost ~combine:( +. ) ~accept:(fun c -> c < infinity)

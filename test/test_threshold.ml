@@ -1,0 +1,267 @@
+(* Threshold-soundness: the exact candidate search (DESIGN.md §9).
+
+   Three layers: the candidate sets contain every achievable period
+   (membership properties against random mappings and the exact
+   oracles), Threshold.search returns the smallest feasible candidate
+   (checked against brute-force scans of the same probe), and the
+   adaptive bisection reproduces the legacy fixed-count loops
+   bit-for-bit (Sp_bi_p old vs new). *)
+
+open Pipeline_model
+open Pipeline_core
+module Registry = Pipeline_registry
+module Failure = Pipeline_experiments.Failure
+
+let gen_seed = QCheck2.Gen.int_range 0 100_000
+let gen_small = QCheck2.Gen.map (Helpers.random_instance ~n_max:7 ~p_max:4) gen_seed
+let gen_tiny = QCheck2.Gen.map (Helpers.random_instance ~n_max:5 ~p_max:4) gen_seed
+
+let candidates_of inst =
+  Candidates.periods (Cost.get inst.Instance.app inst.Instance.platform)
+
+(* ------------------------------------------------------------------ *)
+(* Candidates                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_values () =
+  let a = Candidates.of_values [ 3.; 1.; 2.; 1.; 3. ] in
+  Alcotest.(check (array (float 0.))) "sorted, deduped" [| 1.; 2.; 3. |] a;
+  Alcotest.check_raises "nan" (Invalid_argument "Candidates.of_values: NaN candidate")
+    (fun () -> ignore (Candidates.of_values [ 1.; Float.nan ]))
+
+let test_mem_ceiling () =
+  let a = [| 1.; 3.; 5. |] in
+  Alcotest.(check bool) "mem hit" true (Candidates.mem a 3.);
+  Alcotest.(check bool) "mem miss" false (Candidates.mem a 2.);
+  Alcotest.(check bool) "mem empty" false (Candidates.mem [||] 2.);
+  Alcotest.(check (option (float 0.))) "ceiling between" (Some 3.)
+    (Candidates.ceiling a 2.);
+  Alcotest.(check (option (float 0.))) "ceiling exact" (Some 5.)
+    (Candidates.ceiling a 5.);
+  Alcotest.(check (option (float 0.))) "ceiling above" None (Candidates.ceiling a 6.);
+  Alcotest.(check (option (float 0.))) "ceiling empty" None (Candidates.ceiling [||] 0.)
+
+let test_cached_on_engine () =
+  let inst = Helpers.small_instance () in
+  let cost = Cost.get inst.Instance.app inst.Instance.platform in
+  Alcotest.(check bool) "periods cached" true
+    (Candidates.periods cost == Candidates.periods cost);
+  Alcotest.(check bool) "deal cached" true
+    (Candidates.deal_periods cost == Candidates.deal_periods cost)
+
+let test_rejects_het () =
+  let bandwidths = [| [| 0.; 2.; 5. |]; [| 2.; 0.; 3. |]; [| 5.; 3.; 0. |] |] in
+  let pl = Platform.fully_heterogeneous ~bandwidths [| 1.; 2.; 3. |] in
+  let app = Application.uniform ~n:3 ~work:1. ~delta:1. in
+  Alcotest.check_raises "het rejected"
+    (Invalid_argument "Candidates: requires a comm-homogeneous platform")
+    (fun () -> ignore (Candidates.periods (Cost.make app pl)))
+
+(* A uniformly random interval mapping: its period must be a member of
+   the candidate set, bit-for-bit. *)
+let random_mapping rng (inst : Instance.t) =
+  let n = Application.n inst.Instance.app in
+  let p = Platform.p inst.Instance.platform in
+  let k = 1 + Pipeline_util.Rng.int rng (min n p) in
+  let procs = Array.init p Fun.id in
+  for i = p - 1 downto 1 do
+    let j = Pipeline_util.Rng.int rng (i + 1) in
+    let t = procs.(i) in
+    procs.(i) <- procs.(j);
+    procs.(j) <- t
+  done;
+  let assignment = ref [] in
+  let d = ref 1 in
+  for j = 1 to k do
+    let slack = n - !d - (k - j) in
+    let last = if j = k then n else !d + Pipeline_util.Rng.int rng (slack + 1) in
+    assignment := (Interval.make ~first:!d ~last, procs.(j - 1)) :: !assignment;
+    d := last + 1
+  done;
+  Mapping.make ~n (List.rev !assignment)
+
+let prop_period_is_candidate =
+  Helpers.qtest ~count:200 "any mapping's period is a candidate" gen_small
+    (fun inst ->
+      let rng = Pipeline_util.Rng.create inst.Instance.seed in
+      let sol = Solution.of_mapping inst (random_mapping rng inst) in
+      Candidates.mem (candidates_of inst) sol.Solution.period)
+
+let prop_optimal_period_is_candidate =
+  Helpers.qtest ~count:60 "exact min period is a candidate" gen_small (fun inst ->
+      Candidates.mem (candidates_of inst)
+        (Pipeline_optimal.Bicriteria.min_period inst).Solution.period)
+
+let prop_deal_optimum_is_candidate =
+  Helpers.qtest ~count:25 "deal exhaustive optimum is a deal candidate" gen_tiny
+    (fun inst ->
+      let cands =
+        Candidates.deal_periods (Cost.get inst.Instance.app inst.Instance.platform)
+      in
+      let sol = Pipeline_deal.Deal_exhaustive.min_period inst in
+      Candidates.mem cands sol.Pipeline_deal.Deal_heuristic.period)
+
+(* ------------------------------------------------------------------ *)
+(* Threshold.search                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_search_exact () =
+  let candidates = Array.init 10 (fun i -> float_of_int (i + 1)) in
+  let probes = ref 0 in
+  let probe t =
+    incr probes;
+    if t >= 6.5 then Some t else None
+  in
+  match Threshold.search ~candidates ~probe with
+  | None -> Alcotest.fail "expected a threshold"
+  | Some found ->
+    Helpers.check_float "smallest feasible" 7. found.Threshold.threshold;
+    Helpers.check_float "payload from the memo" 7. found.Threshold.payload;
+    Alcotest.(check bool) "log-many probes" true (found.Threshold.probes <= 5);
+    Alcotest.(check int) "probe count reported" !probes found.Threshold.probes
+
+let test_search_infeasible () =
+  Alcotest.(check bool) "top candidate fails -> None" true
+    (Threshold.search ~candidates:[| 1.; 2. |] ~probe:(fun _ -> None) = None);
+  Alcotest.(check bool) "no candidates -> None" true
+    (Threshold.search ~candidates:[||] ~probe:(fun _ -> Some ()) = None)
+
+let prop_search_matches_scan =
+  (* Against a brute-force scan of the same monotone probe. *)
+  Helpers.qtest ~count:100 "search = linear scan" gen_seed (fun seed ->
+      let rng = Pipeline_util.Rng.create seed in
+      let count = 1 + Pipeline_util.Rng.int rng 40 in
+      let candidates =
+        Candidates.of_values
+          (List.init count (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 0 100)))
+      in
+      let cutoff = float_of_int (Pipeline_util.Rng.int_in rng 0 110) in
+      let probe t = if t >= cutoff then Some t else None in
+      let scan = Array.to_seq candidates |> Seq.filter (fun c -> c >= cutoff) in
+      match (Threshold.search ~candidates ~probe, scan ()) with
+      | None, Seq.Nil -> true
+      | Some found, Seq.Cons (smallest, _) ->
+        found.Threshold.threshold = smallest && found.Threshold.payload = smallest
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Failure thresholds: exact boundary on the candidate grid            *)
+(* ------------------------------------------------------------------ *)
+
+let period_rows =
+  List.filter
+    (fun (i : Registry.info) -> i.Registry.kind = Registry.Period_fixed)
+    Registry.paper
+
+let prop_failure_threshold_sound =
+  Helpers.qtest ~count:10 "boundary succeeds; no smaller candidate does"
+    (QCheck2.Gen.map (Helpers.random_instance ~n_max:6 ~p_max:4) gen_seed)
+    (fun inst ->
+      let cands = candidates_of inst in
+      List.for_all
+        (fun (info : Registry.info) ->
+          let t = Failure.instance_threshold info inst in
+          let succeeds c = info.Registry.solve inst ~threshold:c <> None in
+          Candidates.mem cands t && succeeds t
+          && Array.for_all
+               (fun c -> c >= t || not (succeeds c))
+               cands)
+        period_rows)
+
+(* ------------------------------------------------------------------ *)
+(* Sp_bi_p: adaptive bisection vs the legacy fixed-count loop          *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-rewrite Sp_bi_p.solve, verbatim (modulo the probe counter):
+   25 iterations, each skipped once the bracket converged at 1e-12. *)
+let legacy_sp_bi_p inst ~period =
+  let attempt cap =
+    Pipeline_core.Loop.minimise_latency_under_period ~latency_cap:cap
+      ~gen:Pipeline_core.Loop.gen_two ~select:Pipeline_core.Loop.select_bi inst
+      ~period
+  in
+  match attempt infinity with
+  | None -> None
+  | Some unconstrained ->
+    let best = ref unconstrained in
+    let lo = ref (Instance.optimal_latency inst)
+    and hi = ref unconstrained.Solution.latency in
+    for _ = 1 to 25 do
+      if !hi -. !lo > 1e-12 *. Float.max 1. !hi then begin
+        let cap = (!lo +. !hi) /. 2. in
+        match attempt cap with
+        | Some sol ->
+          if sol.Solution.latency < !best.Solution.latency then best := sol;
+          hi := cap
+        | None -> lo := cap
+      end
+    done;
+    Some !best
+
+let prop_sp_bi_p_unchanged =
+  Helpers.qtest ~count:60 "new Sp_bi_p = legacy 25-step bisection"
+    QCheck2.Gen.(pair gen_small (float_range 1.0 3.0))
+    (fun (inst, factor) ->
+      let period =
+        factor *. (Pipeline_optimal.Bicriteria.min_period inst).Solution.period
+      in
+      match (Pipeline_core.Sp_bi_p.solve inst ~period, legacy_sp_bi_p inst ~period) with
+      | None, None -> true
+      | Some a, Some b ->
+        a.Solution.period = b.Solution.period
+        && a.Solution.latency = b.Solution.latency
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Threshold.bisect                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_bisect_brackets () =
+  let b =
+    Threshold.bisect ~lo:0. ~hi:10. ~feasible:(fun x -> x >= Float.pi) ()
+  in
+  Alcotest.(check bool) "lo below boundary" true (b.Threshold.lo < Float.pi);
+  Alcotest.(check bool) "hi at or above boundary" true (b.Threshold.hi >= Float.pi);
+  Alcotest.(check bool) "converged early" true (b.Threshold.probes < 64);
+  Alcotest.(check bool) "tight bracket" true
+    (Pipeline_util.Tol.converged ~lo:b.Threshold.lo ~hi:b.Threshold.hi ())
+
+let test_bisect_probe_cap () =
+  let probes = ref 0 in
+  let b =
+    Threshold.bisect ~max_probes:7 ~lo:0. ~hi:1e9
+      ~feasible:(fun x ->
+        incr probes;
+        x >= 123.456)
+      ()
+  in
+  Alcotest.(check int) "capped" 7 b.Threshold.probes;
+  Alcotest.(check int) "probe called once per step" 7 !probes
+
+let () =
+  Alcotest.run "threshold"
+    [
+      ( "candidates",
+        [
+          Alcotest.test_case "of_values" `Quick test_of_values;
+          Alcotest.test_case "mem and ceiling" `Quick test_mem_ceiling;
+          Alcotest.test_case "cached on the engine" `Quick test_cached_on_engine;
+          Alcotest.test_case "rejects het platforms" `Quick test_rejects_het;
+          prop_period_is_candidate;
+          prop_optimal_period_is_candidate;
+          prop_deal_optimum_is_candidate;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "exact smallest feasible" `Quick test_search_exact;
+          Alcotest.test_case "infeasible and empty" `Quick test_search_infeasible;
+          prop_search_matches_scan;
+        ] );
+      ("failure-boundary", [ prop_failure_threshold_sound ]);
+      ("sp-bi-p", [ prop_sp_bi_p_unchanged ]);
+      ( "bisect",
+        [
+          Alcotest.test_case "brackets the boundary" `Quick test_bisect_brackets;
+          Alcotest.test_case "probe cap" `Quick test_bisect_probe_cap;
+        ] );
+    ]
