@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- --timings    # only the Bechamel timings
      dune exec bench/main.exe -- --ablation   # only the ablation studies
      dune exec bench/main.exe -- --faults     # only the fault campaign
+     dune exec bench/main.exe -- --streaming  # only the streaming churn campaign
      dune exec bench/main.exe -- --smoke      # tiny end-to-end wiring check
 
    For every figure and table of the paper's evaluation (§5) this
@@ -31,6 +32,7 @@ type options = {
   mutable timings : bool;
   mutable ablation : bool;
   mutable faults : bool;
+  mutable streaming : bool;
   mutable smoke : bool;
   mutable pairs : int;
   mutable points : int;
@@ -49,6 +51,7 @@ let options =
     timings = true;
     ablation = true;
     faults = true;
+    streaming = true;
     smoke = false;
     pairs = 50;
     points = 15;
@@ -64,13 +67,14 @@ let select which =
   (* The first explicit section flag turns the others off. *)
   if
     options.figures && options.table1 && options.timings && options.ablation
-    && options.faults
+    && options.faults && options.streaming
   then begin
     options.figures <- false;
     options.table1 <- false;
     options.timings <- false;
     options.ablation <- false;
-    options.faults <- false
+    options.faults <- false;
+    options.streaming <- false
   end;
   which ()
 
@@ -90,6 +94,9 @@ let parse_args () =
        " only run the Bechamel timings");
       ("--ablation", Arg.Unit (fun () -> select (fun () -> options.ablation <- true)),
        " only run the ablation studies");
+      ("--streaming",
+       Arg.Unit (fun () -> select (fun () -> options.streaming <- true)),
+       " only run the streaming churn campaign");
       ("--faults", Arg.Unit (fun () -> select (fun () -> options.faults <- true)),
        " only run the fault-injection campaign");
       ("--smoke",
@@ -457,6 +464,46 @@ let threshold_timing_tests () =
         (Staged.stage (fun () -> ignore (legacy_bisection ())));
     ]
 
+(* Warm incremental re-solve vs the cold oracle, on a representative
+   mapped instance with one enrolled processor down — the streaming
+   controller's hot path. The warm cache is primed once so the group
+   measures the steady state the controller actually lives in. *)
+let stream_timing_tests () =
+  let open Bechamel in
+  let module S = Pipeline_stream in
+  let inst = representative_instance E.Config.E2 in
+  let threshold = Pipeline_model.Instance.single_proc_period inst *. 0.6 in
+  let h1 =
+    match Ureg.find "h1-sp-mono-p" with Some h -> h | None -> assert false
+  in
+  let mapping =
+    match h1.Ureg.solve inst ~threshold with
+    | Some o -> Option.get (Deal_mapping.to_mapping o.Ureg.mapping)
+    | None -> assert false
+  in
+  let victim = (Mapping.procs mapping).(0) in
+  let state =
+    S.Churn.apply
+      (S.Churn.initial ~p:(Platform.p inst.Instance.platform) [])
+      { S.Churn.at = 1.; proc = victim; kind = S.Churn.Crash }
+  in
+  let cache = S.Resolver.cache inst in
+  ignore
+    (S.Resolver.resolve ~strategy:`Warm cache state ~before:mapping ~threshold);
+  Test.make_grouped ~name:"stream"
+    [
+      Test.make ~name:"resolve-warm"
+        (Staged.stage (fun () ->
+             ignore
+               (S.Resolver.resolve ~strategy:`Warm cache state ~before:mapping
+                  ~threshold)));
+      Test.make ~name:"resolve-cold"
+        (Staged.stage (fun () ->
+             ignore
+               (S.Resolver.resolve ~strategy:`Cold cache state ~before:mapping
+                  ~threshold)));
+    ]
+
 let run_timings () =
   section "BECHAMEL TIMINGS: one group per experiment family (n=40/20, p=10)";
   let open Bechamel in
@@ -470,7 +517,7 @@ let run_timings () =
       (timing_tests ()
       @ [
           exhaustive_timing_tests (); cost_timing_tests ();
-          threshold_timing_tests ();
+          threshold_timing_tests (); stream_timing_tests ();
         ])
   in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
@@ -876,6 +923,35 @@ let run_faults () =
     [ (E.Config.E1, 10, 10); (E.Config.E2, 10, 10); (E.Config.E2, 20, 10) ]
 
 (* ------------------------------------------------------------------ *)
+(* Streaming churn campaign                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_streaming () =
+  section
+    (Printf.sprintf
+       "STREAMING CAMPAIGN: trace-driven churn, warm vs cold re-solving (seed %d)"
+       options.seed);
+  Printf.printf
+    "(H1 mappings at 0.6 x single-processor period; bursty / diurnal /\n\
+    \ heavy-tailed arrivals at the threshold rate; two crash/recover\n\
+    \ cycles plus one slowdown per run; warm = incremental resolver,\n\
+    \ cold = full re-solve oracle)\n\n";
+  let datasets = sim_datasets 120 in
+  List.iter
+    (fun (experiment, n, p) ->
+      let setup =
+        E.Config.default_setup
+          ~pairs:(scale (min options.pairs 12))
+          ~seed:options.seed experiment ~n ~p
+      in
+      let campaign = E.Streaming.run ~datasets setup in
+      print_endline (E.Streaming.render campaign);
+      let paths = E.Streaming.write ~dir:options.out campaign in
+      List.iter (Printf.printf "  wrote %s\n") paths;
+      print_newline ())
+    [ (E.Config.E1, 10, 10); (E.Config.E2, 20, 10) ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   parse_args ();
@@ -889,6 +965,7 @@ let () =
   if options.table1 then timed "table1" run_table1 ();
   if options.ablation then timed "ablation" run_ablation ();
   if options.faults then timed "faults" run_faults ();
+  if options.streaming then timed "streaming" run_streaming ();
   perf_counters := Obs.metrics ();
   if options.timings then timed "timings" run_timings ();
   if options.metrics then begin

@@ -790,8 +790,18 @@ let simulate_cmd =
       & info [ "trace" ] ~docv:"BASE"
           ~doc:"Write BASE.csv and BASE.json (Chrome trace) for the run.")
   in
+  let crash_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "crash-trace" ] ~docv:"FILE"
+          ~doc:
+            "Churn trace CSV: $(i,at,proc,event[,factor]) rows with event one \
+             of crash / recover / join / speed. Compiled into crash windows \
+             and slowdowns on top of any $(b,--crash) events.")
+  in
   let run inst period mapping datasets noise trace_out seed crashes retries
-      backoff =
+      backoff crash_trace =
     Format.printf "%a@." Instance.pp inst;
     let sol =
       match mapping with
@@ -805,7 +815,19 @@ let simulate_cmd =
         | None -> die "no mapping achieves period %g" threshold
         | Some sol -> sol)
     in
-    if crashes <> [] then begin
+    let trace_crashes, trace_slowdowns =
+      match crash_trace with
+      | None -> ([], [])
+      | Some file -> (
+        match Pipeline_stream.Churn.load file with
+        | Error msg -> die "%s: %s" file msg
+        | Ok events ->
+          let p = Platform.p inst.Instance.platform in
+          ( Pipeline_stream.Churn.crashes ~p events,
+            Pipeline_stream.Churn.slowdowns events ))
+    in
+    let crashes = crashes @ trace_crashes in
+    if crashes <> [] || trace_slowdowns <> [] then begin
       (* Fault injection: the analytic gantt/trace describe the crash-free
          schedule, so only the measured statistics are reported here. *)
       Format.printf "mapping: %a@." Solution.pp sol;
@@ -821,6 +843,7 @@ let simulate_cmd =
                   noise =
                     (if noise = 0. then Pipeline_sim.Workload_sim.No_noise
                      else Pipeline_sim.Workload_sim.Uniform_factor noise);
+                  slowdowns = trace_slowdowns;
                   seed;
                 };
               crashes;
@@ -885,10 +908,11 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:
          "Map with H1 and execute on the simulator (Gantt, stats, traces); \
-          --crash injects processor failures.")
+          --crash injects processor failures, --crash-trace replays a churn \
+          CSV.")
     Term.(
       const run $ instance_args $ period_arg $ mapping_arg $ datasets $ noise
-      $ trace_out $ seed_arg $ crashes $ retries $ backoff)
+      $ trace_out $ seed_arg $ crashes $ retries $ backoff $ crash_trace)
 
 (* ------------------------------------------------------------------ *)
 (* pareto                                                              *)

@@ -99,6 +99,7 @@ let run ?(config = default_config) (inst : Instance.t) mapping =
           let u = 1. -. Rng.float rng 1. in
           acc := !acc +. (-.log u /. rate);
           !acc)
+    | W.Trace a -> Array.copy a
   in
   let factors =
     Array.init m (fun _ ->

@@ -1,7 +1,11 @@
 open Pipeline_model
 module Rng = Pipeline_util.Rng
 
-type arrival = Saturated | Periodic of float | Poisson of float
+type arrival =
+  | Saturated
+  | Periodic of float
+  | Poisson of float
+  | Trace of float array
 
 type noise = No_noise | Uniform_factor of float
 
@@ -51,6 +55,16 @@ let validate config (inst : Instance.t) mapping =
   (match config.arrival with
   | (Periodic r | Poisson r) when not (r > 0. && Float.is_finite r) ->
     invalid_arg "Workload_sim.run: rate must be finite and > 0"
+  | Trace a ->
+    if Array.length a <> config.datasets then
+      invalid_arg "Workload_sim.run: trace length must equal datasets";
+    Array.iteri
+      (fun t at ->
+        if not (Float.is_finite at && at >= 0.) then
+          invalid_arg "Workload_sim.run: trace arrival must be finite and >= 0";
+        if t > 0 && at < a.(t - 1) then
+          invalid_arg "Workload_sim.run: trace arrivals must be non-decreasing")
+      a
   | _ -> ());
   List.iter
     (fun s ->
@@ -90,6 +104,7 @@ let run ?(config = default_config) (inst : Instance.t) mapping =
           let u = 1. -. Rng.float rng 1. in
           acc := !acc +. (-.log u /. rate);
           !acc)
+    | Trace a -> Array.copy a
   in
   let factors =
     Array.init m (fun _ ->

@@ -23,6 +23,13 @@ type arrival =
   | Saturated          (** every data set available at time 0 *)
   | Periodic of float  (** one data set every given time units *)
   | Poisson of float   (** exponential inter-arrivals with the given rate *)
+  | Trace of float array
+      (** explicit arrival instants, one per data set — the trace-driven
+          regime of [Pipeline_stream]: entries must be finite,
+          non-negative and non-decreasing, and there must be exactly
+          [datasets] of them. A trace consumes nothing from the seeded
+          streams, so swapping [Saturated] for [Trace (Array.make k 0.)]
+          reproduces the saturated run bit-for-bit. *)
 
 type noise =
   | No_noise
@@ -78,6 +85,8 @@ val run : ?config:config -> Instance.t -> Mapping.t -> stats
        that references processors outside the platform;}
     {- a [Uniform_factor ε] noise with [ε] outside [\[0, 1)] (or NaN);}
     {- a [Periodic]/[Poisson] rate that is not finite and [> 0];}
+    {- a [Trace] whose length differs from [datasets], or with an entry
+       that is negative, not finite, or smaller than its predecessor;}
     {- a slowdown whose [factor] is not finite and [> 0] (zero and
        negative factors are crashes, not slowdowns — see [Fault_sim]);}
     {- a slowdown scheduled at a negative (or NaN) time;}

@@ -1,0 +1,133 @@
+module Rng = Pipeline_util.Rng
+
+type spec =
+  | Bursty of { rate : float; burst : int; spread : float }
+  | Diurnal of { period : float; peak : float; trough : float }
+  | Heavy_tailed of { rate : float; alpha : float }
+
+let pos name v =
+  if not (Float.is_finite v && v > 0.) then
+    invalid_arg (Printf.sprintf "Arrival_trace.generate: %s must be finite and > 0" name)
+
+let validate = function
+  | Bursty { rate; burst; spread } ->
+    pos "rate" rate;
+    if burst < 1 then invalid_arg "Arrival_trace.generate: burst must be >= 1";
+    if not (Float.is_finite spread && spread >= 0.) then
+      invalid_arg "Arrival_trace.generate: spread must be finite and >= 0"
+  | Diurnal { period; peak; trough } ->
+    pos "period" period;
+    pos "trough" trough;
+    pos "peak" peak;
+    if trough > peak then
+      invalid_arg "Arrival_trace.generate: trough must not exceed peak"
+  | Heavy_tailed { rate; alpha } ->
+    pos "rate" rate;
+    if not (Float.is_finite alpha && alpha > 1.) then
+      invalid_arg "Arrival_trace.generate: alpha must be finite and > 1"
+
+(* Exponential inter-arrival via inverse transform; [1 - u] keeps the
+   argument of [log] in (0, 1]. *)
+let exponential rng rate = -.log (1. -. Rng.float rng 1.) /. rate
+
+let c_generated =
+  Obs.Counter.make ~doc:"arrival instants drawn by Arrival_trace.generate"
+    "stream.trace.generated"
+
+let generate rng spec ~count =
+  if count < 1 then invalid_arg "Arrival_trace.generate: count must be >= 1";
+  validate spec;
+  Obs.Counter.add c_generated count;
+  let out =
+    match spec with
+    | Bursty { rate; burst; spread } ->
+      let acc = ref [] and seen = ref 0 and t = ref 0. in
+      while !seen < count do
+        t := !t +. exponential rng rate;
+        let size = 1 + Rng.int rng burst in
+        for i = 0 to size - 1 do
+          if !seen < count then begin
+            acc := (!t +. (float_of_int i *. spread)) :: !acc;
+            incr seen
+          end
+        done
+      done;
+      let a = Array.of_list (List.rev !acc) in
+      (* Bursts may overlap when the gap between two bursts is shorter
+         than a burst's spread-out tail; the trace is the sorted merge. *)
+      Array.sort Float.compare a;
+      a
+    | Diurnal { period; peak; trough } ->
+      let two_pi = 8. *. atan 1. in
+      let rate_at t =
+        trough +. ((peak -. trough) *. 0.5 *. (1. +. sin (two_pi *. t /. period)))
+      in
+      let t = ref 0. in
+      Array.init count (fun _ ->
+          let accepted = ref false in
+          while not !accepted do
+            t := !t +. exponential rng peak;
+            if Rng.float rng 1. *. peak <= rate_at !t then accepted := true
+          done;
+          !t)
+    | Heavy_tailed { rate; alpha } ->
+      (* Pareto(alpha, xm) has mean alpha·xm/(alpha-1); pick xm so the
+         mean inter-arrival is 1/rate. *)
+      let xm = (alpha -. 1.) /. (alpha *. rate) in
+      let t = ref 0. in
+      Array.init count (fun _ ->
+          let u = Rng.float rng 1. in
+          t := !t +. (xm /. ((1. -. u) ** (1. /. alpha)));
+          !t)
+  in
+  out
+
+let parse_lines s =
+  let lines = String.split_on_char '\n' s in
+  let rev = ref [] and line_no = ref 0 and error = ref None in
+  List.iter
+    (fun raw ->
+      incr line_no;
+      if !error = None then begin
+        let cell = String.trim raw in
+        if cell = "" then ()
+        else if !rev = [] && String.lowercase_ascii cell = "arrival" then ()
+        else
+          match float_of_string_opt cell with
+          | None ->
+            error := Some (Printf.sprintf "line %d: not a number: %S" !line_no cell)
+          | Some v ->
+            if not (Float.is_finite v && v >= 0.) then
+              error :=
+                Some
+                  (Printf.sprintf "line %d: arrival must be finite and >= 0" !line_no)
+            else begin
+              (match !rev with
+              | prev :: _ when v < prev ->
+                error :=
+                  Some
+                    (Printf.sprintf "line %d: arrivals must be non-decreasing"
+                       !line_no)
+              | _ -> ());
+              if !error = None then rev := v :: !rev
+            end
+      end)
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None ->
+    if !rev = [] then Error "empty trace: no arrival rows"
+    else Ok (Array.of_list (List.rev !rev))
+
+let of_csv_string = parse_lines
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> of_csv_string contents
+  | exception Sys_error msg -> Error msg
+
+let to_csv trace =
+  let buf = Buffer.create (16 * (Array.length trace + 1)) in
+  Buffer.add_string buf "arrival\n";
+  Array.iter (fun at -> Buffer.add_string buf (Printf.sprintf "%.17g\n" at)) trace;
+  Buffer.contents buf

@@ -1,0 +1,50 @@
+(** Arrival traces for the streaming scenario.
+
+    A trace is a sorted array of absolute arrival instants, one per data
+    set — exactly what {!Pipeline_sim.Workload_sim}'s [Trace] arrival
+    consumes. This module generates the three workload shapes of the
+    streaming campaign from seeded {!Pipeline_util.Rng} streams and
+    round-trips traces through a one-column CSV format, so measured and
+    synthetic workloads flow through the same pipe.
+
+    All generators are deterministic functions of the supplied generator
+    state: same seed, same trace, at any [--jobs]. *)
+
+type spec =
+  | Bursty of { rate : float; burst : int; spread : float }
+      (** bursts arrive as a Poisson process with [rate] bursts per time
+          unit; each burst carries [1 + Rng.int burst] data sets spaced
+          [spread] apart. [rate] finite and [> 0], [burst >= 1],
+          [spread] finite and [>= 0]. *)
+  | Diurnal of { period : float; peak : float; trough : float }
+      (** a non-homogeneous Poisson process whose rate oscillates
+          sinusoidally between [trough] and [peak] with the given
+          [period] (thinning against the [peak] majorant). [period]
+          finite and [> 0], [0 < trough <= peak], both finite. *)
+  | Heavy_tailed of { rate : float; alpha : float }
+      (** Pareto inter-arrivals with tail index [alpha] and mean
+          [1/rate] — long quiet stretches punctuated by clumps. [rate]
+          finite and [> 0], [alpha] finite and [> 1] (the mean must
+          exist). *)
+
+val generate : Pipeline_util.Rng.t -> spec -> count:int -> float array
+(** [generate rng spec ~count] draws [count] arrival instants from the
+    process described by [spec]. The result is sorted (non-decreasing),
+    finite and non-negative — valid as a [Workload_sim.Trace]. Raises
+    [Invalid_argument] when [count < 1] or a [spec] field is out of
+    range (as documented on each constructor). *)
+
+val of_csv_string : string -> (float array, string) result
+(** Parse a one-column CSV: one arrival instant per line, an optional
+    [arrival] header, blank lines ignored. Errors carry the 1-based
+    line number, e.g. ["line 3: not a number: \"x\""]. Rejected:
+    non-numeric cells, negative / non-finite instants, decreasing
+    instants, and traces with no data rows. *)
+
+val load : string -> (float array, string) result
+(** [of_csv_string] over the contents of a file; IO failures are
+    reported as [Error] with the system message. *)
+
+val to_csv : float array -> string
+(** The inverse of {!of_csv_string}: an [arrival] header followed by
+    one ["%.17g"] instant per line (round-trips exactly). *)

@@ -1,0 +1,83 @@
+(** Incremental re-solving against a live (churned) platform.
+
+    Every churn event leaves the platform in a new state: some
+    processors down, some at composed speed factors. The resolver turns
+    a state plus the running mapping into a new plan, either {e warm} —
+    reusing everything the previous solves paid for — or {e cold}, the
+    oracle the streaming campaign measures the warm path against.
+
+    The warm path, in escalation order:
+
+    {ol
+    {- {e keep} — the incumbent enrols only live processors and meets
+       the threshold on the live platform: zero migration;}
+    {- {e repair} — only the intervals sitting on dead processors move,
+       each to the fastest free survivor (largest work sum first); one
+       summary evaluation on the cached live engine decides whether the
+       patch meets the threshold;}
+    {- {e solve} — the registry heuristic on the cached survivor
+       sub-instance. The engine-cached candidate set
+       ({!Pipeline_model.Candidates.periods}) prunes first: a threshold
+       below the smallest achievable cycle-time cannot be met by any
+       mapping, so the heuristic is skipped outright;}
+    {- {e fallback} — the whole pipeline on the fastest live survivor
+       (Lemma 1's shape), reported with [met_threshold = false]: an
+       online system needs {e some} mapping.}}
+
+    All per-state artefacts — survivor table, live-platform cost engine,
+    survivor sub-instance (and therefore the engine caches and candidate
+    arrays hanging off it) — are memoised in a {!cache} keyed by
+    {!Churn.fingerprint}, so revisiting a platform state (crash …
+    recover cycles) costs a hash lookup. The cold strategy rebuilds the
+    sub-instance from scratch on every call and never keeps, repairs or
+    prunes. Warm and cold always agree on [met_threshold] (the warm
+    path only short-circuits with threshold-meeting plans).
+
+    Restricted to communication-homogeneous platforms and plain-mapping
+    [Period_fixed] heuristics, like {!Ft_remap}. *)
+
+open Pipeline_model
+
+type cache
+(** Per-run memo of live-platform artefacts for one instance. *)
+
+val cache : Instance.t -> cache
+(** Raises [Invalid_argument] when the platform is not
+    communication-homogeneous. *)
+
+val instance : cache -> Instance.t
+
+type mode =
+  | Kept      (** incumbent untouched *)
+  | Repaired  (** only dead processors' intervals moved *)
+  | Solved    (** full heuristic solve on the survivor sub-instance *)
+  | Fallback  (** fastest-survivor single-processor mapping *)
+
+type plan = {
+  mapping : Mapping.t;       (** original processor indices, live only *)
+  period : float;            (** equation (1) on the live platform *)
+  latency : float;           (** equation (2) on the live platform *)
+  met_threshold : bool;
+  mode : mode;
+  migrated_stages : int;     (** vs [before] *)
+  migration_volume : float;  (** [Σ δ_{k-1}] over migrated stages *)
+}
+
+val evaluate : cache -> Churn.state -> Mapping.t -> Cost.summary option
+(** Period/latency of a mapping on the live platform (degraded speeds),
+    or [None] when it enrols a dead processor. Raises
+    [Invalid_argument] when the mapping does not fit the instance. *)
+
+val resolve :
+  ?heuristic:Pipeline_registry.info ->
+  strategy:[ `Warm | `Cold ] ->
+  cache ->
+  Churn.state ->
+  before:Mapping.t ->
+  threshold:float ->
+  plan option
+(** [None] exactly when no processor is alive. Raises
+    [Invalid_argument] when [before] does not fit the instance, the
+    threshold is not finite and positive, or the heuristic is not a
+    plain-mapping [Period_fixed] row (default: H1,
+    ["h1-sp-mono-p"]). *)

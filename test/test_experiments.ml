@@ -373,6 +373,47 @@ let test_fault_campaign_render_and_write () =
     (fun p -> Alcotest.(check bool) "csv written" true (Sys.file_exists p))
     (Fault_campaign.write ~dir campaign)
 
+let test_streaming_campaign_shape () =
+  let campaign = Streaming.run ~datasets:25 (small_setup ()) in
+  Alcotest.(check bool) "some mapped instances" true
+    (campaign.Streaming.instances > 0);
+  Alcotest.(check int) "3 shapes x {warm, cold}" 6
+    (List.length campaign.Streaming.rows);
+  List.iter
+    (fun (r : Streaming.row) ->
+      Alcotest.(check bool) "completion in [0,1]" true
+        (r.Streaming.completion >= 0. && r.Streaming.completion <= 1.);
+      Alcotest.(check bool) "volume and reactions non-negative" true
+        (r.Streaming.migration_volume >= 0.
+        && r.Streaming.reaction_mean >= 0.
+        && r.Streaming.reaction_mean <= r.Streaming.reaction_max +. 1e-9);
+      Alcotest.(check bool) "at least one mapping epoch" true
+        (r.Streaming.segments >= 1.);
+      (* Every scenario crashes an enrolled processor, so the cold
+         oracle re-solves at least once per run. *)
+      if r.Streaming.strategy = "cold" then begin
+        Alcotest.(check bool) "cold never repairs" true
+          (r.Streaming.repairs = 0.);
+        Alcotest.(check bool) "cold solves every migration" true
+          (r.Streaming.full_solves > 0.)
+      end)
+    campaign.Streaming.rows
+
+let test_streaming_campaign_deterministic () =
+  let run () = Streaming.run ~datasets:25 (small_setup ()) in
+  Alcotest.(check bool) "same seed, same campaign" true
+    (Stdlib.compare (run ()) (run ()) = 0)
+
+let test_streaming_campaign_render_and_write () =
+  let campaign = Streaming.run ~datasets:20 (small_setup ()) in
+  Alcotest.(check bool) "render mentions the header" true
+    (Str_find.contains (Streaming.render campaign) "degradation");
+  let dir = Filename.temp_file "pwstream" "" in
+  Sys.remove dir;
+  List.iter
+    (fun p -> Alcotest.(check bool) "csv written" true (Sys.file_exists p))
+    (Streaming.write ~dir campaign)
+
 let test_het_campaign_deterministic () =
   let a = Het_campaign.instances ~pairs:2 ~seed:1 ~n:4 3 in
   let b = Het_campaign.instances ~pairs:2 ~seed:1 ~n:4 3 in
@@ -414,6 +455,12 @@ let test_fault_campaign_jobs_bit_identical () =
     with_jobs jobs (fun () -> Fault_campaign.run ~datasets:30 setup)
   in
   Alcotest.(check bool) "fault campaign jobs=4 = jobs=1" true
+    (Stdlib.compare (run 1) (run 4) = 0)
+
+let test_streaming_campaign_jobs_bit_identical () =
+  let setup = Config.default_setup ~pairs:3 ~seed:5 Config.E2 ~n:5 ~p:4 in
+  let run jobs = with_jobs jobs (fun () -> Streaming.run ~datasets:25 setup) in
+  Alcotest.(check bool) "streaming campaign jobs=4 = jobs=1" true
     (Stdlib.compare (run 1) (run 4) = 0)
 
 let test_het_campaign_jobs_bit_identical () =
@@ -489,6 +536,14 @@ let () =
           Alcotest.test_case "render and write" `Quick
             test_fault_campaign_render_and_write;
         ] );
+      ( "streaming-campaign",
+        [
+          Alcotest.test_case "shape" `Quick test_streaming_campaign_shape;
+          Alcotest.test_case "deterministic" `Quick
+            test_streaming_campaign_deterministic;
+          Alcotest.test_case "render and write" `Quick
+            test_streaming_campaign_render_and_write;
+        ] );
       ( "het-campaign",
         [
           Alcotest.test_case "figure" `Quick test_het_campaign_figure;
@@ -502,6 +557,8 @@ let () =
             test_failure_table_jobs_bit_identical;
           Alcotest.test_case "fault campaign bit-identical" `Quick
             test_fault_campaign_jobs_bit_identical;
+          Alcotest.test_case "streaming campaign bit-identical" `Quick
+            test_streaming_campaign_jobs_bit_identical;
           Alcotest.test_case "het campaign bit-identical" `Quick
             test_het_campaign_jobs_bit_identical;
           Alcotest.test_case "robustness bit-identical" `Quick

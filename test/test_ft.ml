@@ -228,7 +228,53 @@ let test_remap_no_survivor () =
   let inst = Helpers.small_instance () in
   let before = Mapping.single ~n:4 ~proc:1 in
   Alcotest.(check bool) "none" true
-    (Ft_remap.remap inst ~before ~failed:[ 0; 1; 2 ] ~threshold:10. = None)
+    (Ft_remap.remap inst ~before ~failed:[ 0; 1; 2 ] ~threshold:10. = None);
+  (* The same verdict when the failed list carries duplicates. *)
+  Alcotest.(check bool) "none with duplicates" true
+    (Ft_remap.remap inst ~before ~failed:[ 0; 0; 1; 2; 2; 1 ] ~threshold:10. = None)
+
+let test_remap_duplicate_failed_indices () =
+  (* [failed] is a set in disguise: listing a processor twice must give
+     exactly the outcome of listing it once. *)
+  let inst = Helpers.small_instance () in
+  let threshold = Instance.single_proc_period inst in
+  let before = Mapping.single ~n:4 ~proc:1 in
+  let once = Ft_remap.remap inst ~before ~failed:[ 1 ] ~threshold in
+  let twice = Ft_remap.remap inst ~before ~failed:[ 1; 1; 1 ] ~threshold in
+  Alcotest.(check bool) "identical outcome" true (Stdlib.compare once twice = 0);
+  match once with
+  | None -> Alcotest.fail "survivors exist"
+  | Some o ->
+    Alcotest.(check bool) "dead proc shunned" false (Mapping.uses o.Ft_remap.mapping 1)
+
+let test_remap_threshold_on_candidate_boundary () =
+  (* The PR-5 threshold search probes the finite candidate set of
+     achievable periods. A threshold sitting *exactly* on the candidate
+     the remapped solution achieves must be met — no strict-inequality
+     off-by-one at the boundary. *)
+  let inst = Helpers.small_instance () in
+  let before = Mapping.single ~n:4 ~proc:1 in
+  let loose =
+    match
+      Ft_remap.remap inst ~before ~failed:[ 1 ]
+        ~threshold:(10. *. Instance.single_proc_period inst)
+    with
+    | Some o -> o
+    | None -> Alcotest.fail "survivors exist"
+  in
+  (* The achieved period is itself a candidate cycle-time. *)
+  let engine = Cost.make inst.Instance.app inst.Instance.platform in
+  Alcotest.(check bool) "achieved period is a candidate" true
+    (Candidates.mem (Candidates.periods engine) loose.Ft_remap.period);
+  match
+    Ft_remap.remap inst ~before ~failed:[ 1 ] ~threshold:loose.Ft_remap.period
+  with
+  | None -> Alcotest.fail "survivors exist"
+  | Some exact ->
+    Alcotest.(check bool) "boundary threshold met" true exact.Ft_remap.met_threshold;
+    Alcotest.(check bool) "no fallback at the boundary" false exact.Ft_remap.fallback;
+    Alcotest.(check bool) "period within tolerance" true
+      (Pipeline_util.Tol.meets exact.Ft_remap.period loose.Ft_remap.period)
 
 let test_remap_rejects_bad_input () =
   let inst = Helpers.small_instance () in
@@ -307,6 +353,10 @@ let () =
           Alcotest.test_case "avoids failed" `Quick test_remap_avoids_failed_processor;
           Alcotest.test_case "fallback" `Quick test_remap_fallback_under_tight_threshold;
           Alcotest.test_case "no survivor" `Quick test_remap_no_survivor;
+          Alcotest.test_case "duplicate failed indices" `Quick
+            test_remap_duplicate_failed_indices;
+          Alcotest.test_case "threshold on candidate boundary" `Quick
+            test_remap_threshold_on_candidate_boundary;
           Alcotest.test_case "rejects bad input" `Quick test_remap_rejects_bad_input;
           prop_remap_uses_only_survivors;
         ] );

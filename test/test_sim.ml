@@ -441,6 +441,57 @@ let test_workload_sim_rejects_bad_config () =
      with Invalid_argument _ -> true)
 
 
+let prop_trace_zeros_is_saturated =
+  Helpers.qtest ~count:40 "Trace of zeros = Saturated (bit-for-bit)"
+    gen_instance_mapping (fun (inst, mapping) ->
+      let datasets = 40 in
+      let config arrival =
+        {
+          W.default_config with
+          W.arrival;
+          noise = W.Uniform_factor 0.25;
+          datasets;
+          seed = 11;
+        }
+      in
+      let saturated = W.run ~config:(config W.Saturated) inst mapping in
+      let traced =
+        W.run ~config:(config (W.Trace (Array.make datasets 0.))) inst mapping
+      in
+      Stdlib.compare saturated traced = 0)
+
+let test_workload_sim_trace_paces_input () =
+  (* An explicit trace at one data set per 20 time units behaves as the
+     periodic process: input-bound output, uncontended latency. *)
+  let inst = Helpers.small_instance () in
+  let mapping = Mapping.single ~n:4 ~proc:1 in
+  let datasets = 50 in
+  let trace = Array.init datasets (fun i -> 20. *. float_of_int i) in
+  let config arrival = { W.default_config with W.arrival; datasets } in
+  let traced = W.run ~config:(config (W.Trace trace)) inst mapping in
+  let periodic = W.run ~config:(config (W.Periodic 20.)) inst mapping in
+  Alcotest.(check bool) "same stats as Periodic" true
+    (Stdlib.compare traced periodic = 0);
+  Helpers.check_float "paced" 20. traced.W.steady_period
+
+let test_workload_sim_trace_rejected () =
+  let inst = Helpers.small_instance () in
+  let mapping = Mapping.single ~n:4 ~proc:0 in
+  let rejects name arrival datasets =
+    Alcotest.(check bool) name true
+      (try
+         ignore
+           (W.run ~config:{ W.default_config with W.arrival; datasets } inst mapping);
+         false
+       with Invalid_argument _ -> true)
+  in
+  rejects "length mismatch" (W.Trace [| 0.; 1. |]) 3;
+  rejects "negative instant" (W.Trace [| -1.; 1. |]) 2;
+  rejects "nan instant" (W.Trace [| 0.; nan |]) 2;
+  rejects "infinite instant" (W.Trace [| 0.; infinity |]) 2;
+  rejects "decreasing" (W.Trace [| 2.; 1. |]) 2;
+  rejects "empty" (W.Trace [||]) 0
+
 let test_workload_sim_slowdown () =
   (* Halving the only processor's speed from t=0 doubles the steady
      period; an event after the makespan changes nothing. *)
@@ -778,6 +829,10 @@ let () =
           Alcotest.test_case "slow arrivals" `Quick test_workload_sim_slow_arrivals;
           Alcotest.test_case "poisson" `Quick test_workload_sim_poisson_reasonable;
           Alcotest.test_case "bad config" `Quick test_workload_sim_rejects_bad_config;
+          prop_trace_zeros_is_saturated;
+          Alcotest.test_case "trace paces input" `Quick
+            test_workload_sim_trace_paces_input;
+          Alcotest.test_case "trace rejected" `Quick test_workload_sim_trace_rejected;
           Alcotest.test_case "slowdown" `Quick test_workload_sim_slowdown;
           Alcotest.test_case "slowdown composes" `Quick
             test_workload_sim_slowdown_composes;
