@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- --ablation   # only the ablation studies
      dune exec bench/main.exe -- --faults     # only the fault campaign
      dune exec bench/main.exe -- --streaming  # only the streaming churn campaign
+     dune exec bench/main.exe -- --scaling    # only the E6 web-scale ladder
      dune exec bench/main.exe -- --smoke      # tiny end-to-end wiring check
 
    For every figure and table of the paper's evaluation (§5) this
@@ -33,7 +34,9 @@ type options = {
   mutable ablation : bool;
   mutable faults : bool;
   mutable streaming : bool;
+  mutable scaling : bool;
   mutable smoke : bool;
+  mutable quick : bool;
   mutable pairs : int;
   mutable points : int;
   mutable seed : int;
@@ -52,7 +55,9 @@ let options =
     ablation = true;
     faults = true;
     streaming = true;
+    scaling = true;
     smoke = false;
+    quick = false;
     pairs = 50;
     points = 15;
     seed = 2007;
@@ -67,14 +72,15 @@ let select which =
   (* The first explicit section flag turns the others off. *)
   if
     options.figures && options.table1 && options.timings && options.ablation
-    && options.faults && options.streaming
+    && options.faults && options.streaming && options.scaling
   then begin
     options.figures <- false;
     options.table1 <- false;
     options.timings <- false;
     options.ablation <- false;
     options.faults <- false;
-    options.streaming <- false
+    options.streaming <- false;
+    options.scaling <- false
   end;
   which ()
 
@@ -99,6 +105,9 @@ let parse_args () =
        " only run the streaming churn campaign");
       ("--faults", Arg.Unit (fun () -> select (fun () -> options.faults <- true)),
        " only run the fault-injection campaign");
+      ("--scaling",
+       Arg.Unit (fun () -> select (fun () -> options.scaling <- true)),
+       " only run the E6 web-scale scaling ladder");
       ("--smoke",
        Arg.Unit
          (fun () ->
@@ -110,9 +119,11 @@ let parse_args () =
       ("--quick",
        Arg.Unit
          (fun () ->
+           options.quick <- true;
            options.pairs <- 10;
            options.points <- 8),
-       " reduced campaign (10 pairs, 8 sweep points)");
+       " reduced campaign (10 pairs, 8 sweep points, mid-sized scaling \
+        ladder)");
       ("--pairs", Arg.Int (fun v -> options.pairs <- v), "N app/platform pairs per point");
       ("--points", Arg.Int (fun v -> options.points <- v), "N sweep points");
       ("--seed", Arg.Int (fun v -> options.seed <- v), "N campaign seed");
@@ -190,7 +201,25 @@ let write_perf_summary ~wall path =
     (fun i (name, value) ->
       Printf.bprintf b "%s\n    \"%s\": %d" (if i = 0 then "" else ",") name value)
     !perf_counters;
-  Buffer.add_string b "\n  }\n}\n";
+  (* Cache-visibility stats live in their own block, NOT under
+     "counters": cache traffic depends on how --jobs slices work across
+     domains, so these values are jobs-variant and the gating CI compare
+     must ignore them (scripts/compare-perf-baseline only reads
+     "counters"). *)
+  let cs = Cost.cache_stats () in
+  Printf.bprintf b
+    "\n\
+    \  },\n\
+    \  \"cache\": {\n\
+    \    \"engine_builds\": %d,\n\
+    \    \"lru_hits\": %d,\n\
+    \    \"lru_misses\": %d,\n\
+    \    \"candidate_builds\": %d,\n\
+    \    \"deal_candidate_builds\": %d\n\
+    \  }\n\
+     }\n"
+    cs.Cost.engine_builds cs.Cost.lru_hits cs.Cost.lru_misses
+    cs.Cost.candidate_builds cs.Cost.deal_candidate_builds;
   Pipeline_util.Csv.to_file path (Buffer.contents b)
 
 (* ------------------------------------------------------------------ *)
@@ -504,6 +533,28 @@ let stream_timing_tests () =
                   ~threshold)));
     ]
 
+(* Web-scale building blocks at a fixed mid-rung size (n = 2000,
+   p = 64): cost-engine construction, Nicol's chains solver, and the
+   exact lazy-lattice period search — the three asymptotic rewrites the
+   scaling ladder exercises end to end. Runs after the counters
+   snapshot like every other Bechamel group. *)
+let scaling_timing_tests () =
+  let open Bechamel in
+  let inst = E.Scaling.instance ~seed:options.seed ~n:2_000 ~p:64 in
+  let cost = Cost.get inst.Instance.app inst.Instance.platform in
+  Test.make_grouped ~name:"scaling"
+    [
+      Test.make ~name:"engine-build-2000x64"
+        (Staged.stage (fun () ->
+             ignore (Cost.make inst.Instance.app inst.Instance.platform)));
+      Test.make ~name:"nicol-2000x64"
+        (Staged.stage (fun () ->
+             ignore (Chains.Nicol.solve (Application.works inst.Instance.app) ~p:64)));
+      Test.make ~name:"exact-lazy-period-2000x64"
+        (Staged.stage (fun () ->
+             ignore (E.Scaling.exact_relaxed_min_period cost ~p:64)));
+    ]
+
 let run_timings () =
   section "BECHAMEL TIMINGS: one group per experiment family (n=40/20, p=10)";
   let open Bechamel in
@@ -518,6 +569,7 @@ let run_timings () =
       @ [
           exhaustive_timing_tests (); cost_timing_tests ();
           threshold_timing_tests (); stream_timing_tests ();
+          scaling_timing_tests ();
         ])
   in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
@@ -952,6 +1004,32 @@ let run_streaming () =
     [ (E.Config.E1, 10, 10); (E.Config.E2, 20, 10) ]
 
 (* ------------------------------------------------------------------ *)
+(* E6 web-scale scaling ladder                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_scaling () =
+  section
+    (Printf.sprintf
+       "SCALING: E6 web-scale ladder — Nicol / exact lazy search / H1 (seed %d)"
+       options.seed);
+  Printf.printf
+    "(one deterministic instance per size; exact = min period of the\n\
+    \ all-fastest relaxation via the lazy candidate lattice; columns with\n\
+    \ wall-clocks are machine-dependent, the CSV keeps only the\n\
+    \ deterministic ones)\n\n";
+  let mode =
+    if options.smoke then `Smoke else if options.quick then `Quick else `Full
+  in
+  let measurements =
+    E.Scaling.run ~clock:Unix.gettimeofday ~seed:options.seed
+      (E.Scaling.ladder mode)
+  in
+  print_endline (E.Scaling.render measurements);
+  let paths = E.Scaling.write ~dir:options.out measurements in
+  List.iter (Printf.printf "  wrote %s\n") paths;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   parse_args ();
@@ -966,6 +1044,7 @@ let () =
   if options.ablation then timed "ablation" run_ablation ();
   if options.faults then timed "faults" run_faults ();
   if options.streaming then timed "streaming" run_streaming ();
+  if options.scaling then timed "scaling" run_scaling ();
   perf_counters := Obs.metrics ();
   if options.timings then timed "timings" run_timings ();
   if options.metrics then begin

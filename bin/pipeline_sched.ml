@@ -4,6 +4,8 @@
      pipeline-sched solve      --works 4,8,2,6 --deltas 10,20,30,20,10 \
                                --speeds 2,4,1 --period 9 --exact
      pipeline-sched solve      --file app.pw --latency 30
+     pipeline-sched solve      --family e6 --stages 50000 --procs 1000 \
+                               --period 260 --heuristic h1-sp-mono-p
      pipeline-sched solve      --file app.pw --period 9 --reliability 0.05 \
                                --fail-prob 0.1
      pipeline-sched simulate   --file app.pw --crash 40:1:80 --retries 2 \
@@ -143,22 +145,110 @@ let with_obs (metrics, trace) f =
 
 let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
 
-(* The instance comes either from --file or from the three array
-   options. *)
-let load_instance file works deltas speeds bandwidth =
-  match (file, works, deltas, speeds) with
-  | Some path, None, None, None -> (
+(* Generated instances: --family draws the experiment families'
+   deterministic instances, one SplitMix64 stream per
+   (seed, family, n, p). The e6 family goes through
+   [Pipeline_experiments.Scaling.instance], so `solve --family e6` is
+   pointed at the exact web-scale rungs the bench's scaling ladder
+   times (DESIGN.md §11). *)
+let family_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "family" ] ~docv:"FAMILY"
+        ~doc:
+          "Generate the instance instead of loading one: experiment family \
+           $(b,e1)..$(b,e4) (paper setting, comm-homogeneous platform) or \
+           $(b,e6) (web scale: tiered platform, the bench scaling ladder's \
+           instances). Requires $(b,--stages) and $(b,--procs).")
+
+let stages_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "stages" ] ~docv:"N" ~doc:"Stage count for --family.")
+
+let procs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "procs" ] ~docv:"P" ~doc:"Processor count for --family.")
+
+let gen_seed_arg =
+  Arg.(
+    value
+    & opt int 2007
+    & info [ "gen-seed" ] ~docv:"SEED"
+        ~doc:"Generator seed for --family (default: the campaign seed 2007).")
+
+let generate_instance ~family ~stages ~procs ~seed =
+  let n =
+    match stages with Some n -> n | None -> die "--family requires --stages"
+  in
+  let p =
+    match procs with Some p -> p | None -> die "--family requires --procs"
+  in
+  if n < 1 then die "--stages must be >= 1";
+  if p < 1 then die "--procs must be >= 1";
+  match String.lowercase_ascii family with
+  | "e6" -> Pipeline_experiments.Scaling.instance ~seed ~n ~p
+  | ("e1" | "e2" | "e3" | "e4") as name ->
+    let spec =
+      match name with
+      | "e1" -> App_generator.e1 ~n
+      | "e2" -> App_generator.e2 ~n
+      | "e3" -> App_generator.e3 ~n
+      | _ -> App_generator.e4 ~n
+    in
+    let tag = Hashtbl.hash (seed, "cli-" ^ name, n, p) in
+    let rng = Pipeline_util.Rng.create tag in
+    let app = App_generator.generate rng spec in
+    let platform = Platform_generator.comm_homogeneous rng ~p in
+    Instance.make ~id:0 ~seed:tag app platform
+  | other -> die "unknown family %s (e1, e2, e3, e4 or e6)" other
+
+(* The instance comes from --file, from the three array options, or from
+   a --family generator. *)
+let load_instance file works deltas speeds bandwidth family stages procs
+    gen_seed =
+  match (file, works, deltas, speeds, family) with
+  | Some path, None, None, None, None -> (
     match Instance_io.load path with
     | Ok inst -> inst
     | Error e -> die "%s: %s" path (Format.asprintf "%a" Instance_io.pp_error e))
-  | None, Some works, Some deltas, Some speeds ->
+  | None, Some works, Some deltas, Some speeds, None ->
     let app = Application.make ~deltas works in
     let platform = Platform.comm_homogeneous ~bandwidth speeds in
     Instance.make app platform
+  | None, None, None, None, Some family ->
+    generate_instance ~family ~stages ~procs ~seed:gen_seed
   | _ ->
-    die "provide either --file, or all of --works/--deltas/--speeds"
+    die
+      "provide exactly one of --file, --works/--deltas/--speeds, or --family"
 
-let instance_args = Term.(const load_instance $ file_arg $ works_arg $ deltas_arg $ speeds_arg $ bandwidth_arg)
+let instance_args =
+  Term.(
+    const load_instance $ file_arg $ works_arg $ deltas_arg $ speeds_arg
+    $ bandwidth_arg $ family_arg $ stages_arg $ procs_arg $ gen_seed_arg)
+
+(* Web-scale instances print as a one-line shape summary: the full
+   weight vectors of a 50 000-stage pipeline are not terminal material.
+   Paper-sized instances keep the historical verbatim format. *)
+let pp_instance fmt (inst : Instance.t) =
+  let n = Application.n inst.Instance.app in
+  let p = Platform.p inst.Instance.platform in
+  if n <= 200 && p <= 200 then Instance.pp fmt inst
+  else
+    Format.fprintf fmt "instance#%d[seed=%d; pipeline[n=%d]; platform[p=%d]]"
+      inst.Instance.id inst.Instance.seed n p
+
+(* Same idea for solutions: past ~100 intervals the verbatim mapping is
+   noise, the objectives are the signal. *)
+let pp_solution fmt (sol : Solution.t) =
+  if Mapping.m sol.Solution.mapping <= 100 then Solution.pp fmt sol
+  else
+    Format.fprintf fmt "{%d intervals} period=%g latency=%g"
+      (Mapping.m sol.Solution.mapping) sol.Solution.period sol.Solution.latency
 
 (* ------------------------------------------------------------------ *)
 (* solve                                                               *)
@@ -229,7 +319,7 @@ let print_outcome ~kind ~threshold ~polish (inst : Instance.t)
   | Some o -> (
     match Ureg.solution_of_outcome o with
     | Some sol ->
-      Format.printf "%-18s %a@." info.Ureg.paper_name Solution.pp sol;
+      Format.printf "%-18s %a@." info.Ureg.paper_name pp_solution sol;
       if polish then begin
         let objective, feasible =
           match kind with
@@ -243,7 +333,7 @@ let print_outcome ~kind ~threshold ~polish (inst : Instance.t)
         let better =
           Pipeline_optimal.Local_search.improve ~objective ~feasible inst sol
         in
-        Format.printf "%-18s %a@." "  + local search" Solution.pp better
+        Format.printf "%-18s %a@." "  + local search" pp_solution better
       end
     | None ->
       Format.printf "%-18s %s period=%g latency=%g%s@." info.Ureg.paper_name
@@ -300,7 +390,7 @@ let solve_cmd =
         die "heuristic %s is not a tri-criteria heuristic (only the Ft rows \
              solve under a failure bound)" name
       | _ -> ());
-      Format.printf "%a@." Instance.pp inst;
+      Format.printf "%a@." pp_instance inst;
       solve_reliability inst ~period ~failure fail_prob
     | None ->
     let kind, threshold =
@@ -318,11 +408,11 @@ let solve_cmd =
       | Some (name, info) when info.Ureg.stack <> Ureg.Het ->
         die "heuristic %s requires a comm-homogeneous platform" name
       | Some (_, info) ->
-        Format.printf "%a@." Instance.pp inst;
+        Format.printf "%a@." pp_instance inst;
         print_outcome ~kind ~threshold ~polish inst info
       | None ->
         (* Fully heterogeneous platform: dispatch to the het extension. *)
-        Format.printf "%a@." Instance.pp inst;
+        Format.printf "%a@." pp_instance inst;
         let result =
           match kind with
           | Registry.Period_fixed ->
@@ -334,7 +424,7 @@ let solve_cmd =
         in
         match result with
         | None -> Format.printf "%-18s FAILED@." "het splitting"
-        | Some sol -> Format.printf "%-18s %a@." "het splitting" Solution.pp sol
+        | Some sol -> Format.printf "%-18s %a@." "het splitting" pp_solution sol
     end
     else begin
       let selected =
@@ -343,7 +433,7 @@ let solve_cmd =
           List.filter (fun (i : Ureg.info) -> i.Ureg.kind = kind) Ureg.paper
         | Some (_, info) -> [ info ]
       in
-      Format.printf "%a@." Instance.pp inst;
+      Format.printf "%a@." pp_instance inst;
       List.iter (print_outcome ~kind ~threshold ~polish inst) selected;
       if exact then begin
         let sol =
@@ -357,7 +447,7 @@ let solve_cmd =
         in
         match sol with
         | None -> Format.printf "%-18s infeasible@." "exact"
-        | Some sol -> Format.printf "%-18s %a@." "exact" Solution.pp sol
+        | Some sol -> Format.printf "%-18s %a@." "exact" pp_solution sol
       end
     end
   in
@@ -375,7 +465,7 @@ let solve_cmd =
 let one_to_one_cmd =
   let pareto = Arg.(value & flag & info [ "pareto" ] ~doc:"Print the full front.") in
   let run inst period pareto =
-    Format.printf "%a@." Instance.pp inst;
+    Format.printf "%a@." pp_instance inst;
     if pareto then
       List.iter
         (fun (sol : Solution.t) -> Format.printf "%a@." Solution.pp sol)
@@ -407,7 +497,7 @@ let one_to_one_cmd =
 
 let deal_cmd =
   let run inst period latency =
-    Format.printf "%a@." Instance.pp inst;
+    Format.printf "%a@." pp_instance inst;
     let print_solution = function
       | None -> Format.printf "deal heuristic: FAILED@."
       | Some (sol : Pipeline_deal.Deal_heuristic.solution) ->
@@ -443,7 +533,7 @@ let scalarised_cmd =
   in
   let exact = Arg.(value & flag & info [ "exact" ] ~doc:"Also run the exact solver.") in
   let run inst alpha exact =
-    Format.printf "%a@." Instance.pp inst;
+    Format.printf "%a@." pp_instance inst;
     let heur = Pipeline_optimal.Scalarised.heuristic inst ~alpha in
     Format.printf "%-10s %a  (objective %g)@." "heuristic" Solution.pp heur
       (Pipeline_optimal.Scalarised.value ~alpha heur);
@@ -698,7 +788,7 @@ let eval_cmd =
       | Some text -> parse_mapping text
       | None -> die "--mapping is required"
     in
-    Format.printf "%a@." Instance.pp inst;
+    Format.printf "%a@." pp_instance inst;
     let s = Metrics.summary inst.Instance.app inst.Instance.platform mapping in
     Format.printf "%s@.  %a@." (Mapping.to_string mapping) Metrics.pp_summary s;
     let report = Pipeline_sim.Validate.check inst mapping in
@@ -802,7 +892,7 @@ let simulate_cmd =
   in
   let run inst period mapping datasets noise trace_out seed crashes retries
       backoff crash_trace =
-    Format.printf "%a@." Instance.pp inst;
+    Format.printf "%a@." pp_instance inst;
     let sol =
       match mapping with
       | Some text ->
@@ -921,7 +1011,7 @@ let simulate_cmd =
 let pareto_cmd =
   let run () obs inst =
     with_obs obs @@ fun () ->
-    Format.printf "%a@." Instance.pp inst;
+    Format.printf "%a@." pp_instance inst;
     List.iter
       (fun (sol : Solution.t) -> Format.printf "%a@." Solution.pp sol)
       (Pipeline_optimal.Bicriteria.pareto inst)

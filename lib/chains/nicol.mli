@@ -8,7 +8,11 @@
     {!Probe} over the remaining suffix — covers the rest of the chain
     with the remaining processors. Each such [sum(i..e)] is an
     achievable candidate bottleneck and the optimum is among them, so
-    [O(p log n)] probes of [O(n)] each suffice — no ε-bisection. Every
+    [O(p log n)] probes suffice — no ε-bisection. Each probe costs
+    [O(p log n)]: the greedy walk binary-searches every cut and gives up
+    past [p] intervals, and the tail maximum is a suffix-table lookup —
+    [O(p² log² n)] overall, independent of the [O(n)] chain length after
+    the prefix build. Every
     candidate is a {!Prefix.sum} value, so the test suite can check all
     three solvers agree bit-for-bit (DESIGN.md §9). *)
 

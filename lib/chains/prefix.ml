@@ -1,6 +1,6 @@
 type t = {
   prefix : float array; (* prefix.(k) = a_1 + … + a_k *)
-  max_elt : float;
+  suffix_max : float array; (* suffix_max.(k) = max (0., a_k, …, a_n) *)
 }
 
 let make a =
@@ -16,14 +16,16 @@ let make a =
     prefix.(k) <- prefix.(k - 1) +. a.(k - 1)
   done;
   (* Elements are read back as prefix differences everywhere (sums,
-     candidates, probes); compute the maximum in the same arithmetic, or
-     it can sit one ulp above every realisable interval sum and wrongly
-     reject the optimal bound. *)
-  let max_elt = ref 0. in
-  for k = 1 to n do
-    max_elt := Float.max !max_elt (prefix.(k) -. prefix.(k - 1))
+     candidates, probes); compute the maxima in the same arithmetic, or
+     they can sit one ulp above every realisable interval sum and wrongly
+     reject the optimal bound. [Float.max] over finite non-negative
+     values is pure selection, so the right-to-left fold below agrees
+     bit-for-bit with any left fold over the same elements. *)
+  let suffix_max = Array.make (n + 2) 0. in
+  for k = n downto 1 do
+    suffix_max.(k) <- Float.max (prefix.(k) -. prefix.(k - 1)) suffix_max.(k + 1)
   done;
-  { prefix; max_elt = !max_elt }
+  { prefix; suffix_max }
 
 let n t = Array.length t.prefix - 1
 
@@ -59,4 +61,8 @@ let longest_fitting t ~from ~budget =
     !lo
   end
 
-let max_element t = t.max_elt
+let max_element t = t.suffix_max.(1)
+
+let max_from t k =
+  if k < 1 || k > n t then invalid_arg "Prefix.max_from: out of range";
+  t.suffix_max.(k)

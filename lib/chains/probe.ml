@@ -1,42 +1,46 @@
-let greedy_cuts ?(from = 1) prefix ~bound =
+let greedy_cuts ?(from = 1) ?cap prefix ~bound =
   (* Returns the cut positions of the leftmost-greedy partition of
-     [from..n], or None when some single element exceeds the bound. *)
+     [from..n], or None when some single element exceeds the bound or
+     when more than [cap] intervals would be needed. *)
   let n = Prefix.n prefix in
   if from < 1 || from > n then invalid_arg "Probe: from out of range";
-  let rec max_tail_element k acc =
-    if k > n then acc else max_tail_element (k + 1) (Float.max acc (Prefix.element prefix k))
-  in
-  let max_element =
-    if from = 1 then Prefix.max_element prefix else max_tail_element from 0.
-  in
-  if max_element > bound then None
+  (match cap with
+  | Some c when c < 1 -> invalid_arg "Probe: cap must be >= 1"
+  | _ -> ());
+  if Prefix.max_from prefix from > bound then None
   else begin
-    let rec walk start acc =
-      if start > n then List.rev acc
+    (* Intervals [1..count-1] are finished (their cuts in [acc], newest
+       first); interval [count] starts at [start]. The cap check makes a
+       probe O(cap log n): the walk gives up as soon as the greedy — and
+       therefore minimal — interval count provably exceeds the cap,
+       instead of cutting the whole tail first and counting afterwards. *)
+    let rec walk start count acc =
+      if start > n then Some (List.rev acc)
+      else if (match cap with Some c -> count > c | None -> false) then None
       else
         let e = Prefix.longest_fitting prefix ~from:start ~budget:bound in
-        (* max_element <= bound guarantees e >= start. *)
-        if e >= n then List.rev acc else walk (e + 1) (e :: acc)
+        (* max_from <= bound guarantees e >= start. *)
+        if e >= n then Some (List.rev acc) else walk (e + 1) (count + 1) (e :: acc)
     in
-    Some (walk from [])
+    walk from 1 []
   end
 
-let min_intervals ?from prefix ~bound =
+let min_intervals ?from ?cap prefix ~bound =
   if bound < 0. then None
   else
-    match greedy_cuts ?from prefix ~bound with
+    match greedy_cuts ?from ?cap prefix ~bound with
     | None -> None
     | Some cuts -> Some (List.length cuts + 1)
 
 let feasible ?from prefix ~p ~bound =
   if p < 1 then invalid_arg "Probe.feasible: p must be >= 1";
-  match min_intervals ?from prefix ~bound with
+  match min_intervals ?from ~cap:p prefix ~bound with
   | None -> false
   | Some m -> m <= p
 
 let partition prefix ~p ~bound =
   if p < 1 then invalid_arg "Probe.partition: p must be >= 1";
-  match greedy_cuts prefix ~bound with
+  match greedy_cuts ~cap:p prefix ~bound with
   | None -> None
   | Some cuts ->
     if List.length cuts + 1 <= p then

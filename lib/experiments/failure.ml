@@ -23,8 +23,9 @@ let period_candidates (info : Registry.info) (inst : Instance.t) =
   else
     let cost = Cost.get inst.app inst.platform in
     match info.stack with
-    | Registry.Core | Registry.Extension -> Some (Candidates.periods cost)
-    | Registry.Deal -> Some (Candidates.deal_periods cost)
+    | Registry.Core | Registry.Extension ->
+      Some (Candidates.Set.of_engine cost)
+    | Registry.Deal -> Some (Candidates.Set.of_array (Candidates.deal_periods cost))
     | Registry.Het | Registry.Ft -> None
 
 let instance_threshold ?(iterations = 40) (info : Registry.info) inst =
@@ -60,8 +61,8 @@ let instance_threshold ?(iterations = 40) (info : Registry.info) inst =
     | Registry.Period_fixed -> (
       match period_candidates info inst with
       | None -> bisection ()
-      | Some candidates -> (
-        match Threshold.boundary ~candidates ~succeeds with
+      | Some set -> (
+        match Threshold.boundary_set ~set ~succeeds with
         | Some boundary -> boundary
         | None ->
           (* Even the top candidate failed (the heuristic rejects

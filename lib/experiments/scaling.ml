@@ -1,0 +1,194 @@
+open Pipeline_model
+module Rng = Pipeline_util.Rng
+module Table = Pipeline_util.Table
+
+(* The E6 web-scale ladder (DESIGN.md §11): one deterministic instance
+   per (n, p) size, solved by the three stacks whose complexity the
+   tentpole rewrites bound — Nicol's chains solver, the exact lazy
+   candidate search, and the H1 splitting heuristic. Everything here is
+   sequential and counter-hygienic: the only Obs counter the section
+   moves is model.threshold.lattice_probes, so the golden metrics of the
+   paper-sized sections stay byte-identical at any --jobs. Wall-clocks
+   come from the caller-supplied [clock] and never enter the CSV. *)
+
+type row = {
+  n : int;
+  p : int;
+  nicol_bottleneck : float;  (* exact chains bottleneck over the works *)
+  exact_period : float;  (* exact min period, all-fastest relaxation *)
+  exact_probes : int;  (* feasibility probes of the lattice search *)
+  exact_intervals : int;  (* intervals of the winning partition *)
+  h1_factor : float;  (* threshold = factor × exact_period (0 = fallback) *)
+  h1_period : float;
+  h1_latency : float;
+  h1_intervals : int;
+}
+
+type timings = {
+  build_s : float;
+  nicol_s : float;
+  exact_s : float;
+  h1_s : float;
+}
+
+type measurement = { row : row; timings : timings }
+
+let ladder = function
+  | `Smoke -> [ (50, 4); (200, 16) ]
+  | `Quick -> [ (1_000, 32); (5_000, 64); (20_000, 200) ]
+  | `Full -> [ (5_000, 100); (20_000, 400); (50_000, 1_000) ]
+
+let instance ~seed ~n ~p =
+  (* Same stream-derivation idiom as Workload.instance: one independent
+     SplitMix64 stream per (seed, family, n, p). *)
+  let tag = Hashtbl.hash (seed, "scaling-e6", n, p) in
+  let rng = Rng.create tag in
+  let app = App_generator.generate rng (App_generator.e6 ~n) in
+  let platform = Platform_generator.web_scale rng ~p in
+  Instance.make ~id:0 ~seed:tag app platform
+
+(* Exact minimum period of the all-fastest relaxation (every processor
+   at the platform's top speed): the greedy probe binary-searches each
+   interval's furthest feasible end — cycle-times are monotone in the
+   end for uniform deltas — so one probe is O(p log n), wrapped in the
+   exact lattice search of Threshold.search_set. The full candidate set
+   is a superset of the relaxation's achievable periods, and the
+   smallest feasible candidate is attained by the greedy witness, so the
+   search lands exactly on the relaxation optimum. *)
+let exact_relaxed_min_period cost ~p =
+  let app = Cost.application cost in
+  let platform = Cost.platform cost in
+  let n = Application.n app in
+  let u = Platform.fastest platform in
+  let set = Candidates.Set.of_engine ~max_materialised:0 cost in
+  let probe t =
+    let rec walk d count =
+      if d > n then Some count
+      else if count = p then None
+      else if Cost.cycle cost ~d ~e:d ~u > t then None
+      else if Cost.cycle cost ~d ~e:n ~u <= t then Some (count + 1)
+      else begin
+        let lo = ref d and hi = ref n in
+        (* Invariant: cycle(d, lo) <= t < cycle(d, hi). *)
+        while !hi - !lo > 1 do
+          let mid = (!lo + !hi) / 2 in
+          if Cost.cycle cost ~d ~e:mid ~u <= t then lo := mid else hi := mid
+        done;
+        walk (!lo + 1) (count + 1)
+      end
+    in
+    walk 1 0
+  in
+  match Threshold.search_set ~set ~probe with
+  | Some found ->
+    (found.Threshold.threshold, found.Threshold.payload, found.Threshold.probes)
+  | None -> assert false (* the whole chain on one processor is feasible *)
+
+(* H1 under a deterministic threshold ladder: generous multiples of the
+   relaxation optimum, then the always-feasible single-processor period
+   (factor 0 marks the fallback in the CSV). *)
+let h1_factors = [ 1.5; 2.; 4. ]
+
+let run_h1 (inst : Instance.t) ~exact_period =
+  let try_at factor period =
+    match Pipeline_core.Sp_mono_p.solve inst ~period with
+    | Some sol -> Some (factor, sol)
+    | None -> None
+  in
+  let rec first = function
+    | [] -> try_at 0. (Instance.single_proc_period inst)
+    | f :: rest -> (
+      match try_at f (exact_period *. f) with
+      | Some _ as hit -> hit
+      | None -> first rest)
+  in
+  match first h1_factors with
+  | Some (factor, sol) -> (factor, sol)
+  | None -> assert false (* the single-processor threshold always holds *)
+
+let measure ?(clock = fun () -> 0.) ~seed (n, p) =
+  let inst = instance ~seed ~n ~p in
+  let t0 = clock () in
+  let cost = Cost.get inst.app inst.platform in
+  let t1 = clock () in
+  let nicol_bottleneck, _partition =
+    Chains.Nicol.solve (Application.works inst.app) ~p
+  in
+  let t2 = clock () in
+  let exact_period, exact_intervals, exact_probes =
+    exact_relaxed_min_period cost ~p
+  in
+  let t3 = clock () in
+  let h1_factor, sol = run_h1 inst ~exact_period in
+  let t4 = clock () in
+  {
+    row =
+      {
+        n;
+        p;
+        nicol_bottleneck;
+        exact_period;
+        exact_probes;
+        exact_intervals;
+        h1_factor;
+        h1_period = sol.Pipeline_core.Solution.period;
+        h1_latency = sol.Pipeline_core.Solution.latency;
+        h1_intervals = Mapping.m sol.Pipeline_core.Solution.mapping;
+      };
+    timings =
+      {
+        build_s = t1 -. t0;
+        nicol_s = t2 -. t1;
+        exact_s = t3 -. t2;
+        h1_s = t4 -. t3;
+      };
+  }
+
+let run ?clock ?(seed = 2007) sizes = List.map (measure ?clock ~seed) sizes
+
+let header =
+  [
+    "n"; "p"; "nicol bottleneck"; "exact period"; "exact probes";
+    "exact intervals"; "h1 factor"; "h1 period"; "h1 latency"; "h1 intervals";
+  ]
+
+let cells (r : row) =
+  [
+    string_of_int r.n;
+    string_of_int r.p;
+    Printf.sprintf "%.6f" r.nicol_bottleneck;
+    Printf.sprintf "%.6f" r.exact_period;
+    string_of_int r.exact_probes;
+    string_of_int r.exact_intervals;
+    Printf.sprintf "%.1f" r.h1_factor;
+    Printf.sprintf "%.6f" r.h1_period;
+    Printf.sprintf "%.6f" r.h1_latency;
+    string_of_int r.h1_intervals;
+  ]
+
+let to_csv measurements =
+  Pipeline_util.Csv.csv_of_rows ~header
+    (List.map (fun m -> cells m.row) measurements)
+
+let write ~dir measurements =
+  let path = Filename.concat dir "scaling-e6.csv" in
+  Pipeline_util.Csv.to_file path (to_csv measurements);
+  [ path ]
+
+(* Human-readable table with the (non-deterministic) wall-clocks — for
+   stdout and EXPERIMENTS.md, never for golden artefacts. *)
+let render measurements =
+  let header = header @ [ "build s"; "nicol s"; "exact s"; "h1 s" ] in
+  let rows =
+    List.map
+      (fun m ->
+        cells m.row
+        @ [
+            Printf.sprintf "%.3f" m.timings.build_s;
+            Printf.sprintf "%.3f" m.timings.nicol_s;
+            Printf.sprintf "%.3f" m.timings.exact_s;
+            Printf.sprintf "%.3f" m.timings.h1_s;
+          ])
+      measurements
+  in
+  Table.render (header :: rows)

@@ -1,0 +1,78 @@
+(** The E6 web-scale ladder (DESIGN.md §11).
+
+    One deterministic instance per [(n, p)] size — E6 application
+    ({!App_generator.e6}, uniform deltas) on a tiered
+    {!Platform_generator.web_scale} platform — solved by the three
+    stacks whose asymptotics the web-scale rewrites bound:
+
+    {ul
+    {- {!Chains.Nicol} on the stage weights (exact chains-to-chains
+       bottleneck, O(p² log² n) probes);}
+    {- the exact minimum period of the all-fastest relaxation, by
+       {!Threshold.search_set} over the {e lazy} candidate lattice with
+       an O(p log n) greedy probe — the web-scale form of the paper's
+       binary search over achievable periods;}
+    {- the H1 splitting heuristic ({!Pipeline_core.Sp_mono_p}) under a
+       deterministic threshold ladder of multiples of the relaxation
+       optimum.}}
+
+    The section is sequential and counter-hygienic: only the
+    [model.threshold.lattice_probes] counter moves, so every paper-sized
+    golden metric stays byte-identical at any [--jobs]. The CSV contains
+    only deterministic values (objectives, probe and interval counts);
+    wall-clocks come from the caller's [clock] and appear only in
+    {!render} / the bench's perf summary. *)
+
+type row = {
+  n : int;
+  p : int;
+  nicol_bottleneck : float;
+  exact_period : float;
+  exact_probes : int;
+  exact_intervals : int;
+  h1_factor : float;
+      (** threshold multiplier over [exact_period]; [0.] marks the
+          single-processor fallback *)
+  h1_period : float;
+  h1_latency : float;
+  h1_intervals : int;
+}
+
+type timings = {
+  build_s : float;  (** cost-engine construction *)
+  nicol_s : float;
+  exact_s : float;
+  h1_s : float;
+}
+
+type measurement = { row : row; timings : timings }
+
+val ladder : [ `Smoke | `Quick | `Full ] -> (int * int) list
+(** The [(n, p)] sizes per bench mode; [`Full] tops out at
+    [50 000 × 1 000]. *)
+
+val instance : seed:int -> n:int -> p:int -> Pipeline_model.Instance.t
+(** The deterministic E6 instance of one ladder rung (stream derived
+    from [(seed, "scaling-e6", n, p)], Workload-style). *)
+
+val exact_relaxed_min_period :
+  Pipeline_model.Cost.t -> p:int -> float * int * int
+(** [(period, intervals, probes)] — exact minimum period over interval
+    mappings onto [p] processors at the platform's fastest speed, via
+    the lazy lattice search. Requires uniform deltas (E6). *)
+
+val run :
+  ?clock:(unit -> float) -> ?seed:int -> (int * int) list -> measurement list
+(** Solve every ladder rung in sequence. [clock] defaults to a constant
+    (timings all zero) so library users stay Unix-free; the bench passes
+    a real clock. [seed] defaults to 2007. *)
+
+val to_csv : measurement list -> string
+(** Deterministic rows only — golden-diffable at any [--jobs]. *)
+
+val write : dir:string -> measurement list -> string list
+(** Write [scaling-e6.csv] under [dir]; returns the paths written. *)
+
+val render : measurement list -> string
+(** Table with wall-clock columns appended (stdout / EXPERIMENTS.md
+    use only). *)

@@ -12,6 +12,11 @@ let e2 ~n = { n; work = Int_uniform (1, 20); delta = Int_uniform (1, 100) }
 let e3 ~n = { n; work = Int_uniform (10, 1000); delta = Int_uniform (1, 20) }
 let e4 ~n = { n; work = Float_uniform (0.01, 10.); delta = Int_uniform (1, 20) }
 
+(* (E6) web scale: wide work spread, fixed message size. The uniform
+   deltas are load-bearing — they are what lets Candidates.Set stay lazy
+   at n = 50 000 (DESIGN.md §11). *)
+let e6 ~n = { n; work = Int_uniform (1, 100); delta = Fixed 25. }
+
 let draw rng = function
   | Fixed v -> v
   | Int_uniform (lo, hi) -> float_of_int (Rng.int_in rng lo hi)

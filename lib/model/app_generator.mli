@@ -32,6 +32,12 @@ val e3 : n:int -> spec
 val e4 : n:int -> spec
 (** (E4) small computations: [δ ∈ [1,20]], [w ∈ [0.01,10]]. *)
 
+val e6 : n:int -> spec
+(** (E6) web scale (not from the paper; DESIGN.md §11): [δ_i = 25],
+    [w ∈ [1,100]]. The fixed message size keeps the candidate-period
+    lattice monotone, so the exact threshold searches stay lazy at
+    [n = 50 000]. *)
+
 val draw : Pipeline_util.Rng.t -> value_dist -> float
 (** One sample from a distribution. *)
 

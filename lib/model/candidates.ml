@@ -83,3 +83,163 @@ let ceiling candidates value =
     done;
     Some candidates.(!lo)
   end
+
+let floor candidates value =
+  let count = Array.length candidates in
+  if count = 0 || candidates.(0) > value then None
+  else begin
+    let lo = ref 0 and hi = ref (count - 1) in
+    (* Invariant: candidates.(lo) <= value. *)
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if candidates.(mid) <= value then lo := mid else hi := mid - 1
+    done;
+    Some candidates.(!lo)
+  end
+
+(* Lazy candidate sets (DESIGN.md §11). At web scale the materialised
+   array is O(n² · |speeds|) and unbuildable; but with uniform deltas
+   every cycle-time is a weakly monotone image of the interval work sum
+   W(d,e) — monotone in e, anti-monotone in d — so min/max/floor/ceiling
+   over the implicit (d, e, u) lattice are answerable in O(n · |speeds|)
+   with two-pointer sweeps, evaluating the engine's own Cost.cycle
+   expression at every comparison (never an algebraically rearranged
+   form, which could disagree by one ulp). *)
+module Set = struct
+  type t =
+    | Materialised of float array
+    | Lattice of {
+        cost : Cost.t;
+        reps : int array;
+        min_elt : float;
+        max_elt : float;
+      }
+
+  let default_max_materialised = 1 lsl 22
+
+  let uniform_delta app =
+    let n = Application.n app in
+    let d0 = Application.delta app 0 in
+    let ok = ref true in
+    for k = 1 to n do
+      if Application.delta app k <> d0 then ok := false
+    done;
+    !ok
+
+  let lattice cost reps =
+    let n = Application.n (Cost.application cost) in
+    (* W(d,e) >= W(k,k) for any k in [d,e] and the cycle is a monotone
+       image of W at fixed speed, so the global minimum is a single-stage
+       cycle; the maximum is the whole chain on the slowest speed — both
+       attained, hence exact set members. *)
+    let min_elt = ref infinity and max_elt = ref neg_infinity in
+    Array.iter
+      (fun u ->
+        for d = 1 to n do
+          min_elt := Float.min !min_elt (Cost.cycle cost ~d ~e:d ~u)
+        done;
+        max_elt := Float.max !max_elt (Cost.cycle cost ~d:1 ~e:n ~u))
+      reps;
+    Lattice { cost; reps; min_elt = !min_elt; max_elt = !max_elt }
+
+  let of_engine ?(max_materialised = default_max_materialised) cost =
+    let platform = Cost.platform cost in
+    if not (Platform.is_comm_homogeneous platform) then
+      invalid_arg "Candidates.Set.of_engine: requires a comm-homogeneous platform";
+    let app = Cost.application cost in
+    let n = Application.n app in
+    let reps = Array.of_list (speed_representatives platform) in
+    let triples = n * (n + 1) / 2 * Array.length reps in
+    if triples <= max_materialised then Materialised (periods cost)
+    else if uniform_delta app then lattice cost reps
+    else
+      (* Non-uniform deltas break the monotone-in-W argument; fall back
+         to materialising even above the cap (documented in DESIGN.md
+         §11 — no current caller hits this at scale). *)
+      Materialised (periods cost)
+
+  let of_array a = Materialised a
+
+  let is_lazy = function Materialised _ -> false | Lattice _ -> true
+
+  let min_elt = function
+    | Materialised a -> if Array.length a = 0 then None else Some a.(0)
+    | Lattice l -> Some l.min_elt
+
+  let max_elt = function
+    | Materialised a ->
+      let c = Array.length a in
+      if c = 0 then None else Some a.(c - 1)
+    | Lattice l -> Some l.max_elt
+
+  (* Largest candidate <= v. Per representative speed, the largest
+     feasible interval end for a fixed start d is non-decreasing in d
+     (growing d only shrinks W), so one forward-only e pointer serves
+     all n starts: O(n) cycle evaluations per representative. *)
+  let floor_lattice cost reps v =
+    let n = Application.n (Cost.application cost) in
+    let best = ref None in
+    Array.iter
+      (fun u ->
+        let e = ref 0 in
+        for d = 1 to n do
+          if !e < d - 1 then e := d - 1;
+          while !e < n && Cost.cycle cost ~d ~e:(!e + 1) ~u <= v do
+            incr e
+          done;
+          if !e >= d then begin
+            (* Row maximum <= v: cycles grow with e, so the last feasible
+               end holds the row's largest value under v. *)
+            let c = Cost.cycle cost ~d ~e:!e ~u in
+            match !best with
+            | Some b when b >= c -> ()
+            | _ -> best := Some c
+          end
+        done)
+      reps;
+    !best
+
+  (* Smallest candidate >= v: the mirror sweep. The first end whose
+     cycle reaches v is non-decreasing in d, and once a start has no
+     such end no later start does (cycles only shrink with d). *)
+  let ceiling_lattice cost reps v =
+    let n = Application.n (Cost.application cost) in
+    let best = ref None in
+    Array.iter
+      (fun u ->
+        let e = ref 1 in
+        try
+          for d = 1 to n do
+            if !e < d then e := d;
+            while !e <= n && Cost.cycle cost ~d ~e:!e ~u < v do
+              incr e
+            done;
+            if !e > n then raise Exit;
+            let c = Cost.cycle cost ~d ~e:!e ~u in
+            match !best with
+            | Some b when b <= c -> ()
+            | _ -> best := Some c
+          done
+        with Exit -> ())
+      reps;
+    !best
+
+  let floor t v =
+    match t with
+    | Materialised a -> floor a v
+    | Lattice l -> floor_lattice l.cost l.reps v
+
+  let ceiling t v =
+    match t with
+    | Materialised a -> ceiling a v
+    | Lattice l -> ceiling_lattice l.cost l.reps v
+
+  let mem t v =
+    match t with
+    | Materialised a -> mem a v
+    | Lattice _ -> ( match floor t v with Some c -> c = v | None -> false)
+
+  let force = function
+    | Materialised a -> a
+    | Lattice l -> periods l.cost
+end

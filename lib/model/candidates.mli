@@ -36,3 +36,58 @@ val ceiling : float array -> float -> float option
 (** [ceiling candidates v] — the smallest candidate [>= v], or [None]
     when [v] exceeds them all. Used to snap relaxation lower bounds up
     onto the achievable grid. *)
+
+val floor : float array -> float -> float option
+(** [floor candidates v] — the largest candidate [<= v], or [None] when
+    [v] is below them all. *)
+
+(** Candidate sets that may stay implicit (DESIGN.md §11).
+
+    At paper sizes a set is the materialised sorted array above —
+    byte-identical behaviour, same engine cache. Past the materialisation
+    cap, applications with {e uniform} deltas switch to a lazy lattice
+    view: cycle-times are weakly monotone in the interval work sum, so
+    minimum, maximum, floor and ceiling are answered by O(n · |speeds|)
+    two-pointer sweeps over the implicit [(d, e, u)] lattice, each
+    comparison evaluating the engine's own {!Cost.cycle} expression.
+    Every answer is an attained set element, bit-identical to the value
+    the materialised array would hold — {!Threshold.search_set} builds
+    an exact web-scale binary search on top of exactly these four
+    queries. *)
+module Set : sig
+  type t
+
+  val of_engine : ?max_materialised:int -> Cost.t -> t
+  (** The candidate-period set of an engine. Materialised (via
+      {!periods}, hence engine-cached) while
+      [n(n+1)/2 · |distinct speeds| <= max_materialised] (default
+      [2²²]); lazy above the cap when the application's deltas are all
+      equal. Non-uniform deltas above the cap materialise anyway — the
+      monotone structure the lattice view needs is absent (DESIGN.md
+      §11). Raises on platforms that are not comm-homogeneous. *)
+
+  val of_array : float array -> t
+  (** Wrap an explicitly materialised sorted candidate array (e.g.
+      {!deal_periods}). *)
+
+  val is_lazy : t -> bool
+
+  val min_elt : t -> float option
+  (** Smallest element; [None] only for an empty {!of_array}. O(n·u)
+      lazy, O(1) materialised. *)
+
+  val max_elt : t -> float option
+
+  val mem : t -> float -> bool
+  (** Exact membership. *)
+
+  val floor : t -> float -> float option
+  (** Largest element [<= v]. *)
+
+  val ceiling : t -> float -> float option
+  (** Smallest element [>= v]. *)
+
+  val force : t -> float array
+  (** The materialised sorted array (enumerates a lazy set — test and
+      paper-size use only). *)
+end

@@ -13,18 +13,46 @@ type t = {
   memo : bool;
   din_t : float array;  (* δ_{d-1}/b, indexed by d = 1..n; [||] off *)
   dout_t : float array;  (* δ_e/b, indexed by e = 0..n; [||] off *)
-  sums : float array;  (* W(d,e), triangular; [||] off *)
   cycle_memo : bool;
   mutable cycles : float array;  (* (d,e,u) cycle-times, lazy; NaN = unset *)
   mutable period_cands : float array;  (* sorted candidate periods; [||] = unset *)
   mutable deal_cands : float array;  (* deal variant (cycle / r); [||] = unset *)
 }
 
-(* Caps keep the eager tables and the lazy cycle table at a few MB even
-   for adversarial n·p; beyond them the engine computes directly (same
-   bits, no cache). *)
-let max_sum_entries = 1 lsl 20
+(* The eager tables are all O(n) flat float arrays: work sums come from
+   the application's prefix table (an O(1) difference per query), so the
+   engine build is O(n + p) at any size. Only the lazy (d,e,u) cycle
+   table is quadratic in n; the cap keeps it at a few MB, and beyond it
+   the engine computes cycles directly (same bits, no cache). *)
 let max_cycle_entries = 1 lsl 22
+
+(* Build/lookup tallies for the domain-local engine LRU below. These are
+   deliberately plain atomics and NOT Obs counters: cache traffic depends
+   on how work is sliced across domains, so the values are not
+   jobs-invariant and must stay out of the golden-gated metrics dump.
+   They surface in the bench's perf-summary "cache" block instead. *)
+let n_engine_builds = Atomic.make 0
+let n_lru_hits = Atomic.make 0
+let n_lru_misses = Atomic.make 0
+let n_candidate_builds = Atomic.make 0
+let n_deal_candidate_builds = Atomic.make 0
+
+type cache_stats = {
+  engine_builds : int;
+  lru_hits : int;
+  lru_misses : int;
+  candidate_builds : int;
+  deal_candidate_builds : int;
+}
+
+let cache_stats () =
+  {
+    engine_builds = Atomic.get n_engine_builds;
+    lru_hits = Atomic.get n_lru_hits;
+    lru_misses = Atomic.get n_lru_misses;
+    candidate_builds = Atomic.get n_candidate_builds;
+    deal_candidate_builds = Atomic.get n_deal_candidate_builds;
+  }
 
 let tri n = n * (n + 1) / 2
 
@@ -38,22 +66,7 @@ let make ?(memo = true) app platform =
   let b = if comm_hom then Platform.io_bandwidth platform 0 else Float.nan in
   let speeds = Platform.speeds platform in
   let entries = tri n in
-  let memo = memo && entries <= max_sum_entries in
-  let sums =
-    if not memo then [||]
-    else begin
-      (* Filled left-to-right; Application.work_sum serves each value from
-         its prefix table, so the cached float is the one every historical
-         call site already saw. *)
-      let a = Array.make entries 0. in
-      for d = 1 to n do
-        for e = d to n do
-          a.(idx n d e) <- Application.work_sum app d e
-        done
-      done;
-      a
-    end
-  in
+  Atomic.incr n_engine_builds;
   let din_t, dout_t =
     if not (memo && comm_hom) then ([||], [||])
     else begin
@@ -67,7 +80,10 @@ let make ?(memo = true) app platform =
       (din, dout)
     end
   in
-  let cycle_memo = memo && comm_hom && entries * p <= max_cycle_entries in
+  let cycle_memo =
+    memo && comm_hom && entries <= max_cycle_entries
+    && entries * p <= max_cycle_entries
+  in
   {
     app;
     platform;
@@ -78,7 +94,6 @@ let make ?(memo = true) app platform =
     memo;
     din_t;
     dout_t;
-    sums;
     cycle_memo;
     cycles = [||];
     period_cands = [||];
@@ -97,6 +112,7 @@ let platform t = t.platform
 let cached_candidates t ~build =
   if Array.length t.period_cands > 0 then t.period_cands
   else begin
+    Atomic.incr n_candidate_builds;
     let a = build t in
     t.period_cands <- a;
     a
@@ -105,23 +121,45 @@ let cached_candidates t ~build =
 let cached_deal_candidates t ~build =
   if Array.length t.deal_cands > 0 then t.deal_cands
   else begin
+    Atomic.incr n_deal_candidate_builds;
     let a = build t in
     t.deal_cands <- a;
     a
   end
 
-(* One memoising engine per domain, keyed on physical equality: solvers
-   evaluate one instance many times in a row, and domain-local storage
-   keeps the mutable cycle table race-free without locks. *)
-let slot : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+(* A small per-domain LRU of memoising engines, keyed on physical
+   equality: solvers evaluate one instance many times in a row, but the
+   failure campaign and the streaming resolver alternate between a
+   handful of instances (rows × setups, live vs survivor platforms) —
+   a single slot thrashes there and re-enumerates candidate sets on
+   every alternation. Domain-local storage keeps the mutable cycle and
+   candidate tables race-free without locks. *)
+let lru_capacity = 8
+
+let slot : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 
 let get app platform =
   let r = Domain.DLS.get slot in
-  match !r with
-  | Some t when t.app == app && t.platform == platform -> t
-  | _ ->
+  (* [acc] holds the already-scanned prefix in reverse; on a hit the
+     entry moves to the front and the rest keeps its order. *)
+  let rec find acc = function
+    | [] -> None
+    | t :: rest ->
+      if t.app == app && t.platform == platform then begin
+        r := t :: List.rev_append acc rest;
+        Some t
+      end
+      else find (t :: acc) rest
+  in
+  match find [] !r with
+  | Some t ->
+    Atomic.incr n_lru_hits;
+    t
+  | None ->
+    Atomic.incr n_lru_misses;
     let t = make app platform in
-    r := Some t;
+    let kept = List.filteri (fun i _ -> i < lru_capacity - 1) !r in
+    r := t :: kept;
     t
 
 let require_comm_hom t who =
@@ -138,8 +176,10 @@ let dout_u t e =
   if t.memo && t.comm_hom then t.dout_t.(e)
   else Application.delta t.app e /. t.b
 
-let ws_u t d e =
-  if t.memo then t.sums.(idx t.n d e) else Application.work_sum t.app d e
+(* The application's prefix table already serves W(d,e) as an O(1)
+   difference, in the exact float every historical call site saw — no
+   per-engine table needed. *)
+let ws_u t d e = Application.work_sum t.app d e
 
 let contrib_u t d e u = din_u t d +. (ws_u t d e /. t.speeds.(u))
 let cycle_direct t d e u = din_u t d +. (ws_u t d e /. t.speeds.(u)) +. dout_u t e

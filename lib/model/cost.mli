@@ -16,21 +16,25 @@
 
     {2 Memoisation and determinism}
 
-    The engine memoises, per application: the interval work sums
-    [W(d,e)] (served from {!Application.work_sum}'s prefix table and
-    copied left-to-right into a triangular array at construction), the
-    communication terms [δ_{d-1}/b] and [δ_e/b] on comm-homogeneous
-    platforms, and — lazily — the full interval cycle-times indexed by
-    [(d, e, u)]. Every cached value is produced by exactly the float
-    expression the pre-engine code evaluated, in the same IEEE-754
-    association, so memoisation cannot move a single bit: a cache hit
-    returns the very float a cache miss would compute. Tables above a
-    fixed size cap fall back to direct evaluation (still bit-identical).
+    The engine's eager state is O(n + p) flat float arrays: the interval
+    work sums [W(d,e)] are served straight from
+    {!Application.work_sum}'s prefix table as an O(1) difference (no
+    per-engine triangular copy), and the communication terms
+    [δ_{d-1}/b] and [δ_e/b] are tabulated once on comm-homogeneous
+    platforms — so construction is O(n + p) at any instance size
+    (DESIGN.md §11). Only the lazy full cycle-time table indexed by
+    [(d, e, u)] is quadratic in [n]; above a fixed size cap it falls
+    back to direct evaluation (still bit-identical). Every cached value
+    is produced by exactly the float expression the pre-engine code
+    evaluated, in the same IEEE-754 association, so memoisation cannot
+    move a single bit: a cache hit returns the very float a cache miss
+    would compute.
 
     Engines are {e not} thread-safe: the lazy cycle table is mutated in
-    place. {!get} hands out one engine per domain (domain-local storage),
-    which is what every solver should use; {!make} is for benchmarks and
-    tests that want explicit control over memoisation. *)
+    place. {!get} hands out engines from a small per-domain LRU
+    (domain-local storage), which is what every solver should use;
+    {!make} is for benchmarks and tests that want explicit control over
+    memoisation. *)
 
 type t
 (** A cost engine for one [(application, platform)] pair. *)
@@ -43,13 +47,31 @@ val make : ?memo:bool -> Application.t -> Platform.t -> t
 
 val get : Application.t -> Platform.t -> t
 (** The shared, memoising engine for this domain. Cached on physical
-    equality of both arguments (one slot per domain), so repeated
+    equality of both arguments in a small per-domain LRU, so repeated
     evaluation of the same instance — the common solver pattern — reuses
-    all tables with no synchronisation. *)
+    all tables with no synchronisation, and callers that alternate
+    between a handful of instances (the failure campaign's rows, the
+    streaming resolver's live/survivor pair) never re-enumerate their
+    candidate sets. *)
 
 val memoised : t -> bool
-(** Whether the engine serves cached tables (false for [~memo:false] or
-    above the size cap). *)
+(** Whether the engine serves cached tables (false for
+    [~memo:false]). *)
+
+type cache_stats = {
+  engine_builds : int;  (** engines constructed by {!make} *)
+  lru_hits : int;  (** {!get} calls served from the per-domain LRU *)
+  lru_misses : int;  (** {!get} calls that had to build *)
+  candidate_builds : int;  (** candidate-period enumerations *)
+  deal_candidate_builds : int;  (** deal candidate enumerations *)
+}
+
+val cache_stats : unit -> cache_stats
+(** Process-wide tallies of engine-cache traffic, summed over domains.
+    Deliberately {e not} {!Obs} counters: the split of hits/misses
+    across domains depends on [--jobs], so these are not jobs-invariant
+    and must stay out of the golden-gated metrics dump. The bench
+    reports them in the perf-summary's informational "cache" block. *)
 
 val application : t -> Application.t
 

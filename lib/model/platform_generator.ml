@@ -10,6 +10,19 @@ let comm_homogeneous ?(bandwidth = 10.) ?(speed_min = 1) ?(speed_max = 20) rng ~
   let speeds = random_speeds rng ~p ~speed_min ~speed_max in
   Platform.comm_homogeneous ~bandwidth speeds
 
+(* Web-scale platforms: processors come in a few speed tiers (tier i has
+   speed 5i), the way large clusters mix a handful of machine
+   generations. Few distinct speeds keep the candidate lattice narrow —
+   every lazy-set sweep is O(n · tiers) — while still exercising the
+   heterogeneous-speed paths. *)
+let web_scale ?(bandwidth = 10.) ?(tiers = 4) rng ~p =
+  if p <= 0 then invalid_arg "Platform_generator: p must be > 0";
+  if tiers < 1 then invalid_arg "Platform_generator: tiers must be >= 1";
+  let speeds =
+    Array.init p (fun _ -> float_of_int (5 * Rng.int_in rng 1 tiers))
+  in
+  Platform.comm_homogeneous ~bandwidth speeds
+
 let fully_heterogeneous ?(bandwidth_min = 5) ?(bandwidth_max = 15) ?(speed_min = 1)
     ?(speed_max = 20) rng ~p =
   if bandwidth_min < 1 || bandwidth_max < bandwidth_min then

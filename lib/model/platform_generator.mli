@@ -14,6 +14,18 @@ val comm_homogeneous :
     [\[speed_min, speed_max\]] (defaults 1 and 20) with all links of
     capacity [bandwidth] (default 10). *)
 
+val web_scale :
+  ?bandwidth:float ->
+  ?tiers:int ->
+  Pipeline_util.Rng.t ->
+  p:int ->
+  Platform.t
+(** [web_scale rng ~p] draws each processor's speed uniformly from
+    [tiers] machine generations (tier [i] has speed [5i]; defaults: 4
+    tiers, bandwidth 10) on a comm-homogeneous platform. The few
+    distinct speeds keep the lazy candidate lattice narrow at
+    [p = 1000] (DESIGN.md §11). *)
+
 val fully_heterogeneous :
   ?bandwidth_min:int ->
   ?bandwidth_max:int ->

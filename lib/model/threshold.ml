@@ -18,6 +18,11 @@ let c_memo_hits =
     ~doc:"probe results served from the Threshold memo instead of re-probing"
     "model.threshold.memo_hits"
 
+let c_lattice_probes =
+  Obs.Counter.make
+    ~doc:"feasibility probes issued by Threshold.search_set on lazy lattice sets"
+    "model.threshold.lattice_probes"
+
 type 'a found = { threshold : float; payload : 'a; probes : int }
 
 let search ~candidates ~probe =
@@ -54,9 +59,73 @@ let search ~candidates ~probe =
       Some { threshold = candidates.(i); payload; probes = !probes }
   end
 
+(* Exact search over a possibly-lazy candidate set. Materialised sets
+   delegate to [search] (same probes, same counters — bit-identical to
+   the historical path). Lazy sets binary-search the IEEE-754 bit
+   patterns: non-negative finite doubles order identically to their
+   [Int64.bits_of_float] images, so halving the bit bracket and snapping
+   each midpoint down onto the set with [Set.floor] finds the smallest
+   feasible candidate in at most 64 rounds — no ε, no materialisation. *)
+let search_set ~set ~probe =
+  if not (Candidates.Set.is_lazy set) then
+    search ~candidates:(Candidates.Set.force set) ~probe
+  else begin
+    match (Candidates.Set.min_elt set, Candidates.Set.max_elt set) with
+    | None, _ | _, None -> None
+    | Some min_elt, Some max_elt ->
+      let probes = ref 0 in
+      let run v =
+        incr probes;
+        probe v
+      in
+      let finish (threshold, payload) =
+        Obs.Counter.add c_lattice_probes !probes;
+        Some { threshold; payload; probes = !probes }
+      in
+      (match run max_elt with
+      | None ->
+        Obs.Counter.add c_lattice_probes !probes;
+        None
+      | Some top -> (
+        if min_elt = max_elt then finish (max_elt, top)
+        else
+          match run min_elt with
+          | Some payload -> finish (min_elt, payload)
+          | None ->
+            let bits = Int64.bits_of_float and value = Int64.float_of_bits in
+            (* Invariant: every candidate <= value !lo is infeasible
+               (the probe is monotone); value !hi is a feasible
+               candidate whose payload is in !best. *)
+            let lo = ref (bits min_elt) and hi = ref (bits max_elt) in
+            let best = ref (max_elt, top) in
+            while Int64.sub !hi !lo > 1L do
+              let mid = Int64.add !lo (Int64.div (Int64.sub !hi !lo) 2L) in
+              match Candidates.Set.floor set (value mid) with
+              | None -> assert false (* min_elt <= value !lo < value mid *)
+              | Some c ->
+                if Int64.compare (bits c) !lo <= 0 then
+                  (* No candidate in (value !lo, value mid]. *)
+                  lo := mid
+                else (
+                  match run c with
+                  | Some payload ->
+                    best := (c, payload);
+                    hi := bits c
+                  | None -> lo := bits c)
+            done;
+            finish !best))
+  end
+
 let boundary ~candidates ~succeeds =
   match
     search ~candidates ~probe:(fun t -> if succeeds t then Some () else None)
+  with
+  | None -> None
+  | Some { threshold; _ } -> Some threshold
+
+let boundary_set ~set ~succeeds =
+  match
+    search_set ~set ~probe:(fun t -> if succeeds t then Some () else None)
   with
   | None -> None
   | Some { threshold; _ } -> Some threshold

@@ -35,12 +35,29 @@ val search :
     rather than re-probed at the end (counted in
     [model.threshold.memo_hits]). *)
 
+val search_set :
+  set:Candidates.Set.t -> probe:(float -> 'a option) -> 'a found option
+(** {!search} over a possibly-lazy candidate set. Materialised sets
+    delegate to {!search} verbatim (same probe sequence, same
+    [model.threshold.candidate_probes] counters — bit-identical to the
+    historical path at paper sizes). Lazy lattice sets run an exact
+    binary search over IEEE-754 bit patterns — non-negative finite
+    doubles order identically to their [Int64.bits_of_float] images —
+    snapping each midpoint onto the set with {!Candidates.Set.floor}:
+    at most ~64 rounds of one O(n·|speeds|) floor plus at most one
+    probe, returning the exact smallest feasible candidate with no ε.
+    Lazy probes are counted in [model.threshold.lattice_probes]. *)
+
 val boundary :
   candidates:float array -> succeeds:(float -> bool) -> float option
 (** {!search} for plain feasibility tests: the exact threshold at which
     [succeeds] flips from false to true, assuming it only flips at a
     candidate (true whenever the probed solver compares its threshold
     against achievable objective values — DESIGN.md §9). *)
+
+val boundary_set :
+  set:Candidates.Set.t -> succeeds:(float -> bool) -> float option
+(** {!boundary} over a possibly-lazy set, via {!search_set}. *)
 
 type bisection = {
   lo : float;  (** largest known-infeasible value *)

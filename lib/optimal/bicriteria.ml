@@ -43,6 +43,9 @@ let min_latency_under_period (inst : Instance.t) ~period =
 let candidate_periods (inst : Instance.t) =
   Candidates.periods (Cost.get inst.app inst.platform)
 
+let candidate_set (inst : Instance.t) =
+  Candidates.Set.of_engine (Cost.get inst.app inst.platform)
+
 let c_bisect =
   Obs.Counter.make
     ~doc:"binary-search probes in Bicriteria.min_period_under_latency"
@@ -56,7 +59,7 @@ let min_period_under_latency (inst : Instance.t) ~latency =
   in
   (* Smallest candidate period whose latency-optimal mapping fits the
      latency budget (feasibility is monotone in the period threshold). *)
-  match Threshold.search ~candidates:(candidate_periods inst) ~probe:feasible with
+  match Threshold.search_set ~set:(candidate_set inst) ~probe:feasible with
   | None -> None
   | Some found ->
     Obs.Counter.add c_bisect found.Threshold.probes;

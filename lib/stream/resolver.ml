@@ -267,9 +267,12 @@ let resolve ?heuristic ~strategy cache state ~before ~threshold =
           let feasible =
             (* The engine-cached candidate set bounds every achievable
                period from below: a threshold under the smallest
-               candidate needs no heuristic run to be refuted. *)
-            let candidates = Candidates.periods sub_engine in
-            Array.length candidates > 0 && Tol.meets candidates.(0) threshold
+               candidate needs no heuristic run to be refuted. The lazy
+               set answers the minimum in O(n·|speeds|) even when the
+               array form would be too large to build. *)
+            match Candidates.Set.min_elt (Candidates.Set.of_engine sub_engine) with
+            | Some c -> Tol.meets c threshold
+            | None -> false
           in
           if not feasible then Obs.Counter.incr c_pruned;
           let solved =

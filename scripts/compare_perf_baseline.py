@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Gating perf-baseline comparison for CI.
+
+Usage: compare_perf_baseline.py BASELINE.json CURRENT.json
+
+Counters are deterministic — DESIGN.md guarantees bit-identical values at
+any --jobs — so ANY drift against test/perf-baseline.json is a real
+algorithmic change, never noise. The comparison therefore FAILS (exit 1)
+on the slightest counter mismatch, including counters that appear or
+disappear. When an intentional algorithm change lands, refresh the
+baseline in the same PR:
+
+    dune exec bench/main.exe -- --quick --metrics --perf-summary --out ci-results
+    cp ci-results/perf-summary.json test/perf-baseline.json
+
+and record the why in DESIGN.md / EXPERIMENTS.md.
+
+Wall-clocks vary by machine and never gate: the whole-run wall-clock is
+reported, and flagged with a non-blocking ::warning:: only when it
+exceeds the tolerance band of +/-50% vs the baseline (generous on
+purpose: shared CI runners jitter, and the counters already catch every
+real complexity regression exactly).
+
+The "cache" block of perf-summary.json is ignored by design: cache
+traffic depends on how --jobs slices work across domains, so those
+values are jobs-variant diagnostics, not gate material.
+"""
+
+import json
+import sys
+
+WALL_TOLERANCE = 0.50  # fraction of baseline wall-clock; warn-only
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} BASELINE.json CURRENT.json", file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        base = json.load(f)
+    with open(sys.argv[2]) as f:
+        cur = json.load(f)
+
+    # Wall-clock: report always, warn outside the band, never fail.
+    bw, cw = base.get("wall_clock_s"), cur.get("wall_clock_s")
+    if bw and cw:
+        rel = (cw - bw) / bw
+        print(f"wall-clock: baseline {bw:.1f}s -> current {cw:.1f}s ({rel:+.0%})")
+        if abs(rel) > WALL_TOLERANCE:
+            print(
+                f"::warning::wall-clock {rel:+.0%} vs baseline, outside the "
+                f"+/-{WALL_TOLERANCE:.0%} band (non-blocking; counters gate)"
+            )
+
+    bc = base.get("counters", {})
+    cc = cur.get("counters", {})
+    failures = []
+    for name in sorted(set(bc) | set(cc)):
+        b, c = bc.get(name), cc.get(name)
+        if b == c:
+            print(f"{name:44s} {b:>12d}  ok")
+        elif b is None:
+            failures.append(f"{name}: new counter (current {c}), not in baseline")
+        elif c is None:
+            failures.append(f"{name}: in baseline ({b}) but missing from current run")
+        else:
+            failures.append(f"{name}: baseline {b} -> current {c} ({c - b:+d})")
+
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL  {f}")
+        print(
+            "::error::deterministic counter drift vs test/perf-baseline.json — "
+            "a real algorithmic change; refresh the baseline deliberately if "
+            "it is intended (see scripts/compare_perf_baseline.py)"
+        )
+        return 1
+    print("perf baseline gate passed: all counters exact")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,24 @@ let random_instance ?(n_max = 12) ?(p_max = 6) seed =
   let platform = Platform.comm_homogeneous ~bandwidth:10. speeds in
   Instance.make ~seed app platform
 
+(* Uniform message sizes — the precondition of the lazy candidate
+   lattice (Candidates.Set), so the lattice props can force the lazy
+   representation on every draw. *)
+let random_uniform_delta_instance ?(n_max = 12) ?(p_max = 6) seed =
+  let rng = Pipeline_util.Rng.create seed in
+  let n = 1 + Pipeline_util.Rng.int rng n_max in
+  let p = 1 + Pipeline_util.Rng.int rng p_max in
+  let delta = float_of_int (Pipeline_util.Rng.int_in rng 0 30) in
+  let works =
+    Array.init n (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 1 20))
+  in
+  let speeds =
+    Array.init p (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 1 20))
+  in
+  let app = Application.make ~deltas:(Array.make (n + 1) delta) works in
+  let platform = Platform.comm_homogeneous ~bandwidth:10. speeds in
+  Instance.make ~seed app platform
+
 (* A deterministic list of seeds for "for all seeds" loops. *)
 let seeds count = List.init count (fun i -> 1000 + (7919 * i))
 

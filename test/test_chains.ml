@@ -95,6 +95,47 @@ let test_probe_min_intervals () =
   Alcotest.(check (option int)) "needs 4" (Some 4) (Probe.min_intervals p ~bound:2.);
   Alcotest.(check (option int)) "impossible" None (Probe.min_intervals p ~bound:1.)
 
+let prop_max_from_equals_linear_scan =
+  (* The O(1) suffix-max table vs rescanning the tail: Float.max over
+     finite non-negative elements selects the same value whatever the
+     fold order, so equality is exact. *)
+  Helpers.qtest "max_from = linear tail scan, bitwise" gen_chain (fun xs ->
+      let a = Array.of_list xs in
+      let p = Prefix.make a in
+      let n = Prefix.n p in
+      let ok = ref true in
+      for k = 1 to n do
+        let m = ref 0. in
+        for i = k to n do
+          m := Float.max !m (Prefix.element p i)
+        done;
+        ok := !ok && Prefix.max_from p k = !m
+      done;
+      !ok)
+
+let prop_capped_probe_equals_uncapped =
+  (* The O(cap log n) early-abort walk is observably identical to the
+     pre-rewrite probe, which counted all intervals and compared after
+     the fact. *)
+  Helpers.qtest "capped min_intervals = uncapped, then compared"
+    QCheck2.Gen.(triple gen_chain (int_range 1 8) (float_range 0. 60.))
+    (fun (xs, cap, bound) ->
+      let prefix = Prefix.make (Array.of_list xs) in
+      let capped = Probe.min_intervals ~cap prefix ~bound in
+      match Probe.min_intervals prefix ~bound with
+      | None -> capped = None
+      | Some k -> capped = if k <= cap then Some k else None)
+
+let prop_feasible_agrees_with_min_intervals =
+  Helpers.qtest "feasible p <=> min_intervals <= p"
+    QCheck2.Gen.(triple gen_chain (int_range 1 8) (float_range 0. 60.))
+    (fun (xs, p, bound) ->
+      let prefix = Prefix.make (Array.of_list xs) in
+      Probe.feasible prefix ~p ~bound
+      = (match Probe.min_intervals prefix ~bound with
+        | Some k -> k <= p
+        | None -> false))
+
 let prop_probe_consistent_with_dp =
   Helpers.qtest "probe feasibility agrees with DP optimum"
     QCheck2.Gen.(pair gen_chain (int_range 1 6))
@@ -446,6 +487,7 @@ let () =
           Alcotest.test_case "longest_fitting" `Quick test_longest_fitting;
           Alcotest.test_case "longest_fitting zeros" `Quick test_longest_fitting_zeros;
           prop_longest_fitting_correct;
+          prop_max_from_equals_linear_scan;
         ] );
       ( "partition",
         [
@@ -459,6 +501,8 @@ let () =
           Alcotest.test_case "witness" `Quick test_probe_partition_witness;
           Alcotest.test_case "min intervals" `Quick test_probe_min_intervals;
           prop_probe_consistent_with_dp;
+          prop_capped_probe_equals_uncapped;
+          prop_feasible_agrees_with_min_intervals;
         ] );
       ( "homogeneous",
         [

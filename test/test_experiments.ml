@@ -486,6 +486,65 @@ let test_robustness_jobs_bit_identical () =
   Alcotest.(check bool) "robustness jobs=4 = jobs=1" true
     (Stdlib.compare (run 1) (run 4) = 0)
 
+(* ------------------------------------------------------------------ *)
+(* Scaling (E6 web-scale ladder)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_scaling_ladder_sizes () =
+  let top l = List.nth l (List.length l - 1) in
+  Alcotest.(check (pair int int)) "full tops at web scale" (50_000, 1_000)
+    (top (Scaling.ladder `Full));
+  Alcotest.(check bool) "smoke stays tiny" true
+    (List.for_all (fun (n, p) -> n <= 200 && p <= 16) (Scaling.ladder `Smoke))
+
+let test_scaling_instance_shape () =
+  let inst = Scaling.instance ~seed:2007 ~n:50 ~p:4 in
+  let app = inst.Instance.app in
+  Alcotest.(check int) "n" 50 (Application.n app);
+  Alcotest.(check int) "p" 4 (Platform.p inst.Instance.platform);
+  (* E6's uniform deltas are the precondition of the lazy lattice. *)
+  Alcotest.(check bool) "uniform deltas" true
+    (let d0 = Application.delta app 0 in
+     Array.for_all (( = ) d0) (Application.deltas app))
+
+let test_scaling_run_deterministic () =
+  let run () = Scaling.run ~seed:2007 (Scaling.ladder `Smoke) in
+  Alcotest.(check bool) "same seed, same measurements" true
+    (Stdlib.compare (run ()) (run ()) = 0);
+  let csv = Scaling.to_csv (run ()) in
+  Alcotest.(check bool) "csv header" true
+    (Str_find.contains csv "nicol bottleneck")
+
+(* Oracle: when every processor runs at the same speed, the all-fastest
+   relaxation IS the homogeneous problem, so the lazy-lattice search
+   must land exactly on Pipeline_optimal.Homogeneous's optimum. *)
+let prop_exact_relaxed_matches_homogeneous_oracle =
+  Helpers.qtest ~count:80 "exact_relaxed_min_period = Homogeneous oracle"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Pipeline_util.Rng.create seed in
+      let n = 1 + Pipeline_util.Rng.int rng 10 in
+      let p = 1 + Pipeline_util.Rng.int rng 4 in
+      let delta = float_of_int (Pipeline_util.Rng.int_in rng 0 30) in
+      let speed = float_of_int (Pipeline_util.Rng.int_in rng 1 10) in
+      let works =
+        Array.init n (fun _ ->
+            float_of_int (Pipeline_util.Rng.int_in rng 1 20))
+      in
+      let app = Application.make ~deltas:(Array.make (n + 1) delta) works in
+      let platform =
+        Platform.comm_homogeneous ~bandwidth:10. (Array.make p speed)
+      in
+      let inst = Instance.make app platform in
+      let period, intervals, _probes =
+        Scaling.exact_relaxed_min_period (Cost.make app platform) ~p
+      in
+      period
+      = (Pipeline_optimal.Homogeneous.min_period inst)
+          .Pipeline_core.Solution.period
+      && intervals >= 1
+      && intervals <= p)
+
 let () =
   Alcotest.run "experiments"
     [
@@ -548,6 +607,13 @@ let () =
         [
           Alcotest.test_case "figure" `Quick test_het_campaign_figure;
           Alcotest.test_case "deterministic" `Quick test_het_campaign_deterministic;
+        ] );
+      ( "scaling",
+        [
+          Alcotest.test_case "ladder sizes" `Quick test_scaling_ladder_sizes;
+          Alcotest.test_case "instance shape" `Quick test_scaling_instance_shape;
+          Alcotest.test_case "deterministic" `Quick test_scaling_run_deterministic;
+          prop_exact_relaxed_matches_homogeneous_oracle;
         ] );
       ( "multicore-determinism",
         [

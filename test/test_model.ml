@@ -403,6 +403,31 @@ let test_app_generator_e4_fractional () =
   done;
   Alcotest.(check bool) "not all integers" true !fractional
 
+let test_app_generator_e6 () =
+  let rng = Pipeline_util.Rng.create 7 in
+  let app = App_generator.generate rng (App_generator.e6 ~n:100) in
+  (* Uniform deltas are load-bearing: the lazy candidate lattice
+     (Candidates.Set) requires them. *)
+  for k = 0 to 100 do
+    Helpers.check_float "fixed deltas" 25. (Application.delta app k)
+  done;
+  for k = 1 to 100 do
+    let w = Application.work app k in
+    Alcotest.(check bool) "w in [1,100]" true (w >= 1. && w <= 100.);
+    Helpers.check_float "integer" (Float.round w) w
+  done
+
+let test_platform_generator_web_scale () =
+  let rng = Pipeline_util.Rng.create 8 in
+  let pl = Platform_generator.web_scale rng ~p:100 in
+  Alcotest.(check bool) "comm hom" true (Platform.is_comm_homogeneous pl);
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "speed is a tier multiple" true
+        (List.mem s [ 5.; 10.; 15.; 20. ]))
+    (Platform.speeds pl);
+  Helpers.check_float "b" 10. (Platform.io_bandwidth pl 0)
+
 let test_platform_generator_ranges () =
   let rng = Pipeline_util.Rng.create 5 in
   let pl = Platform_generator.comm_homogeneous rng ~p:50 in
@@ -986,6 +1011,41 @@ let prop_cost_plain_matches_reference =
       && check (Cost.get app platform)
       && check (Cost.make ~memo:false app platform))
 
+let prop_cost_tables_bit_identical =
+  (* The O(n + p) flat layout (work-sum prefix differences, din/dout
+     tables, lazy cycle memo) vs a memo-free engine, on every (d, e, u)
+     triple and every platform kind. Each cycle is read twice so both
+     the miss and the hit path are compared. *)
+  Helpers.qtest ~count:100 "flat tables = direct evaluation on every (d,e,u)"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 0 2))
+    (fun (seed, kind_choice) ->
+      let inst = cost_instance kind_choice seed in
+      let app = inst.Instance.app and platform = inst.Instance.platform in
+      let cost = Cost.make app platform in
+      let direct = Cost.make ~memo:false app platform in
+      let n = Application.n app and p = Platform.p platform in
+      let comm_hom = Platform.is_comm_homogeneous platform in
+      let ok = ref true in
+      for d = 1 to n do
+        if comm_hom then begin
+          ok := !ok && Cost.din cost ~d = Cost.din direct ~d;
+          ok := !ok && Cost.dout cost ~e:d = Cost.dout direct ~e:d
+        end;
+        for e = d to n do
+          ok := !ok && Cost.work_sum cost ~d ~e = Application.work_sum app d e;
+          if comm_hom then
+            for u = 0 to p - 1 do
+              ok :=
+                !ok
+                && Cost.cycle cost ~d ~e ~u = Cost.cycle direct ~d ~e ~u
+                && Cost.cycle cost ~d ~e ~u = Cost.cycle direct ~d ~e ~u
+                && Cost.compute cost ~d ~e ~u = Cost.compute direct ~d ~e ~u
+                && Cost.contrib cost ~d ~e ~u = Cost.contrib direct ~d ~e ~u
+            done
+        done
+      done;
+      !ok)
+
 let prop_cost_deal_matches_reference =
   Helpers.qtest ~count:200 "Cost deal layer == pre-engine Deal_metrics, bitwise"
     QCheck2.Gen.(int_range 0 100_000)
@@ -1130,6 +1190,9 @@ let () =
           Alcotest.test_case "E2 ranges" `Quick test_app_generator_e2_ranges;
           Alcotest.test_case "E3 ranges" `Quick test_app_generator_e3_ranges;
           Alcotest.test_case "E4 fractional" `Quick test_app_generator_e4_fractional;
+          Alcotest.test_case "E6 web scale" `Quick test_app_generator_e6;
+          Alcotest.test_case "platform web scale" `Quick
+            test_platform_generator_web_scale;
           Alcotest.test_case "platform ranges" `Quick test_platform_generator_ranges;
           Alcotest.test_case "platform het" `Quick test_platform_generator_het;
           Alcotest.test_case "instance helpers" `Quick test_instance_helpers;
@@ -1137,6 +1200,7 @@ let () =
       ( "cost-engine",
         [
           prop_cost_plain_matches_reference;
+          prop_cost_tables_bit_identical;
           prop_cost_deal_matches_reference;
           prop_cost_failure_matches_reference;
         ] );

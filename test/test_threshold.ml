@@ -145,6 +145,74 @@ let prop_search_matches_scan =
       | _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Lazy candidate sets: the (d, e, u) lattice vs the materialised array *)
+(* ------------------------------------------------------------------ *)
+
+(* Uniform deltas force the lazy representation; [~max_materialised:0]
+   makes even these tiny instances take the lattice path, so every prop
+   compares the lattice sweeps against the full sorted array. *)
+let gen_uniform =
+  QCheck2.Gen.map
+    (Helpers.random_uniform_delta_instance ~n_max:8 ~p_max:4)
+    gen_seed
+
+let lazy_and_materialised inst =
+  let cost = Cost.get inst.Instance.app inst.Instance.platform in
+  (Candidates.Set.of_engine ~max_materialised:0 cost, Candidates.periods cost)
+
+let prop_lazy_set_extrema =
+  Helpers.qtest ~count:200 "lazy min/max = array endpoints, bitwise" gen_uniform
+    (fun inst ->
+      let set, cands = lazy_and_materialised inst in
+      let last = Array.length cands - 1 in
+      Candidates.Set.is_lazy set
+      && Candidates.Set.min_elt set = Some cands.(0)
+      && Candidates.Set.max_elt set = Some cands.(last)
+      && Candidates.Set.force set == cands)
+
+let prop_lazy_floor_ceiling_mem =
+  (* Queried at a random off-grid value plus every candidate itself, the
+     lattice sweeps must return the very floats the array searches
+     return (same membership, same sort order). *)
+  Helpers.qtest ~count:200 "lazy floor/ceiling/mem = array searches"
+    QCheck2.Gen.(pair gen_uniform (float_range 0. 400.))
+    (fun (inst, v) ->
+      let set, cands = lazy_and_materialised inst in
+      List.for_all
+        (fun q ->
+          Candidates.Set.floor set q = Candidates.floor cands q
+          && Candidates.Set.ceiling set q = Candidates.ceiling cands q
+          && Candidates.Set.mem set q = Candidates.mem cands q)
+        (v :: Array.to_list cands))
+
+let prop_search_set_matches_search =
+  Helpers.qtest ~count:200 "search_set on the lattice = search on the array"
+    QCheck2.Gen.(pair gen_uniform (float_range 0. 300.))
+    (fun (inst, cutoff) ->
+      let set, cands = lazy_and_materialised inst in
+      let probe t = if t >= cutoff then Some t else None in
+      match
+        (Threshold.search_set ~set ~probe, Threshold.search ~candidates:cands ~probe)
+      with
+      | None, None -> true
+      | Some a, Some b ->
+        a.Threshold.threshold = b.Threshold.threshold
+        && a.Threshold.payload = b.Threshold.payload
+      | _ -> false)
+
+let prop_boundary_set_matches_boundary =
+  Helpers.qtest ~count:200 "boundary_set on the lattice = scan for the boundary"
+    QCheck2.Gen.(pair gen_uniform (float_range 0. 300.))
+    (fun (inst, cutoff) ->
+      let set, cands = lazy_and_materialised inst in
+      let succeeds c = c >= cutoff in
+      let scan = Array.to_seq cands |> Seq.filter succeeds in
+      match (Threshold.boundary_set ~set ~succeeds, scan ()) with
+      | None, Seq.Nil -> true
+      | Some t, Seq.Cons (smallest, _) -> t = smallest
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
 (* Failure thresholds: exact boundary on the candidate grid            *)
 (* ------------------------------------------------------------------ *)
 
@@ -256,6 +324,13 @@ let () =
           Alcotest.test_case "exact smallest feasible" `Quick test_search_exact;
           Alcotest.test_case "infeasible and empty" `Quick test_search_infeasible;
           prop_search_matches_scan;
+        ] );
+      ( "lazy-set",
+        [
+          prop_lazy_set_extrema;
+          prop_lazy_floor_ceiling_mem;
+          prop_search_set_matches_search;
+          prop_boundary_set_matches_boundary;
         ] );
       ("failure-boundary", [ prop_failure_threshold_sound ]);
       ("sp-bi-p", [ prop_sp_bi_p_unchanged ]);
