@@ -35,6 +35,7 @@ type options = {
   mutable faults : bool;
   mutable streaming : bool;
   mutable scaling : bool;
+  mutable serve_load : bool;
   mutable smoke : bool;
   mutable quick : bool;
   mutable pairs : int;
@@ -56,6 +57,9 @@ let options =
     faults = true;
     streaming = true;
     scaling = true;
+    (* Opt-in only (wall-clock measurements): never part of the default
+       or smoke runs, so the deterministic artefact set is untouched. *)
+    serve_load = false;
     smoke = false;
     quick = false;
     pairs = 50;
@@ -108,6 +112,11 @@ let parse_args () =
       ("--scaling",
        Arg.Unit (fun () -> select (fun () -> options.scaling <- true)),
        " only run the E6 web-scale scaling ladder");
+      ("--serve-load",
+       Arg.Unit (fun () -> select (fun () -> options.serve_load <- true)),
+       " only run the serve daemon load generator (requests/s and latency \
+        percentiles per phase; writes <out>/serve-load.csv — wall-clock, \
+        not a determinism artefact)");
       ("--smoke",
        Arg.Unit
          (fun () ->
@@ -1030,6 +1039,59 @@ let run_scaling () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Serve load generator                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock measurements of the daemon (doc/serving.mld): an
+   in-process server on an ephemeral loopback port, driven by the
+   closed-loop client of Pipeline_serve.Load. The cold/warm phase pair
+   measures the warm-engine cache; EXPERIMENTS.md quotes a run. *)
+let run_serve_load () =
+  section
+    (Printf.sprintf
+       "SERVE LOAD: daemon throughput and latency, warm vs cold cache (jobs %d)"
+       (Pipeline_util.Pool.jobs ()));
+  Printf.printf
+    "(in-process daemon, ephemeral loopback port, one connection per\n\
+    \ request; solve-cold = fresh platform fingerprint per request,\n\
+    \ solve-warm = 4 cycling fingerprints; wall-clock, machine-dependent)\n\n";
+  let requests_per_phase =
+    if options.smoke then 10 else if options.quick then 60 else 200
+  in
+  let protocol = Pipeline_serve.Protocol.create () in
+  let server = Pipeline_serve.Server.start ~port:0 protocol in
+  let phases =
+    Fun.protect
+      ~finally:(fun () -> Pipeline_serve.Server.stop server)
+      (fun () ->
+        Pipeline_serve.Load.run ~requests_per_phase
+          ~port:(Pipeline_serve.Server.port server) ())
+  in
+  print_string (Pipeline_serve.Load.render phases);
+  let cs = Pipeline_serve.Protocol.cache_stats protocol in
+  Printf.printf
+    "\n\
+    \  warm-engine cache: %d platform hits, %d misses, %d app hits, %d app \
+     misses, %d evictions\n"
+    cs.Pipeline_serve.Cache.platform_hits cs.Pipeline_serve.Cache.platform_misses
+    cs.Pipeline_serve.Cache.app_hits cs.Pipeline_serve.Cache.app_misses
+    cs.Pipeline_serve.Cache.evictions;
+  (match
+     ( List.find_opt (fun p -> p.Pipeline_serve.Load.label = "solve-cold") phases,
+       List.find_opt (fun p -> p.Pipeline_serve.Load.label = "solve-warm") phases
+     )
+   with
+  | Some cold, Some warm when warm.Pipeline_serve.Load.mean_us > 0. ->
+    Printf.printf "  cold/warm mean latency ratio: %.2fx\n"
+      (cold.Pipeline_serve.Load.mean_us /. warm.Pipeline_serve.Load.mean_us)
+  | _ -> ());
+  let path = Filename.concat options.out "serve-load.csv" in
+  Pipeline_util.Csv.to_file path
+    (String.concat "\n" (Pipeline_serve.Load.to_csv phases) ^ "\n");
+  Printf.printf "  wrote %s\n" path;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   parse_args ();
@@ -1045,6 +1107,7 @@ let () =
   if options.faults then timed "faults" run_faults ();
   if options.streaming then timed "streaming" run_streaming ();
   if options.scaling then timed "scaling" run_scaling ();
+  if options.serve_load then timed "serve-load" run_serve_load ();
   perf_counters := Obs.metrics ();
   if options.timings then timed "timings" run_timings ();
   if options.metrics then begin

@@ -372,11 +372,9 @@ let solve_cmd =
       match heuristic with
       | None -> None
       | Some name -> (
-        match Ureg.find name with
-        | Some info -> Some (name, info)
-        | None ->
-          die "unknown heuristic %s (run 'pipeline-sched list' for the registry)"
-            name)
+        match Ureg.resolve name with
+        | Ok info -> Some (name, info)
+        | Error msg -> die "%s" msg)
     in
     match reliability with
     | Some failure ->
@@ -400,9 +398,13 @@ let solve_cmd =
       | _ -> die "exactly one of --period / --latency is required"
     in
     (match chosen with
-    | Some (name, info) when info.Ureg.kind <> kind ->
-      die "heuristic %s does not match the threshold kind" name
-    | _ -> ());
+    | Some (name, _) -> (
+      (* Re-resolve with the threshold kind so the mismatch diagnostic is
+         the registry's own (shared with the serve daemon's HTTP 400). *)
+      match Ureg.resolve ~kind name with
+      | Ok _ -> ()
+      | Error msg -> die "%s" msg)
+    | None -> ());
     if not (Platform.is_comm_homogeneous inst.Instance.platform) then begin
       match chosen with
       | Some (name, info) when info.Ureg.stack <> Ureg.Het ->
@@ -1005,6 +1007,58 @@ let simulate_cmd =
       $ trace_out $ seed_arg $ crashes $ retries $ backoff $ crash_trace)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let port_arg =
+    Arg.(
+      value
+      & opt int 8080
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on (loopback only); 0 picks a free one.")
+  in
+  let max_body_arg =
+    Arg.(
+      value
+      & opt int (1024 * 1024)
+      & info [ "max-body" ] ~docv:"BYTES"
+          ~doc:"Largest accepted request body (oversized requests get 413).")
+  in
+  let run () port max_body =
+    if port < 0 || port > 65535 then die "--port must be in 0..65535";
+    if max_body < 1 then die "--max-body must be >= 1";
+    (* The daemon always meters: /metrics is an endpoint, not an opt-in
+       flag, so the counters must accumulate from the first request. *)
+    Obs.set_metrics true;
+    let protocol = Pipeline_serve.Protocol.create () in
+    let server =
+      try Pipeline_serve.Server.start ~port ~max_body protocol
+      with Unix.Unix_error (err, _, _) ->
+        die "cannot listen on 127.0.0.1:%d: %s" port (Unix.error_message err)
+    in
+    (* Parsed by the CI smoke script — keep the format stable. *)
+    Format.printf "pipeline-sched: serving on 127.0.0.1:%d (jobs %d)@."
+      (Pipeline_serve.Server.port server)
+      (Pipeline_util.Pool.jobs ());
+    (* Handlers may run at any poll point: only the signal-safe atomic
+       store; the join and socket close happen below, on the way out. *)
+    let shutdown _signal = Pipeline_serve.Server.request_stop server in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle shutdown);
+    Pipeline_serve.Server.wait server;
+    Pipeline_serve.Server.stop server;
+    Format.printf "pipeline-sched: server stopped@."
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scheduling daemon: JSON over HTTP on loopback (solve, \
+          pareto, simulate, metrics, health), one request at a time, \
+          responses byte-identical at any --jobs. See doc/serving.mld.")
+    Term.(const run $ jobs_setup $ port_arg $ max_body_arg)
+
+(* ------------------------------------------------------------------ *)
 (* pareto                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1066,6 +1120,7 @@ let () =
             campaign_cmd;
             validate_cmd;
             pareto_cmd;
+            serve_cmd;
           ])
      with
      | Invalid_argument msg | Failure msg | Sys_error msg ->

@@ -101,6 +101,31 @@ let metrics_csv () =
     (metrics ());
   Buffer.contents buf
 
+(* Prometheus text exposition ("metrics 0.0.4"): one `# HELP` / `# TYPE`
+   preamble per metric, names mangled onto the [a-zA-Z0-9_] alphabet
+   the format allows. Sum entries are counters, Max entries gauges. *)
+let exposition () =
+  let mangle name =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      name
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      let name = mangle e.name in
+      if e.doc <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name e.doc);
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s %s\n" name
+           (match e.kind with Sum -> "counter" | Max -> "gauge"));
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" name (Atomic.get e.cell)))
+    (entries ());
+  Buffer.contents buf
+
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter

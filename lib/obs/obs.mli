@@ -107,6 +107,14 @@ val write_jsonl : string -> unit
 (** JSONL sink: one [{"metric":...,"value":...,"doc":...}] object per
     line, name-sorted, written to the given file. *)
 
+val exposition : unit -> string
+(** Prometheus text-format sink (exposition format 0.0.4), served by the
+    daemon's [/metrics] endpoint: per metric a [# HELP] line (when the
+    registration carried a doc), a [# TYPE] line (counters are
+    [counter], maximum gauges are [gauge]) and a [name value] sample,
+    name-sorted. Names are mangled onto the format's
+    [\[a-zA-Z0-9_\]] alphabet (every other byte becomes ['_']). *)
+
 (** {1 Spans}
 
     A span is a named, timed region of code. Spans nest (the innermost

@@ -178,3 +178,18 @@ let find key =
       || String.lowercase_ascii info.table_name = k
       || String.lowercase_ascii info.paper_name = k)
     all
+
+(* The one resolution path shared by the CLI and the serve daemon, so
+   the diagnostics (and therefore the CLI's exit-2 messages and the
+   server's HTTP 400 bodies) cannot drift apart. *)
+let resolve ?kind key =
+  match find key with
+  | None ->
+    Error
+      (Printf.sprintf
+         "unknown heuristic %s (run 'pipeline-sched list' for the registry)" key)
+  | Some info -> (
+    match kind with
+    | Some k when info.kind <> k ->
+      Error (Printf.sprintf "heuristic %s does not match the threshold kind" key)
+    | _ -> Ok info)

@@ -91,6 +91,13 @@ val find : string -> info option
 (** Look up by [id], [table_name] or [paper_name] (case-insensitive)
     across {!all}. *)
 
+val resolve : ?kind:kind -> string -> (info, string) result
+(** {!find} with the canonical diagnostics: [Error] carries the one-line
+    message for an unknown id, or — when [kind] is given — for a row
+    whose threshold kind does not match. Both the CLI (exit 2) and the
+    serve daemon (HTTP 400, see doc/serving.mld) resolve requests
+    through this, so the two surfaces reject with identical wording. *)
+
 val of_core : Pipeline_core.Registry.info -> info
 (** Embed a core-registry row ([stack = Core]); used by the bench's
     ablations for rows constructed on the fly. *)

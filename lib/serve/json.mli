@@ -1,0 +1,54 @@
+(** Minimal JSON, hand-rolled (the container bakes in no JSON library).
+
+    Exactly what the serving layer needs and nothing more: the JSON
+    value algebra, a strict parser with one-line byte-positioned
+    diagnostics (they become the daemon's HTTP 400 bodies, like the
+    CLI's exit-2 lines), and a {e deterministic} printer — the printer
+    is part of the serve determinism contract (doc/serving.mld):
+    identical requests must produce byte-identical response bodies, so
+    every float is rendered by {!number_to_string}'s shortest
+    round-tripping form and object members print in insertion order. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** members in insertion order *)
+
+val of_string : string -> (t, string) result
+(** Strict RFC 8259 parsing of one value (surrounding whitespace
+    allowed, trailing bytes rejected). [Error] is a single line
+    ["byte N: message"]. Numbers must be finite; [\u]-escapes decode to
+    UTF-8 (surrogate pairs included). *)
+
+val to_string : t -> string
+(** Compact rendering (no whitespace), deterministic: member order is
+    preserved, strings escape the quote, the backslash, the named
+    control shorthands ([\n \r \t \b \f]) and [\u00XX] for remaining
+    control bytes, numbers go through {!number_to_string}. Non-finite
+    numbers render as [null] — the protocol layer never emits them. *)
+
+val number_to_string : float -> string
+(** The shortest of [%.0f] (integers below 1e15), [%.15g], [%.16g],
+    [%.17g] that parses back to the identical bits — so a float
+    surviving a serialise/parse round-trip is bit-identical, which the
+    serve-equals-CLI property tests rely on. *)
+
+(** {2 Accessors} — total, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Object member by name ([None] on non-objects too). *)
+
+val to_float : t -> float option
+
+val to_int : t -> int option
+(** Integral {!Number}s only. *)
+
+val to_string_opt : t -> string option
+val to_list : t -> t list option
+val to_bool : t -> bool option
+
+val floats : t -> float array option
+(** A {!List} of finite {!Number}s. *)

@@ -1,0 +1,724 @@
+(* The serving layer: JSON round-trips, HTTP framing, the warm-engine
+   cache, protocol semantics (CLI-diagnostic parity, byte-identical
+   responses at any --jobs), and the server lifecycle — start, route,
+   respond, reject malformed input, survive concurrent clients,
+   stop/restart. See doc/serving.mld for the contract under test. *)
+
+open Pipeline_model
+module Json = Pipeline_serve.Json
+module Http = Pipeline_serve.Http
+module Cache = Pipeline_serve.Cache
+module Protocol = Pipeline_serve.Protocol
+module Server = Pipeline_serve.Server
+module Ureg = Pipeline_registry
+
+let with_jobs jobs f =
+  let saved = Pipeline_util.Pool.jobs () in
+  Pipeline_util.Pool.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pipeline_util.Pool.set_jobs saved) f
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ok text =
+  match Json.of_string text with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "%S should parse, got: %s" text msg
+
+let parse_err text =
+  match Json.of_string text with
+  | Ok _ -> Alcotest.failf "%S should be rejected" text
+  | Error msg -> msg
+
+let test_json_values () =
+  Alcotest.(check bool) "null" true (parse_ok "null" = Json.Null);
+  Alcotest.(check bool) "true" true (parse_ok "true" = Json.Bool true);
+  Alcotest.(check bool) "int" true (parse_ok "42" = Json.Number 42.);
+  Alcotest.(check bool) "negative exponent" true
+    (parse_ok "-1.5e-3" = Json.Number (-0.0015));
+  Alcotest.(check bool) "string escapes" true
+    (parse_ok {|"a\"b\\c\nd"|} = Json.String "a\"b\\c\nd");
+  Alcotest.(check bool) "raw UTF-8 passes through" true
+    (parse_ok {|"😀"|} = Json.String "\xf0\x9f\x98\x80");
+  Alcotest.(check bool) "escaped surrogate pair" true
+    (parse_ok {|"😀"|} = Json.String "\xf0\x9f\x98\x80");
+  Alcotest.(check bool) "nested" true
+    (parse_ok {| {"a":[1,2],"b":{"c":null}} |}
+    = Json.Obj
+        [
+          ("a", Json.List [ Json.Number 1.; Json.Number 2. ]);
+          ("b", Json.Obj [ ("c", Json.Null) ]);
+        ])
+
+let test_json_rejects () =
+  List.iter
+    (fun text -> ignore (parse_err text))
+    [
+      "";
+      "garbage";
+      "{";
+      "[1,]";
+      "{\"a\":}";
+      "{\"a\" 1}";
+      "+1";
+      "1.";
+      ".5";
+      "nul";
+      "\"unterminated";
+      "\"\x01\"" (* raw control byte *);
+      {|"\ud800"|} (* unpaired high surrogate *);
+      {|"\udc00"|} (* unpaired low surrogate *);
+      {|"\ux111"|};
+      "1e999" (* overflows to infinity: not a finite JSON number *);
+      "nan";
+      "[1] []" (* trailing bytes *);
+      "{\"a\":1}x";
+    ]
+
+let test_json_print_deterministic () =
+  let v =
+    Json.Obj
+      [
+        ("b", Json.Number 1.5);
+        ("a", Json.List [ Json.Null; Json.Bool false; Json.String "x\ny" ]);
+      ]
+  in
+  let printed = Json.to_string v in
+  Alcotest.(check string)
+    "insertion order, compact" {|{"b":1.5,"a":[null,false,"x\ny"]}|} printed;
+  Alcotest.(check string) "print is stable" printed (Json.to_string v)
+
+let tricky_floats =
+  [
+    0.; -0.; 1.; -1.; 0.1; 1. /. 3.; 1e-308; 4e-324; max_float; 1e15 -. 1.;
+    1e15; 12345678901234567.; 6.5; 0.30000000000000004; Float.pi;
+  ]
+
+let test_number_round_trip () =
+  List.iter
+    (fun f ->
+      let s = Json.number_to_string f in
+      match float_of_string_opt s with
+      | None -> Alcotest.failf "%h printed as unparseable %S" f s
+      | Some g ->
+        if not (Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float g))
+        then Alcotest.failf "%h -> %S -> %h: not bit-identical" f s g)
+    tricky_floats
+
+let prop_number_round_trip =
+  Helpers.qtest ~count:500 "random floats round-trip bit-identically"
+    QCheck2.Gen.float (fun f ->
+      QCheck2.assume (Float.is_finite f);
+      let s = Json.number_to_string f in
+      match Json.of_string s with
+      | Ok (Json.Number g) ->
+        Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float g)
+      | _ -> false)
+
+(* A small sized generator of JSON values (atoms at the leaves). *)
+let json_gen =
+  let open QCheck2.Gen in
+  let atom =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map
+          (fun f -> Json.Number (if Float.is_finite f then f else 0.))
+          float;
+        map (fun s -> Json.String s) string_printable;
+      ]
+  in
+  sized @@ fix (fun self n ->
+      if n <= 0 then atom
+      else
+        oneof
+          [
+            atom;
+            map (fun l -> Json.List l) (list_size (0 -- 3) (self (n / 2)));
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (0 -- 3)
+                 (pair (string_size ~gen:(char_range 'a' 'z') (1 -- 5))
+                    (self (n / 2))));
+          ])
+
+let prop_json_round_trip =
+  Helpers.qtest ~count:300 "print/parse round-trips values" json_gen (fun v ->
+      match Json.of_string (Json.to_string v) with
+      | Ok v' -> Json.to_string v = Json.to_string v'
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* HTTP framing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Feed a raw byte string to [read_request] through a socketpair. *)
+let read_raw ?max_body text =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      let len = String.length text in
+      let written = Unix.write_substring a text 0 len in
+      Alcotest.(check int) "request fits the socket buffer" len written;
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      Http.read_request ?max_body b)
+
+let test_http_parses_request () =
+  match
+    read_raw
+      "POST /solve HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\n\
+       Content-Length: 4\r\n\r\n{\"a\"extra"
+  with
+  | Ok req ->
+    Alcotest.(check string) "meth" "POST" req.Http.meth;
+    Alcotest.(check string) "path" "/solve" req.Http.path;
+    Alcotest.(check string) "body honours Content-Length" "{\"a\"" req.Http.body;
+    Alcotest.(check (option string))
+      "header lookup is case-insensitive" (Some "application/json")
+      (Http.header req "CONTENT-TYPE")
+  | Error _ -> Alcotest.fail "well-formed request rejected"
+
+let test_http_no_body () =
+  match read_raw "GET /health HTTP/1.1\r\nHost: x\r\n\r\n" with
+  | Ok req ->
+    Alcotest.(check string) "meth" "GET" req.Http.meth;
+    Alcotest.(check string) "empty body" "" req.Http.body
+  | Error _ -> Alcotest.fail "GET without body rejected"
+
+let test_http_malformed () =
+  let expect_malformed text =
+    match read_raw text with
+    | Error (Http.Malformed _) -> ()
+    | Error (Http.Too_large _) -> Alcotest.failf "%S: Too_large, expected Malformed" text
+    | Error Http.Closed -> Alcotest.failf "%S: Closed, expected Malformed" text
+    | Ok _ -> Alcotest.failf "%S accepted" text
+  in
+  expect_malformed "BLAH\r\n\r\n";
+  expect_malformed "GET /x SMTP/1.0\r\n\r\n";
+  expect_malformed "GET /x HTTP/1.1\r\nno-colon-header\r\n\r\n";
+  expect_malformed "GET /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n";
+  expect_malformed "GET /x HTTP/1.1\r\nContent-Length: -4\r\n\r\n"
+
+let test_http_limits () =
+  (match read_raw ("GET /" ^ String.make 20_000 'a' ^ " HTTP/1.1\r\n\r\n") with
+  | Error (Http.Too_large _) -> ()
+  | _ -> Alcotest.fail "20 KB header block accepted");
+  (match
+     read_raw ~max_body:100 "POST /x HTTP/1.1\r\nContent-Length: 101\r\n\r\n"
+   with
+  | Error (Http.Too_large _) -> ()
+  | _ -> Alcotest.fail "over-cap body accepted");
+  match read_raw "GET /x HTTP/1.1\r\nHost" (* peer gone mid-header *) with
+  | Error Http.Closed -> ()
+  | _ -> Alcotest.fail "truncated request should be Closed"
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_fingerprint_injective () =
+  let distinct =
+    [
+      Platform.comm_homogeneous ~bandwidth:10. [| 2.; 4.; 1. |];
+      Platform.comm_homogeneous ~bandwidth:10.5 [| 2.; 4.; 1. |];
+      Platform.comm_homogeneous ~bandwidth:10. [| 2.; 4. |];
+      Platform.comm_homogeneous ~bandwidth:10. [| 4.; 2.; 1. |];
+      Platform.comm_homogeneous ~io_bandwidth:5. ~bandwidth:10. [| 2.; 4.; 1. |];
+      Platform.fully_heterogeneous
+        ~bandwidths:[| [| 0.; 5. |]; [| 5.; 0. |] |]
+        [| 2.; 4. |];
+      Platform.fully_heterogeneous
+        ~bandwidths:[| [| 0.; 7. |]; [| 7.; 0. |] |]
+        [| 2.; 4. |];
+    ]
+  in
+  let fps = List.map Cache.platform_fingerprint distinct in
+  let sorted = List.sort_uniq compare fps in
+  Alcotest.(check int)
+    "distinct platforms give distinct fingerprints" (List.length fps)
+    (List.length sorted);
+  let p = Platform.comm_homogeneous ~bandwidth:10. [| 2.; 4.; 1. |] in
+  Alcotest.(check string)
+    "equal platforms give equal fingerprints"
+    (Cache.platform_fingerprint p)
+    (Cache.platform_fingerprint
+       (Platform.comm_homogeneous ~bandwidth:10. [| 2.; 4.; 1. |]))
+
+let prop_fingerprint_separates =
+  Helpers.qtest ~count:200 "random instance pairs: fingerprint = equality"
+    QCheck2.Gen.(pair (0 -- 1_000_000) (0 -- 1_000_000))
+    (fun (s1, s2) ->
+      let i1 = Helpers.random_instance s1 and i2 = Helpers.random_instance s2 in
+      let same_fp =
+        Cache.platform_fingerprint i1.Instance.platform
+        = Cache.platform_fingerprint i2.Instance.platform
+        && Cache.app_fingerprint i1.Instance.app
+           = Cache.app_fingerprint i2.Instance.app
+      in
+      let same_value =
+        Platform.equal i1.Instance.platform i2.Instance.platform
+        && Application.equal i1.Instance.app i2.Instance.app
+      in
+      same_fp = same_value)
+
+let test_cache_hits_and_canonicalisation () =
+  let cache = Cache.create () in
+  let fresh () = Helpers.small_instance () in
+  let l1 = Cache.canonical cache (fresh ()) in
+  Alcotest.(check bool) "first lookup misses" false l1.Cache.platform_hit;
+  let l2 = Cache.canonical cache (fresh ()) in
+  Alcotest.(check bool) "second lookup hits platform" true l2.Cache.platform_hit;
+  Alcotest.(check bool) "second lookup hits app" true l2.Cache.app_hit;
+  Alcotest.(check bool) "platform canonicalised to the representative" true
+    (l2.Cache.instance.Instance.platform == l1.Cache.instance.Instance.platform);
+  Alcotest.(check bool) "engine shared" true (l2.Cache.engine == l1.Cache.engine);
+  (* Same platform, different application: platform hit, app miss. *)
+  let other_app =
+    Instance.make
+      (Application.make ~deltas:[| 1.; 1. |] [| 3. |])
+      (Helpers.small_platform ())
+  in
+  let l3 = Cache.canonical cache other_app in
+  Alcotest.(check bool) "platform hit" true l3.Cache.platform_hit;
+  Alcotest.(check bool) "app miss" false l3.Cache.app_hit;
+  let s = Cache.stats cache in
+  Alcotest.(check int) "platform hits" 2 s.Cache.platform_hits;
+  Alcotest.(check int) "platform misses" 1 s.Cache.platform_misses;
+  Alcotest.(check int) "app hits" 1 s.Cache.app_hits;
+  Alcotest.(check int) "app misses" 2 s.Cache.app_misses
+
+let test_cache_eviction () =
+  let cache = Cache.create ~platforms:2 ~apps_per_platform:1 () in
+  let inst b =
+    Instance.make (Helpers.small_app ())
+      (Platform.comm_homogeneous ~bandwidth:b [| 2.; 4.; 1. |])
+  in
+  ignore (Cache.canonical cache (inst 1.));
+  ignore (Cache.canonical cache (inst 2.));
+  ignore (Cache.canonical cache (inst 3.)); (* evicts bandwidth 1 (LRU) *)
+  let l = Cache.canonical cache (inst 1.) in
+  Alcotest.(check bool) "evicted entry misses again" false l.Cache.platform_hit;
+  let s = Cache.stats cache in
+  Alcotest.(check int) "two evictions" 2 s.Cache.evictions;
+  (* The bandwidth-1 re-insert evicted bandwidth 2 (then-LRU), so
+     bandwidth 3 is still resident. *)
+  let l3 = Cache.canonical cache (inst 3.) in
+  Alcotest.(check bool) "MRU survivor still hits" true l3.Cache.platform_hit;
+  let l2 = Cache.canonical cache (inst 2.) in
+  Alcotest.(check bool) "LRU tail went first" false l2.Cache.platform_hit
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let request ?(meth = "POST") ?(path = "/solve") body =
+  { Http.meth; path; headers = [ ("content-type", "application/json") ]; body }
+
+let get path = request ~meth:"GET" ~path ""
+
+let small_solve_body ?heuristic ?(threshold = ("period", 9.)) () =
+  let name, value = threshold in
+  Json.to_string
+    (Json.Obj
+       ([
+          ( "instance",
+            Json.Obj
+              [
+                ( "works",
+                  Json.List [ Json.Number 4.; Json.Number 8.; Json.Number 2.; Json.Number 6. ] );
+                ( "deltas",
+                  Json.List
+                    [
+                      Json.Number 10.; Json.Number 20.; Json.Number 30.;
+                      Json.Number 20.; Json.Number 10.;
+                    ] );
+                ( "platform",
+                  Json.Obj
+                    [
+                      ( "speeds",
+                        Json.List [ Json.Number 2.; Json.Number 4.; Json.Number 1. ] );
+                      ("bandwidth", Json.Number 10.);
+                    ] );
+              ] );
+          (name, Json.Number value);
+        ]
+       @ match heuristic with None -> [] | Some h -> [ ("heuristic", Json.String h) ]))
+
+let error_of body =
+  match Json.of_string body with
+  | Ok (Json.Obj [ ("error", Json.String msg) ]) -> msg
+  | _ -> Alcotest.failf "not a one-line error body: %s" body
+
+let test_protocol_health_and_metrics () =
+  let p = Protocol.create () in
+  let status, ctype, body = Protocol.handle p (get "/health") in
+  Alcotest.(check int) "health 200" 200 status;
+  Alcotest.(check string) "health is json" "application/json" ctype;
+  Alcotest.(check string)
+    "health body" {|{"status":"ok","service":"pipeline-sched","version":"1.0.0"}|}
+    body;
+  let status, ctype, body = Protocol.handle p (get "/metrics") in
+  Alcotest.(check int) "metrics 200" 200 status;
+  Alcotest.(check string) "metrics exposition type" "text/plain; version=0.0.4" ctype;
+  let has_line l = List.mem l (String.split_on_char '\n' body) in
+  Alcotest.(check bool) "serve counter registered" true
+    (has_line "# TYPE serve_requests counter")
+
+let test_protocol_solve () =
+  let p = Protocol.create () in
+  let status, _, body =
+    Protocol.handle p (request (small_solve_body ~heuristic:"h1-sp-mono-p" ()))
+  in
+  Alcotest.(check int) "solve 200" 200 status;
+  let v = parse_ok body in
+  (match Json.member "results" v with
+  | Some (Json.List [ row ]) ->
+    Alcotest.(check (option string))
+      "row id" (Some "h1-sp-mono-p")
+      (Option.bind (Json.member "id" row) Json.to_string_opt);
+    Alcotest.(check (option bool))
+      "feasible" (Some true)
+      (Option.bind (Json.member "feasible" row) Json.to_bool)
+  | _ -> Alcotest.failf "unexpected results shape: %s" body)
+
+let test_protocol_solve_all_rows () =
+  let p = Protocol.create () in
+  let status, _, body = Protocol.handle p (request (small_solve_body ())) in
+  Alcotest.(check int) "solve 200" 200 status;
+  match Json.member "results" (parse_ok body) with
+  | Some (Json.List rows) ->
+    let expected =
+      List.filter (fun (i : Ureg.info) -> i.Ureg.kind = Ureg.Period_fixed) Ureg.paper
+    in
+    Alcotest.(check int)
+      "one row per period-fixed paper heuristic" (List.length expected)
+      (List.length rows)
+  | _ -> Alcotest.failf "unexpected results shape: %s" body
+
+(* The two surfaces share their diagnostics: the serve 400 body is
+   exactly the registry's resolve error (which the CLI prints verbatim
+   before exit 2). *)
+let test_protocol_diagnostic_parity () =
+  let p = Protocol.create () in
+  let expect_echo ~heuristic ~kind =
+    let status, _, body =
+      Protocol.handle p (request (small_solve_body ~heuristic ()))
+    in
+    Alcotest.(check int) (heuristic ^ " is 400") 400 status;
+    match Ureg.resolve ?kind heuristic with
+    | Error expected -> Alcotest.(check string) "wording" expected (error_of body)
+    | Ok _ -> Alcotest.fail "registry accepted what serve rejected"
+  in
+  expect_echo ~heuristic:"nope" ~kind:None;
+  (* h5 is latency-fixed; the request fixes the period. *)
+  expect_echo ~heuristic:"h5-sp-mono-l" ~kind:(Some Ureg.Period_fixed)
+
+let test_protocol_rejects () =
+  let p = Protocol.create () in
+  let expect_status ?(meth = "POST") ?(path = "/solve") status body =
+    let got, _, reply = Protocol.handle p (request ~meth ~path body) in
+    Alcotest.(check int) (Printf.sprintf "%s %s -> %d" meth path status) status got;
+    ignore (error_of reply)
+  in
+  expect_status 400 "";
+  expect_status 400 "garbage";
+  expect_status 400 "[1,2,3]" (* instance missing *);
+  expect_status 400 {|{"instance":{"works":[1],"deltas":[1,1]}}|} (* no platform *);
+  expect_status 400
+    {|{"instance":{"works":[1],"deltas":[1,1],"platform":{"speeds":[1],"bandwidth":10}}}|}
+    (* neither period nor latency *);
+  expect_status 400
+    {|{"instance":{"works":[1],"deltas":[1,1],"platform":{"speeds":[1],"bandwidth":10}},"period":1,"latency":1}|};
+  expect_status 400
+    {|{"instance":{"works":[-1],"deltas":[1,1],"platform":{"speeds":[1],"bandwidth":10}},"period":1}|}
+    (* negative work: the model's own validation *);
+  expect_status 400
+    {|{"instance":{"works":[1],"deltas":[1,1],"platform":{"speeds":[1],"bandwidth":0}},"period":1}|}
+    (* zero bandwidth *);
+  expect_status 400
+    {|{"instance":{"works":[1],"deltas":[1,1,1],"platform":{"speeds":[1],"bandwidth":10}},"period":1}|}
+    (* deltas length mismatch *);
+  expect_status ~path:"/nope" 404 "";
+  expect_status ~meth:"PUT" 405 (small_solve_body ());
+  expect_status ~meth:"POST" ~path:"/health" 405 ""
+
+let test_protocol_simulate_and_pareto () =
+  let p = Protocol.create () in
+  let base = parse_ok (small_solve_body ()) in
+  let with_fields fields =
+    match base with
+    | Json.Obj members -> Json.to_string (Json.Obj (members @ fields))
+    | _ -> assert false
+  in
+  let status, _, body =
+    Protocol.handle p
+      (request ~path:"/simulate" (with_fields [ ("datasets", Json.Number 20.) ]))
+  in
+  Alcotest.(check int) "simulate 200" 200 status;
+  (match Json.member "stats" (parse_ok body) with
+  | Some stats ->
+    Alcotest.(check (option int))
+      "all datasets complete" (Some 20)
+      (Option.bind (Json.member "completed" stats) Json.to_int)
+  | None -> Alcotest.failf "no stats in %s" body);
+  let status, _, body =
+    Protocol.handle p
+      (request ~path:"/simulate" (with_fields [ ("datasets", Json.Number 0.) ]))
+  in
+  Alcotest.(check int) "datasets < 1 is 400" 400 status;
+  ignore (error_of body);
+  let status, _, body = Protocol.handle p (request ~path:"/pareto" (small_solve_body ())) in
+  Alcotest.(check int) "pareto 200" 200 status;
+  match Json.member "points" (parse_ok body) with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.failf "empty pareto front: %s" body
+
+let test_protocol_byte_identity () =
+  let p = Protocol.create () in
+  let solve () =
+    let _, _, body = Protocol.handle p (request (small_solve_body ())) in
+    body
+  in
+  let first = solve () in
+  Alcotest.(check string) "cold vs warm cache" first (solve ());
+  let jobs1 = with_jobs 1 solve in
+  let jobs4 = with_jobs 4 solve in
+  Alcotest.(check string) "jobs 1 vs jobs 4" jobs1 jobs4
+
+(* The serve path against the library: same instance, same threshold,
+   same heuristic => the response carries the same mapping and
+   bit-identical objective values (rendered by the same float printer). *)
+let prop_serve_matches_library =
+  Helpers.qtest ~count:60 "serve solve == direct registry solve"
+    QCheck2.Gen.(0 -- 1_000_000)
+    (fun seed ->
+      let inst = Helpers.random_instance seed in
+      let threshold = Instance.single_proc_period inst *. 0.7 in
+      let p = Protocol.create () in
+      let body =
+        Json.to_string
+          (Json.Obj
+             [
+               ( "instance",
+                 Json.Obj
+                   [
+                     ( "works",
+                       Json.List
+                         (Array.to_list
+                            (Array.map (fun f -> Json.Number f)
+                               (Application.works inst.Instance.app))) );
+                     ( "deltas",
+                       Json.List
+                         (Array.to_list
+                            (Array.map (fun f -> Json.Number f)
+                               (Application.deltas inst.Instance.app))) );
+                     ( "platform",
+                       Json.Obj
+                         [
+                           ( "speeds",
+                             Json.List
+                               (Array.to_list
+                                  (Array.map (fun f -> Json.Number f)
+                                     (Platform.speeds inst.Instance.platform))) );
+                           ("bandwidth", Json.Number 10.);
+                         ] );
+                   ] );
+               ("period", Json.Number threshold);
+             ])
+      in
+      let status, _, reply = Protocol.handle p (request body) in
+      if status <> 200 then false
+      else
+        match Json.member "results" (parse_ok reply) with
+        | Some (Json.List rows) ->
+          let reference =
+            List.filter
+              (fun (i : Ureg.info) -> i.Ureg.kind = Ureg.Period_fixed)
+              Ureg.paper
+          in
+          List.length rows = List.length reference
+          && List.for_all2
+               (fun row (info : Ureg.info) ->
+                 match info.Ureg.solve inst ~threshold with
+                 | None ->
+                   Option.bind (Json.member "feasible" row) Json.to_bool
+                   = Some false
+                 | Some o ->
+                   Option.bind (Json.member "mapping" row) Json.to_string_opt
+                   = Some (Deal_mapping.to_string o.Ureg.mapping)
+                   && (match Json.member "period" row with
+                      | Some (Json.Number f) ->
+                        Json.number_to_string f
+                        = Json.number_to_string o.Ureg.period
+                      | _ -> false)
+                   && match Json.member "latency" row with
+                      | Some (Json.Number f) ->
+                        Json.number_to_string f
+                        = Json.number_to_string o.Ureg.latency
+                      | _ -> false)
+               rows reference
+        | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Server lifecycle                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let with_server ?max_body f =
+  let protocol = Protocol.create () in
+  let server = Server.start ?max_body ~port:0 protocol in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f (Server.port server))
+
+let expect_ok label = function
+  | Ok (status, body) -> (status, body)
+  | Error msg -> Alcotest.failf "%s: transport error %s" label msg
+
+let test_server_routes () =
+  with_server (fun port ->
+      let status, body = expect_ok "health" (Http.get ~port "/health") in
+      Alcotest.(check int) "health 200" 200 status;
+      Alcotest.(check bool) "health body" true
+        (body = {|{"status":"ok","service":"pipeline-sched","version":"1.0.0"}|});
+      let status, _ = expect_ok "solve" (Http.post ~port "/solve" ~body:(small_solve_body ())) in
+      Alcotest.(check int) "solve 200" 200 status;
+      let status, _ = expect_ok "404" (Http.get ~port "/nope") in
+      Alcotest.(check int) "404" 404 status;
+      let status, _ = expect_ok "400" (Http.post ~port "/solve" ~body:"garbage") in
+      Alcotest.(check int) "garbage 400" 400 status)
+
+(* Raw socket: a malformed request line still gets an HTTP response. *)
+let test_server_malformed_request () =
+  with_server (fun port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          let text = "BLAH\r\n\r\n" in
+          ignore (Unix.write_substring fd text 0 (String.length text));
+          let buf = Bytes.create 1024 in
+          let got = Unix.read fd buf 0 1024 in
+          let reply = Bytes.sub_string buf 0 got in
+          Alcotest.(check bool) "400 on malformed request line" true
+            (String.length reply >= 12 && String.sub reply 0 12 = "HTTP/1.1 400")))
+
+let test_server_oversized_body () =
+  with_server ~max_body:100 (fun port ->
+      let status, _ =
+        expect_ok "413" (Http.post ~port "/solve" ~body:(String.make 200 'x'))
+      in
+      Alcotest.(check int) "oversized body is 413" 413 status)
+
+let test_server_concurrent_clients () =
+  with_server (fun port ->
+      let results = Array.make 8 (-1) in
+      let threads =
+        List.init 8 (fun i ->
+            Thread.create
+              (fun () ->
+                let r =
+                  if i mod 2 = 0 then Http.get ~port "/health"
+                  else Http.post ~port "/solve" ~body:(small_solve_body ())
+                in
+                match r with Ok (status, _) -> results.(i) <- status | Error _ -> ())
+              ())
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i status ->
+          Alcotest.(check int) (Printf.sprintf "client %d got 200" i) 200 status)
+        results)
+
+let test_server_stop_restart () =
+  let protocol = Protocol.create () in
+  let server = Server.start ~port:0 protocol in
+  let port = Server.port server in
+  let status, _ = expect_ok "first run" (Http.get ~port "/health") in
+  Alcotest.(check int) "first server responds" 200 status;
+  Server.stop server;
+  Server.stop server (* idempotent *);
+  (match Http.get ~port "/health" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stopped server still answering");
+  (* Same protocol state (the warm cache survives), fresh listener. *)
+  let server = Server.start ~port:0 protocol in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let status, _ =
+        expect_ok "restart" (Http.get ~port:(Server.port server) "/health")
+      in
+      Alcotest.(check int) "restarted server responds" 200 status)
+
+(* Identical requests through the real socket path are byte-identical
+   too (cold, then cache-warm). *)
+let test_server_byte_identity () =
+  with_server (fun port ->
+      let body = small_solve_body () in
+      let _, first = expect_ok "cold" (Http.post ~port "/solve" ~body) in
+      let _, second = expect_ok "warm" (Http.post ~port "/solve" ~body) in
+      Alcotest.(check string) "cold vs warm over HTTP" first second)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "values parse" `Quick test_json_values;
+          Alcotest.test_case "malformed rejected" `Quick test_json_rejects;
+          Alcotest.test_case "printer deterministic" `Quick
+            test_json_print_deterministic;
+          Alcotest.test_case "tricky floats round-trip" `Quick
+            test_number_round_trip;
+          prop_number_round_trip;
+          prop_json_round_trip;
+        ] );
+      ( "http",
+        [
+          Alcotest.test_case "parses request" `Quick test_http_parses_request;
+          Alcotest.test_case "GET without body" `Quick test_http_no_body;
+          Alcotest.test_case "malformed framing" `Quick test_http_malformed;
+          Alcotest.test_case "size limits" `Quick test_http_limits;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "fingerprints injective" `Quick
+            test_fingerprint_injective;
+          prop_fingerprint_separates;
+          Alcotest.test_case "hit/miss and canonicalisation" `Quick
+            test_cache_hits_and_canonicalisation;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_eviction;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "health and metrics" `Quick
+            test_protocol_health_and_metrics;
+          Alcotest.test_case "solve one heuristic" `Quick test_protocol_solve;
+          Alcotest.test_case "solve all paper rows" `Quick
+            test_protocol_solve_all_rows;
+          Alcotest.test_case "CLI diagnostic parity" `Quick
+            test_protocol_diagnostic_parity;
+          Alcotest.test_case "rejections" `Quick test_protocol_rejects;
+          Alcotest.test_case "simulate and pareto" `Quick
+            test_protocol_simulate_and_pareto;
+          Alcotest.test_case "byte-identical responses" `Quick
+            test_protocol_byte_identity;
+          prop_serve_matches_library;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "routes" `Quick test_server_routes;
+          Alcotest.test_case "malformed request line" `Quick
+            test_server_malformed_request;
+          Alcotest.test_case "oversized body" `Quick test_server_oversized_body;
+          Alcotest.test_case "concurrent clients" `Quick
+            test_server_concurrent_clients;
+          Alcotest.test_case "stop and restart" `Quick test_server_stop_restart;
+          Alcotest.test_case "byte-identical over HTTP" `Quick
+            test_server_byte_identity;
+        ] );
+    ]
