@@ -263,6 +263,27 @@ let run_figures () =
   print_endline (E.Report.figure_to_ascii e5);
   let paths = E.Report.write_figure ~dir:options.out e5 in
   List.iter (Printf.printf "  wrote %s\n") paths;
+  print_newline ();
+  (* Exact het thresholds per bandwidth-matrix family (DESIGN.md §13).
+     Every probe lands on the experiments.het.* counters, so the
+     historical counter rows in metrics.csv are untouched. *)
+  let tt =
+    E.Het_campaign.threshold_table
+      ~pairs:(scale (min options.pairs 10))
+      ~seed:options.seed ~n:12 ~p:6 ()
+  in
+  print_endline (E.Het_campaign.render_threshold_table tt);
+  let csv_rows =
+    List.map
+      (fun (name, means) -> name :: List.map (Printf.sprintf "%.17g") means)
+      tt.E.Het_campaign.rows
+  in
+  let het_csv = Filename.concat options.out "het-thresholds.csv" in
+  Pipeline_util.Csv.to_file het_csv
+    (Pipeline_util.Csv.csv_of_rows
+       ~header:(E.Het_campaign.threshold_table_header tt)
+       csv_rows);
+  Printf.printf "  wrote %s\n" het_csv;
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -497,7 +518,7 @@ let threshold_timing_tests () =
              ignore
                (Threshold.boundary
                   ~candidates:(Candidates.periods (Cost.get app platform))
-                  ~succeeds)));
+                  ~succeeds ())));
       Test.make ~name:"boundary-legacy-bisection"
         (Staged.stage (fun () -> ignore (legacy_bisection ())));
     ]
@@ -813,7 +834,20 @@ let ablation_het () =
     "  het heuristic period / optimal period: mean %.3f, max %.3f (%d runs)\n"
     (Pipeline_util.Stats.mean !ratios)
     (snd (Pipeline_util.Stats.min_max !ratios))
-    (List.length !ratios)
+    (List.length !ratios);
+  (* Per bandwidth-matrix family, against the same exhaustive oracle
+     (n <= 8, p <= 6; Het_campaign.validate). *)
+  Printf.printf "  per family (Het_campaign.validate, n <= 8, p <= 6):\n";
+  List.iter
+    (fun family ->
+      let v =
+        E.Het_campaign.validate ~runs:(scale 20) ~seed:options.seed ~family ()
+      in
+      Printf.printf "    %-12s mean %.3f, max %.3f (%d runs)\n"
+        (E.Het_campaign.family_name family)
+        v.E.Het_campaign.mean_ratio v.E.Het_campaign.max_ratio
+        v.E.Het_campaign.runs)
+    E.Het_campaign.families
 
 let ablation_robustness () =
   Printf.printf

@@ -158,9 +158,13 @@ let family_arg =
     & info [ "family" ] ~docv:"FAMILY"
         ~doc:
           "Generate the instance instead of loading one: experiment family \
-           $(b,e1)..$(b,e4) (paper setting, comm-homogeneous platform) or \
+           $(b,e1)..$(b,e4) (paper setting, comm-homogeneous platform), \
            $(b,e6) (web scale: tiered platform, the bench scaling ladder's \
-           instances). Requires $(b,--stages) and $(b,--procs).")
+           instances), the fully-het families $(b,e5), $(b,e5-clustered), \
+           $(b,e5-bottleneck) (per-link bandwidth matrices, DESIGN.md §13), \
+           or $(b,jpeg2000) (the fixed five-stage encoder pipeline on a \
+           clustered platform; $(b,--stages) is ignored). Requires \
+           $(b,--stages) and $(b,--procs).")
 
 let stages_arg =
   Arg.(
@@ -182,16 +186,32 @@ let gen_seed_arg =
         ~doc:"Generator seed for --family (default: the campaign seed 2007).")
 
 let generate_instance ~family ~stages ~procs ~seed =
+  let name = String.lowercase_ascii family in
   let n =
-    match stages with Some n -> n | None -> die "--family requires --stages"
+    match (name, stages) with
+    | "jpeg2000", _ -> 5 (* the encoder pipeline has five fixed stages *)
+    | _, Some n -> n
+    | _, None -> die "--family requires --stages"
   in
   let p =
     match procs with Some p -> p | None -> die "--family requires --procs"
   in
   if n < 1 then die "--stages must be >= 1";
   if p < 1 then die "--procs must be >= 1";
-  match String.lowercase_ascii family with
+  match name with
   | "e6" -> Pipeline_experiments.Scaling.instance ~seed ~n ~p
+  | "e5" | "e5-clustered" | "e5-bottleneck" | "jpeg2000" ->
+    (* Like e6, pointed at the exact instances the het campaign
+       measures: the first element of the family's deterministic
+       batch. *)
+    let family =
+      match name with
+      | "e5" -> Pipeline_experiments.Het_campaign.Uniform_links
+      | "e5-clustered" -> Pipeline_experiments.Het_campaign.Clustered
+      | "e5-bottleneck" -> Pipeline_experiments.Het_campaign.Bottleneck
+      | _ -> Pipeline_experiments.Het_campaign.Jpeg2000
+    in
+    Pipeline_experiments.Het_campaign.family_instance ~seed ~family ~n ~p 0
   | ("e1" | "e2" | "e3" | "e4") as name ->
     let spec =
       match name with
@@ -205,7 +225,11 @@ let generate_instance ~family ~stages ~procs ~seed =
     let app = App_generator.generate rng spec in
     let platform = Platform_generator.comm_homogeneous rng ~p in
     Instance.make ~id:0 ~seed:tag app platform
-  | other -> die "unknown family %s (e1, e2, e3, e4 or e6)" other
+  | other ->
+    die
+      "unknown family %s (e1, e2, e3, e4, e5, e5-clustered, e5-bottleneck, \
+       e6 or jpeg2000)"
+      other
 
 (* The instance comes from --file, from the three array options, or from
    a --family generator. *)
@@ -354,7 +378,13 @@ let solve_cmd =
              HetP.., DealP/DealL, FtTri or paper name; see $(b,list)).")
   in
   let exact =
-    Arg.(value & flag & info [ "exact" ] ~doc:"Also run the exact subset-DP solver.")
+    Arg.(
+      value & flag
+      & info [ "exact" ]
+          ~doc:
+            "Also run the exact solver: the subset-DP on comm-homogeneous \
+             platforms, the (guarded) exhaustive oracle on fully \
+             heterogeneous ones.")
   in
   let polish =
     Arg.(
@@ -424,9 +454,33 @@ let solve_cmd =
             Pipeline_het.Het_heuristics.minimise_period_under_latency inst
               ~latency:threshold
         in
-        match result with
+        (match result with
         | None -> Format.printf "%-18s FAILED@." "het splitting"
-        | Some sol -> Format.printf "%-18s %a@." "het splitting" pp_solution sol
+        | Some sol -> Format.printf "%-18s %a@." "het splitting" pp_solution sol);
+        if exact then begin
+          (* The bi-criteria DPs need comm-homogeneity; the exhaustive
+             oracle scores any platform, behind its enumeration guard. *)
+          let n = Application.n inst.Instance.app
+          and p = Platform.p inst.Instance.platform in
+          let count = Pipeline_optimal.Exhaustive.count_mappings ~n ~p in
+          if count > 1e7 then
+            die
+              "instance too large for the exact solver on a fully \
+               heterogeneous platform (%.3g interval mappings, cap 1e+07)"
+              count;
+          let sol =
+            match kind with
+            | Registry.Period_fixed ->
+              Pipeline_optimal.Exhaustive.min_latency_under_period inst
+                ~period:threshold
+            | Registry.Latency_fixed ->
+              Pipeline_optimal.Exhaustive.min_period_under_latency inst
+                ~latency:threshold
+          in
+          match sol with
+          | None -> Format.printf "%-18s infeasible@." "exact"
+          | Some sol -> Format.printf "%-18s %a@." "exact" pp_solution sol
+        end
     end
     else begin
       let selected =

@@ -17,6 +17,7 @@ let solve a ~p =
   match
     Pipeline_model.Threshold.search ~candidates:(candidates prefix)
       ~probe:(fun bound -> Probe.partition prefix ~p ~bound)
+      ()
   with
   | Some found ->
     (found.Pipeline_model.Threshold.threshold,

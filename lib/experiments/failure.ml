@@ -14,19 +14,25 @@ let latency_rel = 1e-10
 
 (* Period-direction rows flip feasibility at an achievable period — a
    member of the finite candidate set — so their boundary is found
-   exactly by binary search over that set (DESIGN.md §9). Stacks whose
-   achievable periods leave the plain-interval grid keep the adaptive
-   bisection: het cycle-times depend on the neighbouring processors, and
-   the ft rows charge replication overheads on top of the plain cycle. *)
+   exactly by binary search over that set (DESIGN.md §9). The het rows
+   search the fully-het configuration family of DESIGN.md §13 on any
+   platform kind. Only stacks whose achievable periods leave the
+   plain-interval grid keep the adaptive bisection: the ft rows charge
+   replication overheads on top of the plain cycle, and the deal grid
+   assumes a comm-homogeneous platform. *)
 let period_candidates (info : Registry.info) (inst : Instance.t) =
-  if not (Platform.is_comm_homogeneous inst.platform) then None
-  else
-    let cost = Cost.get inst.app inst.platform in
-    match info.stack with
-    | Registry.Core | Registry.Extension ->
-      Some (Candidates.Set.of_engine cost)
-    | Registry.Deal -> Some (Candidates.Set.of_array (Candidates.deal_periods cost))
-    | Registry.Het | Registry.Ft -> None
+  let comm_hom = Platform.is_comm_homogeneous inst.platform in
+  let set () = Candidates.Set.of_engine (Cost.get inst.app inst.platform) in
+  match info.stack with
+  | Registry.Core | Registry.Extension -> if comm_hom then Some (set ()) else None
+  | Registry.Het -> Some (set ())
+  | Registry.Deal ->
+    if comm_hom then
+      Some
+        (Candidates.Set.of_array
+           (Candidates.deal_periods (Cost.get inst.app inst.platform)))
+    else None
+  | Registry.Ft -> None
 
 let instance_threshold ?(iterations = 40) (info : Registry.info) inst =
   let probes = ref 0 in
@@ -62,7 +68,7 @@ let instance_threshold ?(iterations = 40) (info : Registry.info) inst =
       match period_candidates info inst with
       | None -> bisection ()
       | Some set -> (
-        match Threshold.boundary_set ~set ~succeeds with
+        match Threshold.boundary_set ~set ~succeeds () with
         | Some boundary -> boundary
         | None ->
           (* Even the top candidate failed (the heuristic rejects

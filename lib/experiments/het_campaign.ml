@@ -1,6 +1,22 @@
 open Pipeline_model
 module Series = Pipeline_util.Series
 module Rng = Pipeline_util.Rng
+module Table = Pipeline_util.Table
+
+(* Counters of the exact het threshold machinery (DESIGN.md §13). New
+   names on purpose: the golden-gated metrics dump pins the historical
+   counters, so the het table must only move rows of its own. *)
+let c_threshold_probes =
+  Obs.Counter.make
+    ~doc:"solver feasibility probes in Het_campaign.instance_threshold"
+    "experiments.het.threshold_probes"
+
+let c_search_probes =
+  Obs.Counter.make
+    ~doc:
+      "candidate/bisection probes issued by het threshold searches \
+       (Threshold probe_counter)"
+    "experiments.het.search_probes"
 
 let instance ~seed ~n ~p i =
   let tag = Hashtbl.hash (seed, "E5", n, p, i) in
@@ -15,6 +31,159 @@ let instances ?(pairs = 50) ?(seed = 2007) ~n p =
   Array.to_list
     (Pipeline_util.Pool.map (instance ~seed ~n ~p)
        (Array.init pairs Fun.id))
+
+(* Bandwidth-matrix generator families (DESIGN.md §13). [Uniform_links]
+   deliberately uses a fresh tag rather than reusing [instance]'s "E5"
+   tag: the E5 figure batches stay bit-identical. *)
+
+type family = Uniform_links | Clustered | Bottleneck | Jpeg2000
+
+let families = [ Uniform_links; Clustered; Bottleneck; Jpeg2000 ]
+
+let family_name = function
+  | Uniform_links -> "uniform"
+  | Clustered -> "clustered"
+  | Bottleneck -> "bottleneck"
+  | Jpeg2000 -> "jpeg2000"
+
+let family_instance ~seed ~family ~n ~p i =
+  let tag = Hashtbl.hash (seed, "E5-" ^ family_name family, n, p, i) in
+  let rng = Rng.create tag in
+  let app =
+    match family with
+    | Jpeg2000 -> App_generator.jpeg2000 ()
+    | Uniform_links | Clustered | Bottleneck ->
+      App_generator.generate rng (App_generator.e2 ~n)
+  in
+  let platform =
+    match family with
+    | Uniform_links -> Platform_generator.fully_heterogeneous rng ~p
+    | Clustered | Jpeg2000 -> Platform_generator.clustered rng ~p
+    | Bottleneck -> Platform_generator.bottleneck_link rng ~p
+  in
+  Instance.make ~id:i ~seed:tag app platform
+
+let family_instances ?(pairs = 50) ?(seed = 2007) ~family ~n p =
+  Array.to_list
+    (Pipeline_util.Pool.map
+       (family_instance ~seed ~family ~n ~p)
+       (Array.init pairs Fun.id))
+
+(* Exact threshold of one het row on one instance: binary search over
+   the fully-het candidate set for the period direction, adaptive
+   bisection for latency. Mirrors Failure.instance_threshold but routes
+   every probe to the experiments.het.* counters so the historical
+   metrics rows stay untouched. *)
+let instance_threshold (info : Pipeline_registry.info) (inst : Instance.t) =
+  let probes = ref 0 in
+  let succeeds threshold =
+    incr probes;
+    info.Pipeline_registry.solve inst ~threshold <> None
+  in
+  let bisection () =
+    let hi_start =
+      match info.Pipeline_registry.kind with
+      | Pipeline_registry.Period_fixed -> Instance.single_proc_period inst
+      | Pipeline_registry.Latency_fixed -> Instance.optimal_latency inst
+    in
+    let hi = ref (Float.max hi_start 1e-9) in
+    while not (succeeds !hi) do
+      hi := !hi *. 2.
+    done;
+    let b =
+      Threshold.bisect ~max_probes:40 ~rel:1e-10
+        ~probe_counter:c_search_probes ~lo:0. ~hi:!hi ~feasible:succeeds ()
+    in
+    b.Threshold.lo
+  in
+  let result =
+    match info.Pipeline_registry.kind with
+    | Pipeline_registry.Latency_fixed -> bisection ()
+    | Pipeline_registry.Period_fixed -> (
+      let set = Candidates.Set.of_engine (Cost.get inst.app inst.platform) in
+      match
+        Threshold.boundary_set ~probe_counter:c_search_probes ~set ~succeeds ()
+      with
+      | Some boundary -> boundary
+      | None -> bisection ())
+  in
+  Obs.Counter.add c_threshold_probes !probes;
+  result
+
+type threshold_table = {
+  n : int;
+  p : int;
+  pairs : int;
+  table_families : family list;
+  rows : (string * float list) list;
+}
+
+let threshold_table ?(pairs = 10) ?(seed = 2007) ~n ~p () =
+  Obs.span (Printf.sprintf "het-thresholds:n%d-p%d" n p) @@ fun () ->
+  let batches =
+    List.map (fun family -> family_instances ~pairs ~seed ~family ~n p) families
+  in
+  let rows =
+    List.map
+      (fun (info : Pipeline_registry.info) ->
+        let means =
+          List.map
+            (fun batch ->
+              let ts =
+                Pipeline_util.Pool.map (instance_threshold info)
+                  (Array.of_list batch)
+              in
+              Array.fold_left ( +. ) 0. ts /. float_of_int pairs)
+            batches
+        in
+        (info.Pipeline_registry.table_name, means))
+      Pipeline_registry.het
+  in
+  { n; p; pairs; table_families = families; rows }
+
+let threshold_table_header t =
+  "heuristic" :: List.map family_name t.table_families
+
+let render_threshold_table t =
+  let rows =
+    List.map
+      (fun (name, means) ->
+        name :: List.map (Table.float_cell ~decimals:2) means)
+      t.rows
+  in
+  Printf.sprintf
+    "Mean exact thresholds, het families (n=%d, p=%d, %d pairs)\n%s" t.n t.p
+    t.pairs
+    (Table.render (threshold_table_header t :: rows))
+
+(* Small-instance validation against the exhaustive oracle: the ratio of
+   the het heuristic's unconstrained-best period to the true optimum,
+   per bandwidth family. *)
+type validation = { runs : int; mean_ratio : float; max_ratio : float }
+
+let validate ?(runs = 20) ?(seed = 2007) ~family () =
+  let ratio i =
+    let tag = Hashtbl.hash (seed, "het-validate-" ^ family_name family, i) in
+    let rng = Rng.create tag in
+    let n = Rng.int_in rng 3 8 and p = Rng.int_in rng 2 6 in
+    let inst = family_instance ~seed ~family ~n ~p i in
+    let optimal =
+      (Pipeline_optimal.Exhaustive.min_period inst).Pipeline_core.Solution
+      .period
+    in
+    match
+      Pipeline_het.Het_heuristics.minimise_period_under_latency inst
+        ~latency:infinity
+    with
+    | Some sol -> sol.Pipeline_core.Solution.period /. optimal
+    | None -> infinity
+  in
+  let ratios = Pipeline_util.Pool.map ratio (Array.init runs Fun.id) in
+  {
+    runs;
+    mean_ratio = Array.fold_left ( +. ) 0. ratios /. float_of_int runs;
+    max_ratio = Array.fold_left Float.max neg_infinity ratios;
+  }
 
 (* Grid anchors valid on any platform class. *)
 let period_bounds batch =

@@ -79,7 +79,7 @@ let exact_relaxed_min_period cost ~p =
     in
     walk 1 0
   in
-  match Threshold.search_set ~set ~probe with
+  match Threshold.search_set ~set ~probe () with
   | Some found ->
     (found.Threshold.threshold, found.Threshold.payload, found.Threshold.probes)
   | None -> assert false (* the whole chain on one processor is feasible *)

@@ -20,8 +20,47 @@ let unused_processors (inst : Instance.t) mapping =
   let p = Platform.p inst.platform in
   List.filter (fun u -> not (Mapping.uses mapping u)) (List.init p Fun.id)
 
+(* Comm-aware target ordering (ROADMAP item 3, the H1–H6-style
+   extension; DESIGN.md §13): free processors are ranked by the time
+   interval [j] would take if handed over whole — its input over the
+   link from the upstream processor, its computation at the target's
+   speed, its output over the link to the downstream processor (I/O
+   bandwidth at the pipeline ends). Every candidate is still scored
+   with the full cost model; the rank decides enumeration order, hence
+   which candidate wins among exact (period, latency) ties. On a
+   comm-homogeneous platform the rank reduces to effective speed, and
+   with zero-size messages it is bandwidth-independent (the zero-comm
+   collapse law of Transform relies on this). Ties keep processor-index
+   order. *)
+let ordered_targets (inst : Instance.t) mapping ~j free =
+  match free with
+  | [] | [ _ ] -> free
+  | _ ->
+    let app = inst.Instance.app and platform = inst.Instance.platform in
+    let iv = Mapping.interval mapping j in
+    let d = Interval.first iv and e = Interval.last iv in
+    let m = Mapping.m mapping in
+    let proxy u =
+      let b_in =
+        if j = 0 then Platform.io_bandwidth platform u
+        else Platform.bandwidth platform (Mapping.proc mapping (j - 1)) u
+      in
+      let b_out =
+        if j = m - 1 then Platform.io_bandwidth platform u
+        else Platform.bandwidth platform u (Mapping.proc mapping (j + 1))
+      in
+      Application.delta app (d - 1) /. b_in
+      +. (Application.work_sum app d e /. Platform.speed platform u)
+      +. (Application.delta app e /. b_out)
+    in
+    List.map (fun u -> (proxy u, u)) free
+    |> List.stable_sort (fun (a, _) (b, _) -> compare (a : float) b)
+    |> List.map snd
+
 (* All 2-way splits of interval [j]: every cut, both orientations, every
-   unused processor; scored with the full cost model. *)
+   unused processor (comm-aware order); scored with the full cost
+   model. The returned list preserves enumeration order, so [pick]'s
+   first-wins tie-break favours the comm-aware-best target. *)
 let candidates (inst : Instance.t) (sol : Solution.t) ~j =
   let mapping = sol.Solution.mapping in
   let iv = Mapping.interval mapping j in
@@ -29,6 +68,7 @@ let candidates (inst : Instance.t) (sol : Solution.t) ~j =
   let free = unused_processors inst mapping in
   if Interval.length iv < 2 || free = [] then []
   else begin
+    let targets = ordered_targets inst mapping ~j free in
     let acc = ref [] in
     List.iter
       (fun c ->
@@ -40,9 +80,9 @@ let candidates (inst : Instance.t) (sol : Solution.t) ~j =
                 let mapping' = Mapping.replace mapping ~j parts in
                 acc := Solution.of_mapping inst mapping' :: !acc)
               [ [ (left, kept); (right, u) ]; [ (left, u); (right, kept) ] ])
-          free)
+          targets)
       (Interval.split_points iv);
-    !acc
+    List.rev !acc
   end
 
 type select = Min_period | Min_ratio

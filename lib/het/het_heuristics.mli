@@ -12,12 +12,24 @@
     the candidate pool: the piece handed away may go to {e any} unused
     processor, not only the next fastest — on a heterogeneous network,
     a slightly slower machine with fat links to its neighbours often
-    wins.
+    wins. Free processors are enumerated in {e comm-aware} order
+    (DESIGN.md §13): ranked by the time the bottleneck interval would
+    take on them — boundary input over the link from the upstream
+    processor, compute at their speed, boundary output over the link
+    downstream — so among candidates with exactly equal (period,
+    latency) the one on the best-connected target wins. On a
+    comm-homogeneous platform the rank reduces to effective speed.
 
     Both drivers start from the best single-processor mapping and split
     the current bottleneck interval greedily, like the paper's H1/H5
     pair. They accept any platform (on a communication-homogeneous one
-    they behave like a generalised H1/H5 with free processor choice). *)
+    they behave like a generalised H1/H5 with free processor choice).
+
+    Threshold searches over these heuristics are {e exact} on every
+    platform kind: {!Pipeline_model.Candidates} builds the fully-het
+    candidate family [(speed, boundary-in, boundary-out)] and
+    {!Pipeline_model.Threshold.search_set} binary-searches it, replacing
+    the ε-bisection these rows used before (DESIGN.md §13). *)
 
 open Pipeline_model
 open Pipeline_core

@@ -17,6 +17,27 @@ let e4 ~n = { n; work = Float_uniform (0.01, 10.); delta = Int_uniform (1, 20) }
    at n = 50 000 (DESIGN.md §11). *)
 let e6 ~n = { n; work = Int_uniform (1, 100); delta = Fixed 25. }
 
+(* The JPEG2000-style encoder pipeline of the image-processing follow-up
+   (PAPERS.md, arXiv 0801.1772): tiling, wavelet transform,
+   quantisation, arithmetic coding (Tier-1) and stream formation
+   (Tier-2). The paper's abstract names the pipeline but not its
+   profile, so the weights here follow the standard JPEG2000 profiling
+   narrative — Tier-1 dominates the compute, the data volume shrinks
+   monotonically after quantisation — and are recorded as an
+   interpretation choice in DESIGN.md §13. Fixed (not drawn), so every
+   campaign family and the CLI see the identical application. *)
+let jpeg2000 () =
+  Skeleton.(
+    to_application ~input:16.
+      (pipeline
+         [
+           stage "tiling" ~work:4. ~out:16.;
+           stage "dwt" ~work:30. ~out:16.;
+           stage "quant" ~work:6. ~out:8.;
+           stage "tier1" ~work:55. ~out:2.;
+           stage "tier2" ~work:5. ~out:2.;
+         ]))
+
 let draw rng = function
   | Fixed v -> v
   | Int_uniform (lo, hi) -> float_of_int (Rng.int_in rng lo hi)

@@ -38,6 +38,14 @@ val e6 : n:int -> spec
     lattice monotone, so the exact threshold searches stay lazy at
     [n = 50 000]. *)
 
+val jpeg2000 : unit -> Application.t
+(** The JPEG2000-style encoder pipeline of the image-processing
+    follow-up (PAPERS.md, arXiv 0801.1772): five fixed, labelled stages
+    — tiling, DWT, quantisation, Tier-1 coding, Tier-2 stream formation
+    — with Tier-1 dominating the compute and data volume shrinking
+    after quantisation (the exact weights are an interpretation choice,
+    DESIGN.md §13). Deterministic: not drawn from an RNG. *)
+
 val draw : Pipeline_util.Rng.t -> value_dist -> float
 (** One sample from a distribution. *)
 

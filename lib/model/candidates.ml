@@ -1,8 +1,11 @@
 (* The finite candidate sets behind the exact threshold searches
-   (DESIGN.md §9). Every value is produced by the engine's own cost
-   expressions — Cost.cycle for periods, cycle /. float r for deal
-   periods — so a threshold found here is bit-identical to the objective
-   value of the mapping that realises it. *)
+   (DESIGN.md §9, §13). Every value is produced by the engine's own cost
+   expressions — Cost.config_cycle for periods, cycle /. float r for
+   deal periods — so a threshold found here is bit-identical to the
+   objective value of the mapping that realises it. Platform kind is
+   dispatched once, in Cost.candidate_configs: comm-homogeneous
+   platforms enumerate speed representatives, fully heterogeneous ones
+   the (speed, boundary-in, boundary-out) configuration family. *)
 
 let of_values values =
   let a = Array.of_list (List.sort_uniq compare values) in
@@ -10,33 +13,13 @@ let of_values values =
     invalid_arg "Candidates.of_values: NaN candidate";
   a
 
-(* One representative processor per distinct speed, smallest index first:
-   cycle-times depend on the processor only through its speed, so the
-   value set is unchanged and the enumeration shrinks from p to
-   |distinct speeds| columns. *)
-let speed_representatives platform =
-  let speeds = Platform.speeds platform in
-  let seen = Hashtbl.create 16 in
-  let reps = ref [] in
-  Array.iteri
-    (fun u s ->
-      if not (Hashtbl.mem seen s) then begin
-        Hashtbl.add seen s ();
-        reps := u :: !reps
-      end)
-    speeds;
-  List.rev !reps
-
 let enumerate cost =
-  let platform = Cost.platform cost in
-  if not (Platform.is_comm_homogeneous platform) then
-    invalid_arg "Candidates: requires a comm-homogeneous platform";
   let n = Application.n (Cost.application cost) in
-  let reps = speed_representatives platform in
+  let configs = Cost.candidate_configs cost in
   let acc = ref [] in
   for d = 1 to n do
     for e = d to n do
-      List.iter (fun u -> acc := Cost.cycle cost ~d ~e ~u :: !acc) reps
+      Array.iter (fun c -> acc := Cost.config_cycle cost ~d ~e c :: !acc) configs
     done
   done;
   of_values !acc
@@ -110,7 +93,7 @@ module Set = struct
     | Materialised of float array
     | Lattice of {
         cost : Cost.t;
-        reps : int array;
+        configs : Cost.config array;
         min_elt : float;
         max_elt : float;
       }
@@ -126,32 +109,30 @@ module Set = struct
     done;
     !ok
 
-  let lattice cost reps =
+  let lattice cost configs =
     let n = Application.n (Cost.application cost) in
     (* W(d,e) >= W(k,k) for any k in [d,e] and the cycle is a monotone
-       image of W at fixed speed, so the global minimum is a single-stage
-       cycle; the maximum is the whole chain on the slowest speed — both
+       image of W at fixed config (uniform deltas make both boundary
+       terms interval-independent), so the global minimum is a
+       single-stage cycle; the maximum is the whole chain — both
        attained, hence exact set members. *)
     let min_elt = ref infinity and max_elt = ref neg_infinity in
     Array.iter
-      (fun u ->
+      (fun c ->
         for d = 1 to n do
-          min_elt := Float.min !min_elt (Cost.cycle cost ~d ~e:d ~u)
+          min_elt := Float.min !min_elt (Cost.config_cycle cost ~d ~e:d c)
         done;
-        max_elt := Float.max !max_elt (Cost.cycle cost ~d:1 ~e:n ~u))
-      reps;
-    Lattice { cost; reps; min_elt = !min_elt; max_elt = !max_elt }
+        max_elt := Float.max !max_elt (Cost.config_cycle cost ~d:1 ~e:n c))
+      configs;
+    Lattice { cost; configs; min_elt = !min_elt; max_elt = !max_elt }
 
   let of_engine ?(max_materialised = default_max_materialised) cost =
-    let platform = Cost.platform cost in
-    if not (Platform.is_comm_homogeneous platform) then
-      invalid_arg "Candidates.Set.of_engine: requires a comm-homogeneous platform";
     let app = Cost.application cost in
     let n = Application.n app in
-    let reps = Array.of_list (speed_representatives platform) in
-    let triples = n * (n + 1) / 2 * Array.length reps in
+    let configs = Cost.candidate_configs cost in
+    let triples = n * (n + 1) / 2 * Array.length configs in
     if triples <= max_materialised then Materialised (periods cost)
-    else if uniform_delta app then lattice cost reps
+    else if uniform_delta app then lattice cost configs
     else
       (* Non-uniform deltas break the monotone-in-W argument; fall back
          to materialising even above the cap (documented in DESIGN.md
@@ -172,67 +153,67 @@ module Set = struct
       if c = 0 then None else Some a.(c - 1)
     | Lattice l -> Some l.max_elt
 
-  (* Largest candidate <= v. Per representative speed, the largest
-     feasible interval end for a fixed start d is non-decreasing in d
-     (growing d only shrinks W), so one forward-only e pointer serves
-     all n starts: O(n) cycle evaluations per representative. *)
-  let floor_lattice cost reps v =
+  (* Largest candidate <= v. Per configuration, the largest feasible
+     interval end for a fixed start d is non-decreasing in d (growing d
+     only shrinks W), so one forward-only e pointer serves all n starts:
+     O(n) cycle evaluations per configuration. *)
+  let floor_lattice cost configs v =
     let n = Application.n (Cost.application cost) in
     let best = ref None in
     Array.iter
-      (fun u ->
+      (fun cf ->
         let e = ref 0 in
         for d = 1 to n do
           if !e < d - 1 then e := d - 1;
-          while !e < n && Cost.cycle cost ~d ~e:(!e + 1) ~u <= v do
+          while !e < n && Cost.config_cycle cost ~d ~e:(!e + 1) cf <= v do
             incr e
           done;
           if !e >= d then begin
             (* Row maximum <= v: cycles grow with e, so the last feasible
                end holds the row's largest value under v. *)
-            let c = Cost.cycle cost ~d ~e:!e ~u in
+            let c = Cost.config_cycle cost ~d ~e:!e cf in
             match !best with
             | Some b when b >= c -> ()
             | _ -> best := Some c
           end
         done)
-      reps;
+      configs;
     !best
 
   (* Smallest candidate >= v: the mirror sweep. The first end whose
      cycle reaches v is non-decreasing in d, and once a start has no
      such end no later start does (cycles only shrink with d). *)
-  let ceiling_lattice cost reps v =
+  let ceiling_lattice cost configs v =
     let n = Application.n (Cost.application cost) in
     let best = ref None in
     Array.iter
-      (fun u ->
+      (fun cf ->
         let e = ref 1 in
         try
           for d = 1 to n do
             if !e < d then e := d;
-            while !e <= n && Cost.cycle cost ~d ~e:!e ~u < v do
+            while !e <= n && Cost.config_cycle cost ~d ~e:!e cf < v do
               incr e
             done;
             if !e > n then raise Exit;
-            let c = Cost.cycle cost ~d ~e:!e ~u in
+            let c = Cost.config_cycle cost ~d ~e:!e cf in
             match !best with
             | Some b when b <= c -> ()
             | _ -> best := Some c
           done
         with Exit -> ())
-      reps;
+      configs;
     !best
 
   let floor t v =
     match t with
     | Materialised a -> floor a v
-    | Lattice l -> floor_lattice l.cost l.reps v
+    | Lattice l -> floor_lattice l.cost l.configs v
 
   let ceiling t v =
     match t with
     | Materialised a -> ceiling a v
-    | Lattice l -> ceiling_lattice l.cost l.reps v
+    | Lattice l -> ceiling_lattice l.cost l.configs v
 
   let mem t v =
     match t with

@@ -1,21 +1,30 @@
 (** The finite candidate sets of the exact threshold searches.
 
     Equation (1) makes a mapping's period the {e max} of its interval
-    cycle-times, so on a comm-homogeneous platform every achievable
-    period is one of the at most [n(n+1)/2 × |distinct speeds|] values
-    [cycle(d, e, s)] — and a threshold search over periods only needs to
-    probe those (DESIGN.md §9). The arrays returned here are sorted,
-    deduplicated, produced by the engine's own {!Cost.cycle} expressions
-    (no new float associations), and cached lazily on the engine, so
-    enumeration is paid once per [(application, platform)] pair.
+    cycle-times, so every achievable period is one of the finitely many
+    values [cycle(d, e, config)] over the engine's
+    {!Cost.candidate_configs} — the speed representatives on a
+    comm-homogeneous platform ([n(n+1)/2 × |distinct speeds|] values,
+    DESIGN.md §9), and the (speed, boundary-in, boundary-out)
+    configuration family on a fully heterogeneous one
+    ([O(n² · p³)] naively, DESIGN.md §13) — and a threshold search over
+    periods only needs to probe those. The arrays returned here are
+    sorted, deduplicated, produced by the engine's own
+    {!Cost.config_cycle} expressions (no new float associations), and
+    cached lazily on the engine, so enumeration is paid once per
+    [(application, platform)] pair.
 
-    All functions raise [Invalid_argument] on platforms that are not
-    comm-homogeneous (fully heterogeneous cycle-times depend on the
-    neighbouring processors, so the candidate set is not small there). *)
+    Every function works on every platform kind. On fully heterogeneous
+    platforms the set is a {e superset} of the achievable periods (not
+    every configuration is realisable by a mapping), but threshold
+    searches over it remain exact: a monotone feasibility probe flips at
+    an achievable — hence member — value, so the smallest feasible
+    candidate is the true threshold. *)
 
 val periods : Cost.t -> float array
-(** Sorted, deduplicated cycle-times over every interval and distinct
-    speed: the complete set of achievable periods for plain interval
+(** Sorted, deduplicated cycle-times over every interval and candidate
+    configuration: a complete (on fully heterogeneous platforms,
+    superset) enumeration of the achievable periods for plain interval
     mappings. Built on first use, cached on the engine. *)
 
 val deal_periods : Cost.t -> float array
@@ -46,25 +55,25 @@ val floor : float array -> float -> float option
     At paper sizes a set is the materialised sorted array above —
     byte-identical behaviour, same engine cache. Past the materialisation
     cap, applications with {e uniform} deltas switch to a lazy lattice
-    view: cycle-times are weakly monotone in the interval work sum, so
-    minimum, maximum, floor and ceiling are answered by O(n · |speeds|)
-    two-pointer sweeps over the implicit [(d, e, u)] lattice, each
-    comparison evaluating the engine's own {!Cost.cycle} expression.
-    Every answer is an attained set element, bit-identical to the value
-    the materialised array would hold — {!Threshold.search_set} builds
-    an exact web-scale binary search on top of exactly these four
-    queries. *)
+    view: cycle-times are weakly monotone in the interval work sum at
+    fixed configuration, so minimum, maximum, floor and ceiling are
+    answered by O(n · |configs|) two-pointer sweeps over the implicit
+    [(d, e, config)] lattice, each comparison evaluating the engine's
+    own {!Cost.config_cycle} expression. Every answer is an attained set
+    element, bit-identical to the value the materialised array would
+    hold — {!Threshold.search_set} builds an exact web-scale binary
+    search on top of exactly these four queries. *)
 module Set : sig
   type t
 
   val of_engine : ?max_materialised:int -> Cost.t -> t
-  (** The candidate-period set of an engine. Materialised (via
-      {!periods}, hence engine-cached) while
-      [n(n+1)/2 · |distinct speeds| <= max_materialised] (default
-      [2²²]); lazy above the cap when the application's deltas are all
-      equal. Non-uniform deltas above the cap materialise anyway — the
+  (** The candidate-period set of an engine, on any platform kind.
+      Materialised (via {!periods}, hence engine-cached) while
+      [n(n+1)/2 · |configs| <= max_materialised] (default [2²²]); lazy
+      above the cap when the application's deltas are all equal.
+      Non-uniform deltas above the cap materialise anyway — the
       monotone structure the lattice view needs is absent (DESIGN.md
-      §11). Raises on platforms that are not comm-homogeneous. *)
+      §11). *)
 
   val of_array : float array -> t
   (** Wrap an explicitly materialised sorted candidate array (e.g.
@@ -73,8 +82,8 @@ module Set : sig
   val is_lazy : t -> bool
 
   val min_elt : t -> float option
-  (** Smallest element; [None] only for an empty {!of_array}. O(n·u)
-      lazy, O(1) materialised. *)
+  (** Smallest element; [None] only for an empty {!of_array}.
+      O(n·|configs|) lazy, O(1) materialised. *)
 
   val max_elt : t -> float option
 

@@ -3,6 +3,8 @@
    would use — same operands, same IEEE-754 association — so a cache hit
    and a cache miss are bit-identical (DESIGN.md §8). *)
 
+type config = { proc : int; b_in : float; b_out : float }
+
 type t = {
   app : Application.t;
   platform : Platform.t;
@@ -15,6 +17,7 @@ type t = {
   dout_t : float array;  (* δ_e/b, indexed by e = 0..n; [||] off *)
   cycle_memo : bool;
   mutable cycles : float array;  (* (d,e,u) cycle-times, lazy; NaN = unset *)
+  mutable configs : config array;  (* candidate configs; [||] = unset *)
   mutable period_cands : float array;  (* sorted candidate periods; [||] = unset *)
   mutable deal_cands : float array;  (* deal variant (cycle / r); [||] = unset *)
 }
@@ -96,6 +99,7 @@ let make ?(memo = true) app platform =
     dout_t;
     cycle_memo;
     cycles = [||];
+    configs = [||];
     period_cands = [||];
     deal_cands = [||];
   }
@@ -210,6 +214,76 @@ let check_proc t who u =
   if u < 0 || u >= Array.length t.speeds then
     invalid_arg (who ^ ": processor out of range")
 
+(* Candidate configurations (DESIGN.md §13): the one dispatch point that
+   makes the finite-candidate argument platform-kind-agnostic. A mapped
+   interval's cycle-time depends on its processor only through
+   (speed, boundary-in bandwidth, boundary-out bandwidth); on a
+   comm-homogeneous platform both boundary bandwidths are the common b,
+   so the configs are exactly the speed representatives. On a fully
+   heterogeneous platform every boundary bandwidth an interval on [u] can
+   face is one of u's p-1 link bandwidths or its I/O bandwidth, so the
+   (at most p·p²) configs cover every achievable cycle-time — a superset
+   that still yields exact thresholds, because feasibility flips at an
+   achievable (hence member) value. *)
+
+let boundary_bandwidths t u =
+  let p = Array.length t.speeds in
+  let acc = ref [ Platform.io_bandwidth t.platform u ] in
+  for v = 0 to p - 1 do
+    if v <> u then acc := Platform.bandwidth t.platform u v :: !acc
+  done;
+  List.sort_uniq compare !acc
+
+let candidate_configs t =
+  if Array.length t.configs > 0 then t.configs
+  else begin
+    let p = Array.length t.speeds in
+    let seen = Hashtbl.create 16 in
+    let acc = ref [] in
+    if t.comm_hom then
+      (* One representative processor per distinct speed, smallest index
+         first — the shrink the comm-homogeneous enumeration has always
+         applied. *)
+      Array.iteri
+        (fun u s ->
+          let key = (s, t.b, t.b) in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            acc := { proc = u; b_in = t.b; b_out = t.b } :: !acc
+          end)
+        t.speeds
+    else
+      for u = 0 to p - 1 do
+        let bs = boundary_bandwidths t u in
+        List.iter
+          (fun b_in ->
+            List.iter
+              (fun b_out ->
+                let key = (t.speeds.(u), b_in, b_out) in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.add seen key ();
+                  acc := { proc = u; b_in; b_out } :: !acc
+                end)
+              bs)
+          bs
+      done;
+    let configs = Array.of_list (List.rev !acc) in
+    t.configs <- configs;
+    configs
+  end
+
+let config_cycle_u t d e (c : config) =
+  if t.comm_hom then cycle_u t d e c.proc
+  else
+    Application.delta t.app (d - 1) /. c.b_in
+    +. (ws_u t d e /. t.speeds.(c.proc))
+    +. (Application.delta t.app e /. c.b_out)
+
+let config_cycle t ~d ~e config =
+  check_interval t "Cost.config_cycle" d e;
+  check_proc t "Cost.config_cycle" config.proc;
+  config_cycle_u t d e config
+
 let din t ~d =
   require_comm_hom t "Cost.din";
   check_interval t "Cost.din" d d;
@@ -243,7 +317,19 @@ let cycle t ~d ~e ~u =
 
 let period_lower_bound t =
   let s_max = Platform.speed t.platform (Platform.fastest t.platform) in
-  let b = Platform.io_bandwidth t.platform 0 in
+  (* Best-case boundary bandwidth: the common b when comm-homogeneous,
+     otherwise the fastest I/O port any processor offers (the pipeline
+     ends always pay an I/O transfer, never a faster internal link). *)
+  let b =
+    if t.comm_hom then Platform.io_bandwidth t.platform 0
+    else begin
+      let best = ref neg_infinity in
+      for u = 0 to Array.length t.speeds - 1 do
+        best := Float.max !best (Platform.io_bandwidth t.platform u)
+      done;
+      !best
+    end
+  in
   let n = t.n in
   (* Every stage's computation is paid somewhere, at best at full speed;
      the first interval pays the pipeline input, the last one its

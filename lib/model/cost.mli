@@ -117,7 +117,42 @@ val cycle : t -> d:int -> e:int -> u:int -> float
 val period_lower_bound : t -> float
 (** The coarse relaxation used to seed threshold sweeps: every stage
     computed alone on the fastest processor, and the pipeline input /
-    output transfers each paired with their adjacent stage. *)
+    output transfers each paired with their adjacent stage (over the
+    best I/O bandwidth on fully heterogeneous platforms). *)
+
+(** {2 Candidate configurations (any platform kind)}
+
+    The dispatch point behind the exact threshold searches
+    (DESIGN.md §9 and §13): a mapped interval's cycle-time depends on its
+    processor only through the triple (speed, boundary-in bandwidth,
+    boundary-out bandwidth). {!candidate_configs} enumerates one
+    representative per distinct triple — the speed representatives with
+    [(b, b)] on a comm-homogeneous platform, and every
+    (speed, link-or-I/O, link-or-I/O) combination on a fully
+    heterogeneous one (at most [p³] configs, deduplicated) — and
+    {!config_cycle} evaluates the cycle-time of an interval under a
+    config with exactly the float association {!period} uses, so the
+    candidate values are bit-identical to achievable objective values. *)
+
+type config = {
+  proc : int;  (** representative processor (smallest index per triple) *)
+  b_in : float;  (** boundary input bandwidth (link or I/O) *)
+  b_out : float;  (** boundary output bandwidth (link or I/O) *)
+}
+
+val candidate_configs : t -> config array
+(** All distinct (speed, b_in, b_out) configurations, cached on the
+    engine. Deterministic order: processors ascending, bandwidths
+    sorted. On a fully heterogeneous platform this is a {e superset}
+    family — not every config is realisable by some mapping — but
+    threshold searches over it are still exact, because a monotone
+    feasibility probe flips at an achievable (hence member) value. *)
+
+val config_cycle : t -> d:int -> e:int -> config -> float
+(** [δ_{d-1}/b_in + W(d,e)/s_proc + δ_e/b_out] — the cycle-time of
+    interval [\[d, e\]] under a config, in the same association as
+    {!cycle_time}. Comm-homogeneous configs route through the memoised
+    {!cycle} table (bit-identical). *)
 
 (** {2 Plain interval mappings (equations (1) and (2))}
 

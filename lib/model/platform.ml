@@ -73,6 +73,18 @@ let fully_heterogeneous ?io_bandwidths ~bandwidths speeds =
     io;
   }
 
+let scale_rates ~factor t =
+  if not (Float.is_finite factor) || factor <= 0. then
+    invalid_arg "Platform.scale_rates: factor must be finite and > 0";
+  {
+    speeds = Array.map (fun s -> s *. factor) t.speeds;
+    links =
+      (match t.links with
+      | Uniform b -> Uniform (b *. factor)
+      | Matrix m -> Matrix (Array.map (Array.map (fun b -> b *. factor)) m));
+    io = Array.map (fun b -> b *. factor) t.io;
+  }
+
 let p t = Array.length t.speeds
 
 let speed t u =

@@ -44,6 +44,15 @@ val fully_heterogeneous :
     the outside world. Raises [Invalid_argument] on shape or sign
     errors, or if the matrix is not symmetric. *)
 
+val scale_rates : factor:float -> t -> t
+(** [scale_rates ~factor t] multiplies every rate — speeds, link
+    bandwidths and I/O bandwidths — by [factor], preserving the platform
+    kind. Every time a cost function computes is [X / rate], so all
+    periods and latencies scale by [1/factor]; for power-of-two factors
+    the scaling is bit-exact (IEEE-754 division by a scaled power of two
+    only moves the exponent). Raises [Invalid_argument] unless [factor]
+    is finite and strictly positive. *)
+
 val p : t -> int
 (** Number of processors. *)
 

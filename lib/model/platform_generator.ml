@@ -37,3 +37,56 @@ let fully_heterogeneous ?(bandwidth_min = 5) ?(bandwidth_max = 15) ?(speed_min =
     done
   done;
   Platform.fully_heterogeneous ~bandwidths speeds
+
+(* Structured bandwidth-matrix families (DESIGN.md §13): the link
+   topologies real clusters exhibit, used by the het campaign to stress
+   the comm-aware paths beyond uniformly random matrices. *)
+
+let clustered ?(clusters = 2) ?(intra_min = 20) ?(intra_max = 30)
+    ?(inter_min = 2) ?(inter_max = 5) ?(speed_min = 1) ?(speed_max = 20) rng ~p
+    =
+  if clusters < 1 then invalid_arg "Platform_generator: clusters must be >= 1";
+  if intra_min < 1 || intra_max < intra_min || inter_min < 1
+     || inter_max < inter_min
+  then invalid_arg "Platform_generator: bad bandwidth range";
+  let speeds = random_speeds rng ~p ~speed_min ~speed_max in
+  (* Deterministic membership (processor u belongs to cluster u mod
+     clusters): the draw order stays independent of the cluster count. *)
+  let bandwidths = Array.make_matrix p p 0. in
+  for u = 0 to p - 1 do
+    for v = u + 1 to p - 1 do
+      let lo, hi =
+        if u mod clusters = v mod clusters then (intra_min, intra_max)
+        else (inter_min, inter_max)
+      in
+      let b = float_of_int (Rng.int_in rng lo hi) in
+      bandwidths.(u).(v) <- b;
+      bandwidths.(v).(u) <- b
+    done
+  done;
+  Platform.fully_heterogeneous ~bandwidths speeds
+
+let bottleneck_link ?(bandwidth_min = 5) ?(bandwidth_max = 15) ?(slow = 1.)
+    ?(speed_min = 1) ?(speed_max = 20) rng ~p =
+  if bandwidth_min < 1 || bandwidth_max < bandwidth_min then
+    invalid_arg "Platform_generator: bad bandwidth range";
+  if not (Float.is_finite slow) || slow <= 0. then
+    invalid_arg "Platform_generator: slow must be finite and > 0";
+  let speeds = random_speeds rng ~p ~speed_min ~speed_max in
+  let victim = Rng.int rng p in
+  let bandwidths = Array.make_matrix p p 0. in
+  for u = 0 to p - 1 do
+    for v = u + 1 to p - 1 do
+      let b =
+        if u = victim || v = victim then slow
+        else float_of_int (Rng.int_in rng bandwidth_min bandwidth_max)
+      in
+      bandwidths.(u).(v) <- b;
+      bandwidths.(v).(u) <- b
+    done
+  done;
+  let io_bandwidths =
+    Array.init p (fun u ->
+        if u = victim then slow else float_of_int bandwidth_max)
+  in
+  Platform.fully_heterogeneous ~io_bandwidths ~bandwidths speeds

@@ -38,3 +38,37 @@ val fully_heterogeneous :
     symmetric matrix of integer link bandwidths in
     [\[bandwidth_min, bandwidth_max\]] (defaults 5, 15, centred on the
     paper's [b = 10]). *)
+
+val clustered :
+  ?clusters:int ->
+  ?intra_min:int ->
+  ?intra_max:int ->
+  ?inter_min:int ->
+  ?inter_max:int ->
+  ?speed_min:int ->
+  ?speed_max:int ->
+  Pipeline_util.Rng.t ->
+  p:int ->
+  Platform.t
+(** Fully heterogeneous platform whose processors fall into [clusters]
+    groups (default 2; processor [u] belongs to cluster [u mod
+    clusters]): intra-cluster links draw integer bandwidths in
+    [\[intra_min, intra_max\]] (defaults 20, 30), inter-cluster links in
+    [\[inter_min, inter_max\]] (defaults 2, 5) — the fast-islands /
+    slow-backbone shape of multi-rack deployments. *)
+
+val bottleneck_link :
+  ?bandwidth_min:int ->
+  ?bandwidth_max:int ->
+  ?slow:float ->
+  ?speed_min:int ->
+  ?speed_max:int ->
+  Pipeline_util.Rng.t ->
+  p:int ->
+  Platform.t
+(** Fully heterogeneous platform with one uniformly-chosen processor
+    behind a slow pipe: all of its links {e and} its I/O run at [slow]
+    (default 1), every other link draws from
+    [\[bandwidth_min, bandwidth_max\]] (defaults 5, 15) and every other
+    I/O port runs at [bandwidth_max]. Stresses comm-aware processor
+    ordering: the victim may be fast but is expensive to talk to. *)

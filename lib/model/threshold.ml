@@ -25,7 +25,19 @@ let c_lattice_probes =
 
 type 'a found = { threshold : float; payload : 'a; probes : int }
 
-let search ~candidates ~probe =
+(* Callers that must not move the historical counters (new bench
+   sections gated by the golden metrics dump) pass their own
+   [?probe_counter]; it then receives every probe this search issues and
+   the default counters (including the memo-hit bookkeeping) stay
+   untouched. *)
+let account ?probe_counter ~default ~memo_hit probes =
+  match probe_counter with
+  | Some c -> Obs.Counter.add c probes
+  | None ->
+    Obs.Counter.add default probes;
+    if memo_hit then Obs.Counter.add c_memo_hits 1
+
+let search ?probe_counter ~candidates ~probe () =
   let count = Array.length candidates in
   if count = 0 then None
   else begin
@@ -39,7 +51,8 @@ let search ~candidates ~probe =
        re-probed it after the loop to recover the solution. *)
     match run (count - 1) with
     | None ->
-      Obs.Counter.add c_candidate_probes !probes;
+      account ?probe_counter ~default:c_candidate_probes ~memo_hit:false
+        !probes;
       None
     | Some top ->
       let best = ref (count - 1, top) in
@@ -52,8 +65,7 @@ let search ~candidates ~probe =
           hi := mid
         | None -> lo := mid + 1
       done;
-      Obs.Counter.add c_candidate_probes !probes;
-      Obs.Counter.add c_memo_hits 1;
+      account ?probe_counter ~default:c_candidate_probes ~memo_hit:true !probes;
       let i, payload = !best in
       assert (i = !lo);
       Some { threshold = candidates.(i); payload; probes = !probes }
@@ -66,9 +78,9 @@ let search ~candidates ~probe =
    [Int64.bits_of_float] images, so halving the bit bracket and snapping
    each midpoint down onto the set with [Set.floor] finds the smallest
    feasible candidate in at most 64 rounds — no ε, no materialisation. *)
-let search_set ~set ~probe =
+let search_set ?probe_counter ~set ~probe () =
   if not (Candidates.Set.is_lazy set) then
-    search ~candidates:(Candidates.Set.force set) ~probe
+    search ?probe_counter ~candidates:(Candidates.Set.force set) ~probe ()
   else begin
     match (Candidates.Set.min_elt set, Candidates.Set.max_elt set) with
     | None, _ | _, None -> None
@@ -79,12 +91,14 @@ let search_set ~set ~probe =
         probe v
       in
       let finish (threshold, payload) =
-        Obs.Counter.add c_lattice_probes !probes;
+        account ?probe_counter ~default:c_lattice_probes ~memo_hit:false
+          !probes;
         Some { threshold; payload; probes = !probes }
       in
       (match run max_elt with
       | None ->
-        Obs.Counter.add c_lattice_probes !probes;
+        account ?probe_counter ~default:c_lattice_probes ~memo_hit:false
+          !probes;
         None
       | Some top -> (
         if min_elt = max_elt then finish (max_elt, top)
@@ -116,24 +130,28 @@ let search_set ~set ~probe =
             finish !best))
   end
 
-let boundary ~candidates ~succeeds =
+let boundary ?probe_counter ~candidates ~succeeds () =
   match
-    search ~candidates ~probe:(fun t -> if succeeds t then Some () else None)
+    search ?probe_counter ~candidates
+      ~probe:(fun t -> if succeeds t then Some () else None)
+      ()
   with
   | None -> None
   | Some { threshold; _ } -> Some threshold
 
-let boundary_set ~set ~succeeds =
+let boundary_set ?probe_counter ~set ~succeeds () =
   match
-    search_set ~set ~probe:(fun t -> if succeeds t then Some () else None)
+    search_set ?probe_counter ~set
+      ~probe:(fun t -> if succeeds t then Some () else None)
+      ()
   with
   | None -> None
   | Some { threshold; _ } -> Some threshold
 
 type bisection = { lo : float; hi : float; probes : int }
 
-let bisect ?(max_probes = 64) ?(rel = Pipeline_util.Tol.bisect_rel) ~lo ~hi
-    ~feasible () =
+let bisect ?(max_probes = 64) ?(rel = Pipeline_util.Tol.bisect_rel)
+    ?probe_counter ~lo ~hi ~feasible () =
   let lo = ref lo and hi = ref hi in
   let probes = ref 0 in
   (* Memoised midpoints: brackets that collapse onto a previous midpoint
@@ -142,7 +160,7 @@ let bisect ?(max_probes = 64) ?(rel = Pipeline_util.Tol.bisect_rel) ~lo ~hi
   let run mid =
     match List.assoc_opt mid !memo with
     | Some ok ->
-      Obs.Counter.add c_memo_hits 1;
+      if probe_counter = None then Obs.Counter.add c_memo_hits 1;
       ok
     | None ->
       incr probes;
@@ -157,5 +175,5 @@ let bisect ?(max_probes = 64) ?(rel = Pipeline_util.Tol.bisect_rel) ~lo ~hi
     let mid = (!lo +. !hi) /. 2. in
     if run mid then hi := mid else lo := mid
   done;
-  Obs.Counter.add c_bisect_probes !probes;
+  account ?probe_counter ~default:c_bisect_probes ~memo_hit:false !probes;
   { lo = !lo; hi = !hi; probes = !probes }

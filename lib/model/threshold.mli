@@ -17,7 +17,11 @@
        fixed iteration count.}}
 
     Probe counts and memo hits are published through the
-    [model.threshold.*] counters (see [doc/observability.mld]). *)
+    [model.threshold.*] counters (see [doc/observability.mld]). Callers
+    that must not move those historical counters — new bench sections
+    whose metrics would otherwise perturb the golden dump — pass their
+    own [?probe_counter]; it then receives every probe (and the default
+    counters, including the memo-hit bookkeeping, stay untouched). *)
 
 type 'a found = {
   threshold : float;  (** smallest feasible candidate — the exact bound *)
@@ -26,7 +30,11 @@ type 'a found = {
 }
 
 val search :
-  candidates:float array -> probe:(float -> 'a option) -> 'a found option
+  ?probe_counter:Obs.Counter.t ->
+  candidates:float array ->
+  probe:(float -> 'a option) ->
+  unit ->
+  'a found option
 (** [search ~candidates ~probe] — smallest candidate the monotone [probe]
     accepts, with the probe's payload. [candidates] must be sorted
     ascending (as {!Candidates} builds them). [None] when the array is
@@ -36,7 +44,11 @@ val search :
     [model.threshold.memo_hits]). *)
 
 val search_set :
-  set:Candidates.Set.t -> probe:(float -> 'a option) -> 'a found option
+  ?probe_counter:Obs.Counter.t ->
+  set:Candidates.Set.t ->
+  probe:(float -> 'a option) ->
+  unit ->
+  'a found option
 (** {!search} over a possibly-lazy candidate set. Materialised sets
     delegate to {!search} verbatim (same probe sequence, same
     [model.threshold.candidate_probes] counters — bit-identical to the
@@ -49,14 +61,22 @@ val search_set :
     Lazy probes are counted in [model.threshold.lattice_probes]. *)
 
 val boundary :
-  candidates:float array -> succeeds:(float -> bool) -> float option
+  ?probe_counter:Obs.Counter.t ->
+  candidates:float array ->
+  succeeds:(float -> bool) ->
+  unit ->
+  float option
 (** {!search} for plain feasibility tests: the exact threshold at which
     [succeeds] flips from false to true, assuming it only flips at a
     candidate (true whenever the probed solver compares its threshold
     against achievable objective values — DESIGN.md §9). *)
 
 val boundary_set :
-  set:Candidates.Set.t -> succeeds:(float -> bool) -> float option
+  ?probe_counter:Obs.Counter.t ->
+  set:Candidates.Set.t ->
+  succeeds:(float -> bool) ->
+  unit ->
+  float option
 (** {!boundary} over a possibly-lazy set, via {!search_set}. *)
 
 type bisection = {
@@ -68,6 +88,7 @@ type bisection = {
 val bisect :
   ?max_probes:int ->
   ?rel:float ->
+  ?probe_counter:Obs.Counter.t ->
   lo:float ->
   hi:float ->
   feasible:(float -> bool) ->

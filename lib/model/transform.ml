@@ -55,3 +55,17 @@ let scale ?(work = 1.) ?(data = 1.) app =
     Array.init (Application.n app) (fun i -> Application.label app (i + 1))
   in
   Application.make ~labels ~deltas works
+
+(* Metamorphic platform transformations (ROADMAP item 4, DESIGN.md §13):
+   instance rewrites with known exact effects on the optima, used as
+   scale-independent oracles by the registry-wide property tests. *)
+
+let scale_rates ~factor platform = Platform.scale_rates ~factor platform
+
+let drop_comm app =
+  let n = Application.n app in
+  let labels = Array.init n (fun i -> Application.label app (i + 1)) in
+  Application.make ~labels ~deltas:(Array.make (n + 1) 0.) (Application.works app)
+
+let comm_homogenise ~bandwidth platform =
+  Platform.comm_homogeneous ~bandwidth (Platform.speeds platform)

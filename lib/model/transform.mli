@@ -11,7 +11,12 @@
     suboptimal) solutions of the original instance.
 
     {!scale} converts units (e.g. Mcycles to Gcycles, MB to GB) without
-    changing the mapping problem's structure. *)
+    changing the mapping problem's structure.
+
+    {!scale_rates}, {!drop_comm} and {!comm_homogenise} are the
+    metamorphic transformations of ROADMAP item 4: instance rewrites
+    with {e known exact} effects on every solver's output, checked
+    against the whole registry by the property suite (DESIGN.md §13). *)
 
 val coarsen : factor:int -> Application.t -> Application.t
 (** Fuse groups of [factor] consecutive stages (the last group may be
@@ -34,3 +39,22 @@ val coarse_solve :
 val scale : ?work:float -> ?data:float -> Application.t -> Application.t
 (** Multiply all works by [work] and all message sizes by [data]
     (defaults 1). Factors must be strictly positive. *)
+
+val scale_rates : factor:float -> Platform.t -> Platform.t
+(** {!Platform.scale_rates}: uniform speed/bandwidth scaling. Every
+    cost is [X / rate], so all periods and latencies scale by
+    [1/factor] — bit-exactly for power-of-two factors — and optimal
+    mappings are unchanged. *)
+
+val drop_comm : Application.t -> Application.t
+(** Zero every message size ([δ_0 … δ_n] := 0), keeping works and
+    labels. All communication terms become exactly [0 / b = 0.] for any
+    bandwidth, so solver outputs coincide bit-for-bit across platforms
+    that differ only in their links — in particular a fully
+    heterogeneous platform collapses onto its {!comm_homogenise}
+    twin. *)
+
+val comm_homogenise : bandwidth:float -> Platform.t -> Platform.t
+(** Replace every link and I/O bandwidth with the single [bandwidth],
+    keeping the speed vector: the comm-homogeneous twin of a fully
+    heterogeneous platform. *)

@@ -59,7 +59,7 @@ let min_period_under_latency (inst : Instance.t) ~latency =
   in
   (* Smallest candidate period whose latency-optimal mapping fits the
      latency budget (feasibility is monotone in the period threshold). *)
-  match Threshold.search_set ~set:(candidate_set inst) ~probe:feasible with
+  match Threshold.search_set ~set:(candidate_set inst) ~probe:feasible () with
   | None -> None
   | Some found ->
     Obs.Counter.add c_bisect found.Threshold.probes;

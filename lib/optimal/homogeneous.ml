@@ -106,7 +106,7 @@ let min_period_under_latency (inst : Instance.t) ~latency =
     | Some sol when Solution.respects_latency sol latency -> Some sol
     | _ -> None
   in
-  match Threshold.search_set ~set:(candidate_set inst) ~probe:feasible with
+  match Threshold.search_set ~set:(candidate_set inst) ~probe:feasible () with
   | None -> None
   | Some found -> Some found.Threshold.payload
 

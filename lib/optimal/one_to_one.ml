@@ -53,6 +53,7 @@ let min_period (inst : Instance.t) =
     Threshold.search
       ~candidates:(Candidates.of_values !candidates)
       ~probe:(fun threshold -> feasible_assignment inst ~threshold)
+      ()
   with
   | Some found -> solution_of_assignment inst found.Threshold.payload
   | None -> assert false

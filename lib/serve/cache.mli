@@ -55,10 +55,12 @@ type lookup = {
 
 val canonical : t -> Instance.t -> lookup
 (** Canonicalise one request instance, warming the cache on a miss: a
-    fresh entry builds the engine and — on comm-homogeneous platforms up
-    to the candidate-priming cap — enumerates the candidate-period set
-    eagerly, so the cold cost is paid here, once, rather than inside
-    every subsequent solve. *)
+    fresh entry builds the engine and enumerates the candidate-period
+    set eagerly — on comm-homogeneous platforms up to the
+    candidate-priming stage cap, on fully heterogeneous ones up to a
+    materialised-triple cap (the het family is O(n² · |configs|) with up
+    to p³ configurations, DESIGN.md §13) — so the cold cost is paid
+    here, once, rather than inside every subsequent solve. *)
 
 type stats = {
   platform_hits : int;

@@ -267,6 +267,21 @@ let handle_health () =
 
 let handle_metrics () = (200, "text/plain; version=0.0.4", Obs.exposition ())
 
+(* Fully-het exact answers come from the exhaustive oracle; its
+   enumeration guard (10^7 mappings) is re-checked here so oversized
+   requests get a deliberate 400, not a 500. *)
+let exhaustive_cap = 1e7
+
+let check_exhaustive_size (inst : Instance.t) =
+  let n = Application.n inst.Instance.app
+  and p = Platform.p inst.Instance.platform in
+  let count = Pipeline_optimal.Exhaustive.count_mappings ~n ~p in
+  if count > exhaustive_cap then
+    reject 400
+      "instance too large for the exact solver on a fully heterogeneous \
+       platform (%.3g interval mappings, cap %.0e)"
+      count exhaustive_cap
+
 let handle_solve t body =
   let request = instance_of_json body in
   let kind, threshold = threshold_of body in
@@ -318,16 +333,28 @@ let handle_solve t body =
   in
   let results =
     if exact then begin
-      if not comm_hom then
-        reject 400 "the exact solver requires a comm-homogeneous platform";
+      (* Comm-homogeneous: the O(n³p) dynamic programs. Fully het: the
+         exhaustive oracle, behind its enumeration guard (DESIGN.md
+         §13). *)
       let sol =
-        match kind with
-        | Pipeline_core.Registry.Period_fixed ->
-          Pipeline_optimal.Bicriteria.min_latency_under_period inst
-            ~period:threshold
-        | Pipeline_core.Registry.Latency_fixed ->
-          Pipeline_optimal.Bicriteria.min_period_under_latency inst
-            ~latency:threshold
+        if comm_hom then
+          match kind with
+          | Pipeline_core.Registry.Period_fixed ->
+            Pipeline_optimal.Bicriteria.min_latency_under_period inst
+              ~period:threshold
+          | Pipeline_core.Registry.Latency_fixed ->
+            Pipeline_optimal.Bicriteria.min_period_under_latency inst
+              ~latency:threshold
+        else begin
+          check_exhaustive_size inst;
+          match kind with
+          | Pipeline_core.Registry.Period_fixed ->
+            Pipeline_optimal.Exhaustive.min_latency_under_period inst
+              ~period:threshold
+          | Pipeline_core.Registry.Latency_fixed ->
+            Pipeline_optimal.Exhaustive.min_period_under_latency inst
+              ~latency:threshold
+        end
       in
       results @ [ solution_row ~id:"exact" ~name:"exact" sol ]
     end
@@ -351,7 +378,16 @@ let handle_pareto t body =
   let request = instance_of_json body in
   let lookup = Cache.canonical t.cache request in
   let inst = lookup.Cache.instance in
-  let front = Pipeline_optimal.Bicriteria.pareto inst in
+  let front =
+    if Platform.is_comm_homogeneous inst.Instance.platform then
+      Pipeline_optimal.Bicriteria.pareto inst
+    else begin
+      (* Per-link bandwidths break the DP's locality; the exhaustive
+         oracle scores every mapping instead (guarded). *)
+      check_exhaustive_size inst;
+      Pipeline_optimal.Exhaustive.pareto inst
+    end
+  in
   json_response 200
     (Json.Obj
        [
@@ -388,7 +424,16 @@ let handle_simulate t body =
         | Some p -> p
         | None -> Instance.single_proc_period inst *. 0.85
       in
-      match Pipeline_core.Sp_mono_p.solve inst ~period:threshold with
+      (* H1 on comm-homogeneous platforms, the het splitting extension
+         otherwise — the same dispatch as /solve. *)
+      let sol =
+        if Platform.is_comm_homogeneous inst.Instance.platform then
+          Pipeline_core.Sp_mono_p.solve inst ~period:threshold
+        else
+          Pipeline_het.Het_heuristics.minimise_latency_under_period inst
+            ~period:threshold
+      in
+      match sol with
       | None -> reject 400 "no mapping achieves period %g" threshold
       | Some sol -> sol)
   in

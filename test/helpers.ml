@@ -56,6 +56,51 @@ let random_uniform_delta_instance ?(n_max = 12) ?(p_max = 6) seed =
   let platform = Platform.comm_homogeneous ~bandwidth:10. speeds in
   Instance.make ~seed app platform
 
+(* Fully heterogeneous draws: symmetric per-link bandwidth matrix and
+   per-processor I/O bandwidths, so the het candidate-family props and
+   the transform collapse laws exercise every platform shape. *)
+let random_het_instance ?(n_max = 12) ?(p_max = 6) seed =
+  let rng = Pipeline_util.Rng.create seed in
+  let n = 1 + Pipeline_util.Rng.int rng n_max in
+  let p = 1 + Pipeline_util.Rng.int rng p_max in
+  let works =
+    Array.init n (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 1 20))
+  in
+  let deltas =
+    Array.init (n + 1) (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 0 30))
+  in
+  let speeds =
+    Array.init p (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 1 20))
+  in
+  let bandwidths = Array.make_matrix p p 0. in
+  for u = 0 to p - 1 do
+    for v = u + 1 to p - 1 do
+      let b = float_of_int (Pipeline_util.Rng.int_in rng 1 30) in
+      bandwidths.(u).(v) <- b;
+      bandwidths.(v).(u) <- b
+    done
+  done;
+  let io_bandwidths =
+    Array.init p (fun _ -> float_of_int (Pipeline_util.Rng.int_in rng 1 30))
+  in
+  let app = Application.make ~deltas works in
+  let platform =
+    Platform.fully_heterogeneous ~io_bandwidths ~bandwidths speeds
+  in
+  Instance.make ~seed app platform
+
+(* Het platform, uniform message sizes: forces the lazy lattice arm of
+   Candidates.Set on fully-het candidate families. *)
+let random_uniform_delta_het_instance ?(n_max = 12) ?(p_max = 6) seed =
+  let inst = random_het_instance ~n_max ~p_max seed in
+  let app = inst.Instance.app in
+  let n = Application.n app in
+  let delta = Application.delta app 0 in
+  let uniform =
+    Application.make ~deltas:(Array.make (n + 1) delta) (Application.works app)
+  in
+  Instance.make ~seed uniform inst.Instance.platform
+
 (* A deterministic list of seeds for "for all seeds" loops. *)
 let seeds count = List.init count (fun i -> 1000 + (7919 * i))
 

@@ -424,6 +424,162 @@ let test_het_campaign_deterministic () =
         && Platform.equal x.Instance.platform y.Instance.platform))
     a b
 
+let instances_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Instance.t) (y : Instance.t) ->
+         Application.equal x.Instance.app y.Instance.app
+         && Platform.equal x.Instance.platform y.Instance.platform)
+       a b
+
+let test_family_names () =
+  Alcotest.(check (list string)) "names"
+    [ "uniform"; "clustered"; "bottleneck"; "jpeg2000" ]
+    (List.map Het_campaign.family_name Het_campaign.families)
+
+let test_family_instances_deterministic () =
+  List.iter
+    (fun family ->
+      let run () =
+        Het_campaign.family_instances ~pairs:3 ~seed:7 ~family ~n:5 4
+      in
+      Alcotest.(check bool)
+        (Het_campaign.family_name family ^ " deterministic")
+        true
+        (instances_equal (run ()) (run ())))
+    Het_campaign.families;
+  (* distinct families draw from distinct tag streams *)
+  let batch family =
+    Het_campaign.family_instances ~pairs:3 ~seed:7 ~family ~n:5 4
+  in
+  Alcotest.(check bool) "families differ" false
+    (instances_equal
+       (batch Het_campaign.Uniform_links)
+       (batch Het_campaign.Clustered))
+
+let test_family_instances_fully_het () =
+  List.iter
+    (fun family ->
+      List.iter
+        (fun (inst : Instance.t) ->
+          Alcotest.(check bool)
+            (Het_campaign.family_name family ^ " fully het")
+            false
+            (Platform.is_comm_homogeneous inst.Instance.platform))
+        (Het_campaign.family_instances ~pairs:3 ~seed:7 ~family ~n:5 4))
+    Het_campaign.families
+
+let test_jpeg2000_family_shape () =
+  (* the encoder app is fixed — [n] is ignored, the five stages and
+     their weights are the same in every batch element *)
+  let reference = App_generator.jpeg2000 () in
+  Alcotest.(check int) "five stages" 5 (Application.n reference);
+  List.iter
+    (fun (inst : Instance.t) ->
+      Alcotest.(check bool) "same app" true
+        (Application.equal inst.Instance.app reference))
+    (Het_campaign.family_instances ~pairs:3 ~seed:7
+       ~family:Het_campaign.Jpeg2000 ~n:12 4)
+
+let test_threshold_table_shape () =
+  let tt = Het_campaign.threshold_table ~pairs:2 ~seed:7 ~n:6 ~p:4 () in
+  Alcotest.(check int) "four rows" 4 (List.length tt.Het_campaign.rows);
+  Alcotest.(check (list string)) "header"
+    ("heuristic" :: List.map Het_campaign.family_name Het_campaign.families)
+    (Het_campaign.threshold_table_header tt);
+  List.iter
+    (fun (name, means) ->
+      Alcotest.(check int) (name ^ " four columns") 4 (List.length means);
+      List.iter
+        (fun m ->
+          Alcotest.(check bool) (name ^ " finite positive") true
+            (Float.is_finite m && m > 0.))
+        means)
+    tt.Het_campaign.rows;
+  let again = Het_campaign.threshold_table ~pairs:2 ~seed:7 ~n:6 ~p:4 () in
+  Alcotest.(check bool) "deterministic" true (Stdlib.compare tt again = 0)
+
+let test_validate_ratios () =
+  let v =
+    Het_campaign.validate ~runs:4 ~seed:7 ~family:Het_campaign.Clustered ()
+  in
+  Alcotest.(check int) "runs" 4 v.Het_campaign.runs;
+  Alcotest.(check bool) "mean >= 1" true (v.Het_campaign.mean_ratio >= 1.);
+  Alcotest.(check bool) "max >= mean" true
+    (v.Het_campaign.max_ratio >= v.Het_campaign.mean_ratio)
+
+(* ------------------------------------------------------------------ *)
+(* Het platform generators and the JPEG2000 app                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_clustered_generator_shape () =
+  let rng = Pipeline_util.Rng.create 5 in
+  let pf = Platform_generator.clustered rng ~p:6 in
+  Alcotest.(check bool) "fully het" false (Platform.is_comm_homogeneous pf);
+  Alcotest.(check int) "p" 6 (Platform.p pf);
+  for u = 0 to 5 do
+    for v = 0 to 5 do
+      if u <> v then begin
+        let b = Platform.bandwidth pf u v in
+        Alcotest.(check bool) "symmetric" true
+          (b = Platform.bandwidth pf v u);
+        if u mod 2 = v mod 2 then
+          Alcotest.(check bool) "intra fat" true (b >= 20. && b <= 30.)
+        else Alcotest.(check bool) "inter thin" true (b >= 2. && b <= 5.)
+      end
+    done
+  done
+
+let test_bottleneck_generator_shape () =
+  let rng = Pipeline_util.Rng.create 5 in
+  let pf = Platform_generator.bottleneck_link rng ~p:6 in
+  Alcotest.(check bool) "fully het" false (Platform.is_comm_homogeneous pf);
+  (* exactly one victim: all of its links and its I/O run at 1 *)
+  let victims =
+    List.filter
+      (fun u ->
+        List.for_all
+          (fun v ->
+            v = u || Platform.bandwidth pf u v = 1.)
+          [ 0; 1; 2; 3; 4; 5 ]
+        && Platform.io_bandwidth pf u = 1.)
+      [ 0; 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check int) "one victim" 1 (List.length victims);
+  let victim = List.hd victims in
+  List.iter
+    (fun u ->
+      if u <> victim then begin
+        Alcotest.(check bool) "other io fast" true
+          (Platform.io_bandwidth pf u = 15.);
+        List.iter
+          (fun v ->
+            if v <> u && v <> victim then
+              let b = Platform.bandwidth pf u v in
+              Alcotest.(check bool) "other links in range" true
+                (b >= 5. && b <= 15.))
+          [ 0; 1; 2; 3; 4; 5 ]
+      end)
+    [ 0; 1; 2; 3; 4; 5 ]
+
+let test_jpeg2000_app_shape () =
+  let app = App_generator.jpeg2000 () in
+  Alcotest.(check int) "five stages" 5 (Application.n app);
+  (* Tier-1 coding dominates the compute *)
+  let works = Application.works app in
+  Array.iteri
+    (fun i w -> if i <> 3 then
+        Alcotest.(check bool) "tier-1 dominates" true (works.(3) > w))
+    works;
+  (* data volume shrinks monotonically after quantisation (delta_2) *)
+  for u = 2 to 4 do
+    Alcotest.(check bool) "shrinking stream" true
+      (Application.delta app (u + 1) <= Application.delta app u)
+  done;
+  (* deterministic: two calls agree *)
+  Alcotest.(check bool) "fixed" true
+    (Application.equal app (App_generator.jpeg2000 ()))
+
 (* ------------------------------------------------------------------ *)
 (* Multicore determinism: parallel == sequential, bit-for-bit          *)
 (* ------------------------------------------------------------------ *)
@@ -469,6 +625,14 @@ let test_het_campaign_jobs_bit_identical () =
         Het_campaign.figure ~pairs:3 ~sweep_points:4 ~seed:11 ~n:5 4)
   in
   Alcotest.(check bool) "het figure jobs=4 = jobs=1" true
+    (Stdlib.compare (run 1) (run 4) = 0)
+
+let test_het_threshold_table_jobs_bit_identical () =
+  let run jobs =
+    with_jobs jobs (fun () ->
+        Het_campaign.threshold_table ~pairs:2 ~seed:7 ~n:6 ~p:4 ())
+  in
+  Alcotest.(check bool) "het thresholds jobs=4 = jobs=1" true
     (Stdlib.compare (run 1) (run 4) = 0)
 
 let test_robustness_jobs_bit_identical () =
@@ -607,6 +771,25 @@ let () =
         [
           Alcotest.test_case "figure" `Quick test_het_campaign_figure;
           Alcotest.test_case "deterministic" `Quick test_het_campaign_deterministic;
+          Alcotest.test_case "family names" `Quick test_family_names;
+          Alcotest.test_case "family instances deterministic" `Quick
+            test_family_instances_deterministic;
+          Alcotest.test_case "family instances fully het" `Quick
+            test_family_instances_fully_het;
+          Alcotest.test_case "jpeg2000 family shape" `Quick
+            test_jpeg2000_family_shape;
+          Alcotest.test_case "threshold table shape" `Quick
+            test_threshold_table_shape;
+          Alcotest.test_case "validate ratios" `Quick test_validate_ratios;
+        ] );
+      ( "het-generators",
+        [
+          Alcotest.test_case "clustered shape" `Quick
+            test_clustered_generator_shape;
+          Alcotest.test_case "bottleneck shape" `Quick
+            test_bottleneck_generator_shape;
+          Alcotest.test_case "jpeg2000 app shape" `Quick
+            test_jpeg2000_app_shape;
         ] );
       ( "scaling",
         [
@@ -627,6 +810,8 @@ let () =
             test_streaming_campaign_jobs_bit_identical;
           Alcotest.test_case "het campaign bit-identical" `Quick
             test_het_campaign_jobs_bit_identical;
+          Alcotest.test_case "het threshold table bit-identical" `Quick
+            test_het_threshold_table_jobs_bit_identical;
           Alcotest.test_case "robustness bit-identical" `Quick
             test_robustness_jobs_bit_identical;
         ] );

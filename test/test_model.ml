@@ -809,6 +809,173 @@ let test_scale () =
     (try ignore (Transform.scale ~work:0. app); false
      with Invalid_argument _ -> true)
 
+(* --- The metamorphic laws of Transform (DESIGN.md §13) --- *)
+
+module Ureg = Pipeline_registry
+
+let test_scale_rates_shapes () =
+  let pl =
+    Platform.fully_heterogeneous ~io_bandwidths:[| 4.; 6. |]
+      ~bandwidths:[| [| 0.; 8. |]; [| 8.; 0. |] |]
+      [| 2.; 3. |]
+  in
+  let scaled = Transform.scale_rates ~factor:2. pl in
+  Helpers.check_float "speed" 4. (Platform.speed scaled 0);
+  Helpers.check_float "link" 16. (Platform.bandwidth scaled 0 1);
+  Helpers.check_float "io" 12. (Platform.io_bandwidth scaled 1);
+  Alcotest.(check bool) "kind preserved" false
+    (Platform.is_comm_homogeneous scaled);
+  Alcotest.(check bool) "bad factor" true
+    (try ignore (Transform.scale_rates ~factor:0. pl); false
+     with Invalid_argument _ -> true)
+
+let test_drop_comm_and_homogenise () =
+  let app = Transform.drop_comm (Helpers.small_app ()) in
+  Alcotest.(check int) "n kept" 4 (Application.n app);
+  for k = 0 to 4 do
+    Helpers.check_float "delta zero" 0. (Application.delta app k)
+  done;
+  Helpers.check_float "work kept" 8. (Application.work app 2);
+  let pl =
+    Transform.comm_homogenise ~bandwidth:10.
+      (Platform.fully_heterogeneous
+         ~bandwidths:[| [| 0.; 3. |]; [| 3.; 0. |] |]
+         [| 2.; 5. |])
+  in
+  Alcotest.(check bool) "now comm-hom" true (Platform.is_comm_homogeneous pl);
+  Helpers.check_float "speeds kept" 5. (Platform.speed pl 1)
+
+(* Per registry row, a deterministic threshold of the row's kind. *)
+let row_threshold (info : Ureg.info) (inst : Instance.t) =
+  match info.Ureg.kind with
+  | Pipeline_core.Registry.Period_fixed ->
+    0.8 *. Instance.single_proc_period inst
+  | Pipeline_core.Registry.Latency_fixed ->
+    1.5 *. Instance.optimal_latency inst
+
+let outcomes_equal ~factor (a : Ureg.outcome option) (b : Ureg.outcome option)
+    =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b ->
+    b.Ureg.period = a.Ureg.period /. factor
+    && b.Ureg.latency = a.Ureg.latency /. factor
+    && Deal_mapping.to_string b.Ureg.mapping
+       = Deal_mapping.to_string a.Ureg.mapping
+    && b.Ureg.failure = a.Ureg.failure
+  | _ -> false
+
+let prop_scale_rates_scales_every_row =
+  (* Scaling every rate by 2^k scales every cost expression bit-exactly
+     by 2^-k, so every registry row — all stacks — returns the same
+     mapping with period and latency scaled exactly, at the scaled
+     threshold. *)
+  Helpers.qtest ~count:25 "rate scaling: every registry row scales exactly"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range (-3) 3))
+    (fun (seed, k) ->
+      let inst = Helpers.random_instance ~n_max:8 ~p_max:4 seed in
+      let factor = 2. ** Float.of_int k in
+      let scaled =
+        Instance.make inst.Instance.app
+          (Transform.scale_rates ~factor inst.Instance.platform)
+      in
+      List.for_all
+        (fun (info : Ureg.info) ->
+          let threshold = row_threshold info inst in
+          outcomes_equal ~factor
+            (info.Ureg.solve inst ~threshold)
+            (info.Ureg.solve scaled ~threshold:(threshold /. factor)))
+        Ureg.all)
+
+let prop_scale_rates_scales_het_rows =
+  (* The same law on fully heterogeneous platforms (the Het rows are
+     the ones that accept them). *)
+  Helpers.qtest ~count:25 "rate scaling: het rows scale exactly on het"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range (-3) 3))
+    (fun (seed, k) ->
+      let inst = Helpers.random_het_instance ~n_max:8 ~p_max:4 seed in
+      let factor = 2. ** Float.of_int k in
+      let scaled =
+        Instance.make inst.Instance.app
+          (Transform.scale_rates ~factor inst.Instance.platform)
+      in
+      List.for_all
+        (fun (info : Ureg.info) ->
+          let threshold = row_threshold info inst in
+          outcomes_equal ~factor
+            (info.Ureg.solve inst ~threshold)
+            (info.Ureg.solve scaled ~threshold:(threshold /. factor)))
+        Ureg.het)
+
+let prop_drop_comm_collapses_to_comm_hom =
+  (* With zero-size messages every comm term is exactly 0/b = 0, so the
+     fully-het platform and any comm-homogenisation of it are the same
+     cost model bit-for-bit. Checked three ways: (a) Metrics of a random
+     mapping agree on the het twin and the hom twin; (b) the candidate
+     sets coincide; (c) end-to-end, the het-capable registry rows return
+     identical outcomes on both twins, and every registry row — all
+     stacks — is bandwidth-independent on the hom twin (two different
+     homogenisation bandwidths, bit-identical outcomes). *)
+  Helpers.qtest ~count:20 "drop_comm: fully-het collapses to comm-hom"
+    (QCheck2.Gen.int_range 0 100_000)
+    (fun seed ->
+      let inst0 = Helpers.random_het_instance ~n_max:7 ~p_max:4 seed in
+      let app = Transform.drop_comm inst0.Instance.app in
+      let het = Instance.make app inst0.Instance.platform in
+      let hom b =
+        Instance.make app
+          (Transform.comm_homogenise ~bandwidth:b inst0.Instance.platform)
+      in
+      let hom10 = hom 10. and hom3 = hom 3. in
+      let rng = Pipeline_util.Rng.create (seed + 23) in
+      let n = Application.n app and p = Platform.p inst0.Instance.platform in
+      let m = 1 + Pipeline_util.Rng.int rng (min n p) in
+      let cuts =
+        if m = 1 then []
+        else begin
+          let positions = Array.init (n - 1) (fun i -> i + 1) in
+          Pipeline_util.Rng.shuffle rng positions;
+          List.sort compare (Array.to_list (Array.sub positions 0 (m - 1)))
+        end
+      in
+      let procs =
+        Array.to_list (Array.sub (Pipeline_util.Rng.permutation rng p) 0 m)
+      in
+      let mapping = Mapping.of_cuts ~n ~cuts ~procs in
+      let summary (i : Instance.t) =
+        Metrics.summary i.Instance.app i.Instance.platform mapping
+      in
+      let a = summary het and b = summary hom10 in
+      let same_outcome (x : Ureg.outcome option) (y : Ureg.outcome option) =
+        match (x, y) with
+        | None, None -> true
+        | Some x, Some y ->
+          x.Ureg.period = y.Ureg.period
+          && x.Ureg.latency = y.Ureg.latency
+          && Deal_mapping.to_string x.Ureg.mapping
+             = Deal_mapping.to_string y.Ureg.mapping
+        | _ -> false
+      in
+      a.Metrics.period = b.Metrics.period
+      && a.Metrics.latency = b.Metrics.latency
+      && Candidates.periods (Cost.get het.Instance.app het.Instance.platform)
+         = Candidates.periods
+             (Cost.get hom10.Instance.app hom10.Instance.platform)
+      && List.for_all
+           (fun (info : Ureg.info) ->
+             let threshold = row_threshold info het in
+             same_outcome
+               (info.Ureg.solve het ~threshold)
+               (info.Ureg.solve hom10 ~threshold))
+           Ureg.het
+      && List.for_all
+           (fun (info : Ureg.info) ->
+             let threshold = row_threshold info hom10 in
+             same_outcome
+               (info.Ureg.solve hom10 ~threshold)
+               (info.Ureg.solve hom3 ~threshold))
+           Ureg.all)
+
 (* ------------------------------------------------------------------ *)
 (* Cost engine vs the pre-engine arithmetic                            *)
 (* ------------------------------------------------------------------ *)
@@ -1167,6 +1334,12 @@ let () =
           Alcotest.test_case "coarse_solve lifts" `Quick test_coarse_solve_lifts;
           Alcotest.test_case "refine mismatch" `Quick test_refine_rejects_mismatch;
           Alcotest.test_case "scale" `Quick test_scale;
+          Alcotest.test_case "scale_rates shapes" `Quick test_scale_rates_shapes;
+          Alcotest.test_case "drop_comm / comm_homogenise" `Quick
+            test_drop_comm_and_homogenise;
+          prop_scale_rates_scales_every_row;
+          prop_scale_rates_scales_het_rows;
+          prop_drop_comm_collapses_to_comm_hom;
         ] );
       ( "skeleton",
         [

@@ -478,6 +478,155 @@ let test_protocol_simulate_and_pareto () =
   | Some (Json.List (_ :: _)) -> ()
   | _ -> Alcotest.failf "empty pareto front: %s" body
 
+(* Fully heterogeneous bodies on every POST endpoint (DESIGN.md §13):
+   /solve with the exact exhaustive row, /pareto via the exhaustive
+   oracle, /simulate both with an explicit mapping and through the het
+   splitting default. *)
+let het_instance_json =
+  let nums l = Json.List (List.map (fun v -> Json.Number v) l) in
+  Json.Obj
+    [
+      ("works", nums [ 4.; 8.; 2.; 6. ]);
+      ("deltas", nums [ 10.; 20.; 30.; 20.; 10. ]);
+      ( "platform",
+        Json.Obj
+          [
+            ("speeds", nums [ 1.; 2.; 3. ]);
+            ( "bandwidths",
+              Json.List
+                [ nums [ 0.; 2.; 5. ]; nums [ 2.; 0.; 3. ]; nums [ 5.; 3.; 0. ] ]
+            );
+            ("io_bandwidths", nums [ 10.; 10.; 10. ]);
+          ] );
+    ]
+
+let het_body fields =
+  Json.to_string (Json.Obj (("instance", het_instance_json) :: fields))
+
+let het_library_instance () =
+  let app =
+    Application.make ~deltas:[| 10.; 20.; 30.; 20.; 10. |] [| 4.; 8.; 2.; 6. |]
+  in
+  let platform =
+    Platform.fully_heterogeneous ~io_bandwidths:[| 10.; 10.; 10. |]
+      ~bandwidths:[| [| 0.; 2.; 5. |]; [| 2.; 0.; 3. |]; [| 5.; 3.; 0. |] |]
+      [| 1.; 2.; 3. |]
+  in
+  Instance.make app platform
+
+let test_protocol_het_solve_exact () =
+  let p = Protocol.create () in
+  let status, _, body =
+    Protocol.handle p
+      (request (het_body [ ("period", Json.Number 9.); ("exact", Json.Bool true) ]))
+  in
+  Alcotest.(check int) "het solve 200" 200 status;
+  match Json.member "results" (parse_ok body) with
+  | Some (Json.List rows) ->
+    let ids =
+      List.filter_map (fun r -> Option.bind (Json.member "id" r) Json.to_string_opt) rows
+    in
+    Alcotest.(check (list string))
+      "het splitting then the exact oracle" [ "het-splitting"; "exact" ] ids;
+    let exact = List.nth rows 1 in
+    (match
+       Pipeline_optimal.Exhaustive.min_latency_under_period
+         (het_library_instance ()) ~period:9.
+     with
+    | None -> Alcotest.fail "oracle infeasible where serve answered"
+    | Some sol ->
+      Alcotest.(check (option (float 0.)))
+        "exact period bitwise"
+        (Some sol.Pipeline_core.Solution.period)
+        (Option.bind (Json.member "period" exact) Json.to_float);
+      Alcotest.(check (option (float 0.)))
+        "exact latency bitwise"
+        (Some sol.Pipeline_core.Solution.latency)
+        (Option.bind (Json.member "latency" exact) Json.to_float))
+  | _ -> Alcotest.failf "unexpected results shape: %s" body
+
+let test_protocol_het_pareto () =
+  let p = Protocol.create () in
+  let status, _, body = Protocol.handle p (request ~path:"/pareto" (het_body [])) in
+  Alcotest.(check int) "het pareto 200" 200 status;
+  let front = Pipeline_optimal.Exhaustive.pareto (het_library_instance ()) in
+  match Json.member "points" (parse_ok body) with
+  | Some (Json.List points) ->
+    Alcotest.(check int) "front size" (List.length front) (List.length points);
+    List.iteri
+      (fun i point ->
+        let sol = List.nth front i in
+        Alcotest.(check (option (float 0.)))
+          (Printf.sprintf "point %d period bitwise" i)
+          (Some sol.Pipeline_core.Solution.period)
+          (Option.bind (Json.member "period" point) Json.to_float))
+      points
+  | _ -> Alcotest.failf "unexpected points shape: %s" body
+
+let test_protocol_het_simulate () =
+  let p = Protocol.create () in
+  let status, _, body =
+    Protocol.handle p
+      (request ~path:"/simulate"
+         (het_body
+            [ ("mapping", Json.String "1-4:2"); ("datasets", Json.Number 10.) ]))
+  in
+  Alcotest.(check int) "het simulate (explicit mapping) 200" 200 status;
+  (match Json.member "stats" (parse_ok body) with
+  | Some stats ->
+    Alcotest.(check (option int))
+      "all datasets complete" (Some 10)
+      (Option.bind (Json.member "completed" stats) Json.to_int)
+  | None -> Alcotest.failf "no stats in %s" body);
+  (* No explicit mapping: the het splitting extension picks one, as on
+     /solve. *)
+  let status, _, body =
+    Protocol.handle p
+      (request ~path:"/simulate"
+         (het_body [ ("period", Json.Number 9.); ("datasets", Json.Number 5.) ]))
+  in
+  Alcotest.(check int) "het simulate (default mapping) 200" 200 status;
+  match Json.member "mapping" (parse_ok body) with
+  | Some (Json.String _) -> ()
+  | _ -> Alcotest.failf "no mapping in %s" body
+
+let test_protocol_het_exact_guard () =
+  (* Above the exhaustive oracle's enumeration guard, exact requests on
+     fully-het platforms are a deliberate 400. *)
+  let p = Protocol.create () in
+  let n = 24 and procs = 12 in
+  let nums l = Json.List (List.map (fun v -> Json.Number v) l) in
+  let ones k = List.init k (fun _ -> 1.) in
+  (* One fat link keeps the matrix genuinely heterogeneous. *)
+  let bandwidths =
+    Json.List
+      (List.init procs (fun u ->
+           nums
+             (List.init procs (fun v ->
+                  if u = v then 0. else if u + v = 1 then 3. else 2.))))
+  in
+  let instance =
+    Json.Obj
+      [
+        ("works", nums (ones n));
+        ("deltas", nums (ones (n + 1)));
+        ( "platform",
+          Json.Obj [ ("speeds", nums (ones procs)); ("bandwidths", bandwidths) ]
+        );
+      ]
+  in
+  let body fields = Json.to_string (Json.Obj (("instance", instance) :: fields)) in
+  let status, _, reply =
+    Protocol.handle p
+      (request (body [ ("period", Json.Number 9.); ("exact", Json.Bool true) ]))
+  in
+  Alcotest.(check int) "oversized exact is 400" 400 status;
+  Alcotest.(check bool) "names the guard" true
+    (Str_find.contains (error_of reply) "too large for the exact solver");
+  let status, _, reply = Protocol.handle p (request ~path:"/pareto" (body [])) in
+  Alcotest.(check int) "oversized pareto is 400" 400 status;
+  ignore (error_of reply)
+
 let test_protocol_byte_identity () =
   let p = Protocol.create () in
   let solve () =
@@ -705,6 +854,13 @@ let () =
           Alcotest.test_case "rejections" `Quick test_protocol_rejects;
           Alcotest.test_case "simulate and pareto" `Quick
             test_protocol_simulate_and_pareto;
+          Alcotest.test_case "het solve with exact row" `Quick
+            test_protocol_het_solve_exact;
+          Alcotest.test_case "het pareto via the oracle" `Quick
+            test_protocol_het_pareto;
+          Alcotest.test_case "het simulate" `Quick test_protocol_het_simulate;
+          Alcotest.test_case "het exact guard" `Quick
+            test_protocol_het_exact_guard;
           Alcotest.test_case "byte-identical responses" `Quick
             test_protocol_byte_identity;
           prop_serve_matches_library;

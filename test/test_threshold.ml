@@ -49,13 +49,26 @@ let test_cached_on_engine () =
   Alcotest.(check bool) "deal cached" true
     (Candidates.deal_periods cost == Candidates.deal_periods cost)
 
-let test_rejects_het () =
+let test_het_candidates () =
+  (* Fully heterogeneous platforms build candidate sets too (DESIGN.md
+     §13): sorted, deduplicated, and containing every mapping period. *)
   let bandwidths = [| [| 0.; 2.; 5. |]; [| 2.; 0.; 3. |]; [| 5.; 3.; 0. |] |] in
   let pl = Platform.fully_heterogeneous ~bandwidths [| 1.; 2.; 3. |] in
   let app = Application.uniform ~n:3 ~work:1. ~delta:1. in
-  Alcotest.check_raises "het rejected"
-    (Invalid_argument "Candidates: requires a comm-homogeneous platform")
-    (fun () -> ignore (Candidates.periods (Cost.make app pl)))
+  let cost = Cost.make app pl in
+  let cands = Candidates.periods cost in
+  Alcotest.(check bool) "non-empty" true (Array.length cands > 0);
+  Alcotest.(check bool) "sorted strictly" true
+    (Array.for_all Fun.id
+       (Array.init
+          (max 0 (Array.length cands - 1))
+          (fun i -> cands.(i) < cands.(i + 1))));
+  let mapping =
+    Mapping.make ~n:3
+      [ (Interval.make ~first:1 ~last:2, 0); (Interval.make ~first:3 ~last:3, 2) ]
+  in
+  Alcotest.(check bool) "mapping period is a member" true
+    (Candidates.mem cands (Cost.period cost mapping))
 
 (* A uniformly random interval mapping: its period must be a member of
    the candidate set, bit-for-bit. *)
@@ -112,7 +125,7 @@ let test_search_exact () =
     incr probes;
     if t >= 6.5 then Some t else None
   in
-  match Threshold.search ~candidates ~probe with
+  match Threshold.search ~candidates ~probe () with
   | None -> Alcotest.fail "expected a threshold"
   | Some found ->
     Helpers.check_float "smallest feasible" 7. found.Threshold.threshold;
@@ -122,9 +135,9 @@ let test_search_exact () =
 
 let test_search_infeasible () =
   Alcotest.(check bool) "top candidate fails -> None" true
-    (Threshold.search ~candidates:[| 1.; 2. |] ~probe:(fun _ -> None) = None);
+    (Threshold.search ~candidates:[| 1.; 2. |] ~probe:(fun _ -> None) () = None);
   Alcotest.(check bool) "no candidates -> None" true
-    (Threshold.search ~candidates:[||] ~probe:(fun _ -> Some ()) = None)
+    (Threshold.search ~candidates:[||] ~probe:(fun _ -> Some ()) () = None)
 
 let prop_search_matches_scan =
   (* Against a brute-force scan of the same monotone probe. *)
@@ -138,7 +151,7 @@ let prop_search_matches_scan =
       let cutoff = float_of_int (Pipeline_util.Rng.int_in rng 0 110) in
       let probe t = if t >= cutoff then Some t else None in
       let scan = Array.to_seq candidates |> Seq.filter (fun c -> c >= cutoff) in
-      match (Threshold.search ~candidates ~probe, scan ()) with
+      match (Threshold.search ~candidates ~probe (), scan ()) with
       | None, Seq.Nil -> true
       | Some found, Seq.Cons (smallest, _) ->
         found.Threshold.threshold = smallest && found.Threshold.payload = smallest
@@ -192,7 +205,7 @@ let prop_search_set_matches_search =
       let set, cands = lazy_and_materialised inst in
       let probe t = if t >= cutoff then Some t else None in
       match
-        (Threshold.search_set ~set ~probe, Threshold.search ~candidates:cands ~probe)
+        (Threshold.search_set ~set ~probe (), Threshold.search ~candidates:cands ~probe ())
       with
       | None, None -> true
       | Some a, Some b ->
@@ -207,10 +220,103 @@ let prop_boundary_set_matches_boundary =
       let set, cands = lazy_and_materialised inst in
       let succeeds c = c >= cutoff in
       let scan = Array.to_seq cands |> Seq.filter succeeds in
-      match (Threshold.boundary_set ~set ~succeeds, scan ()) with
+      match (Threshold.boundary_set ~set ~succeeds (), scan ()) with
       | None, Seq.Nil -> true
       | Some t, Seq.Cons (smallest, _) -> t = smallest
       | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Fully-het candidate sets: soundness of the config family            *)
+(* ------------------------------------------------------------------ *)
+
+let gen_het =
+  QCheck2.Gen.map (Helpers.random_het_instance ~n_max:6 ~p_max:4) gen_seed
+
+let gen_het_uniform =
+  QCheck2.Gen.map
+    (Helpers.random_uniform_delta_het_instance ~n_max:8 ~p_max:4)
+    gen_seed
+
+let prop_het_period_is_candidate =
+  Helpers.qtest ~count:200 "het: any mapping's period is a candidate" gen_het
+    (fun inst ->
+      let rng = Pipeline_util.Rng.create inst.Instance.seed in
+      let sol = Solution.of_mapping inst (random_mapping rng inst) in
+      Candidates.mem (candidates_of inst) sol.Solution.period)
+
+let prop_het_optimal_period_is_candidate =
+  Helpers.qtest ~count:40 "het: exhaustive min period is a candidate" gen_het
+    (fun inst ->
+      Candidates.mem (candidates_of inst)
+        (Pipeline_optimal.Exhaustive.min_period inst).Solution.period)
+
+let prop_het_boundary_set_matches_scan =
+  Helpers.qtest ~count:200 "het: boundary_set = linear scan"
+    QCheck2.Gen.(pair gen_het (float_range 0. 300.))
+    (fun (inst, cutoff) ->
+      let cost = Cost.get inst.Instance.app inst.Instance.platform in
+      let set = Candidates.Set.of_engine cost in
+      let cands = candidates_of inst in
+      let succeeds c = c >= cutoff in
+      let scan = Array.to_seq cands |> Seq.filter succeeds in
+      match (Threshold.boundary_set ~set ~succeeds (), scan ()) with
+      | None, Seq.Nil -> true
+      | Some t, Seq.Cons (smallest, _) -> t = smallest
+      | _ -> false)
+
+let prop_het_warm_equals_cold =
+  (* The warm set (engine-cached array) and a cold rebuild on a fresh
+     engine agree bit-for-bit, and re-asking the same engine returns the
+     very same array (the Cost cache, not a re-enumeration). *)
+  Helpers.qtest ~count:60 "het: warm set == cold set, bitwise" gen_het
+    (fun inst ->
+      let cost = Cost.get inst.Instance.app inst.Instance.platform in
+      let warm = Candidates.Set.force (Candidates.Set.of_engine cost) in
+      let again = Candidates.Set.force (Candidates.Set.of_engine cost) in
+      let cold =
+        Candidates.Set.force
+          (Candidates.Set.of_engine
+             (Cost.make inst.Instance.app inst.Instance.platform))
+      in
+      warm == again && warm = cold)
+
+let prop_het_lazy_set_matches_array =
+  (* Uniform deltas + [~max_materialised:0] force the lattice arm on the
+     fully-het config family; its sweeps must agree with the array. *)
+  Helpers.qtest ~count:200 "het lattice: floor/ceiling/mem = array"
+    QCheck2.Gen.(pair gen_het_uniform (float_range 0. 400.))
+    (fun (inst, v) ->
+      let cost = Cost.get inst.Instance.app inst.Instance.platform in
+      let set = Candidates.Set.of_engine ~max_materialised:0 cost in
+      let cands = candidates_of inst in
+      let last = Array.length cands - 1 in
+      Candidates.Set.is_lazy set
+      && Candidates.Set.min_elt set = Some cands.(0)
+      && Candidates.Set.max_elt set = Some cands.(last)
+      && List.for_all
+           (fun q ->
+             Candidates.Set.floor set q = Candidates.floor cands q
+             && Candidates.Set.ceiling set q = Candidates.ceiling cands q
+             && Candidates.Set.mem set q = Candidates.mem cands q)
+           (v :: Array.to_list cands))
+
+let prop_het_row_threshold_sound =
+  (* End-to-end: the het registry rows' exact thresholds (as the fault
+     campaign and Het_campaign compute them) are attained candidates,
+     and no smaller candidate succeeds. *)
+  Helpers.qtest ~count:6 "het rows: boundary attained, minimal"
+    (QCheck2.Gen.map (Helpers.random_het_instance ~n_max:5 ~p_max:3) gen_seed)
+    (fun inst ->
+      let cands = candidates_of inst in
+      List.for_all
+        (fun (info : Registry.info) ->
+          let t = Failure.instance_threshold info inst in
+          let succeeds c = info.Registry.solve inst ~threshold:c <> None in
+          Candidates.mem cands t && succeeds t
+          && Array.for_all (fun c -> c >= t || not (succeeds c)) cands)
+        (List.filter
+           (fun (i : Registry.info) -> i.Registry.kind = Registry.Period_fixed)
+           Registry.het))
 
 (* ------------------------------------------------------------------ *)
 (* Failure thresholds: exact boundary on the candidate grid            *)
@@ -314,7 +420,7 @@ let () =
           Alcotest.test_case "of_values" `Quick test_of_values;
           Alcotest.test_case "mem and ceiling" `Quick test_mem_ceiling;
           Alcotest.test_case "cached on the engine" `Quick test_cached_on_engine;
-          Alcotest.test_case "rejects het platforms" `Quick test_rejects_het;
+          Alcotest.test_case "het candidate sets" `Quick test_het_candidates;
           prop_period_is_candidate;
           prop_optimal_period_is_candidate;
           prop_deal_optimum_is_candidate;
@@ -331,6 +437,15 @@ let () =
           prop_lazy_floor_ceiling_mem;
           prop_search_set_matches_search;
           prop_boundary_set_matches_boundary;
+        ] );
+      ( "het-candidates",
+        [
+          prop_het_period_is_candidate;
+          prop_het_optimal_period_is_candidate;
+          prop_het_boundary_set_matches_scan;
+          prop_het_warm_equals_cold;
+          prop_het_lazy_set_matches_array;
+          prop_het_row_threshold_sound;
         ] );
       ("failure-boundary", [ prop_failure_threshold_sound ]);
       ("sp-bi-p", [ prop_sp_bi_p_unchanged ]);
