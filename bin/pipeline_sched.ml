@@ -462,12 +462,11 @@ let solve_cmd =
              oracle scores any platform, behind its enumeration guard. *)
           let n = Application.n inst.Instance.app
           and p = Platform.p inst.Instance.platform in
-          let count = Pipeline_optimal.Exhaustive.count_mappings ~n ~p in
-          if count > 1e7 then
-            die
-              "instance too large for the exact solver on a fully \
-               heterogeneous platform (%.3g interval mappings, cap 1e+07)"
-              count;
+          (* One wording for CLI exit 2 and serve HTTP 400, with the
+             actual mapping count: Exhaustive.oversized. *)
+          (match Pipeline_optimal.Exhaustive.oversized ~n ~p with
+          | Some diagnostic -> die "%s" diagnostic
+          | None -> ());
           let sol =
             match kind with
             | Registry.Period_fixed ->

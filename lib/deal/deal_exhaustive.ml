@@ -25,42 +25,58 @@ let c_mappings =
     "deal.exhaustive.mappings"
 
 let c_branches =
-  Obs.Counter.make ~doc:"root branches fanned out by Deal_exhaustive"
+  Obs.Counter.make ~doc:"frontier tasks fanned out by Deal_exhaustive"
     "deal.exhaustive.branches"
 
-(* Branch-local count, one flush per branch: order-independent sums keep
-   the totals bit-identical at any [--jobs N]. *)
-let counted branch consider =
-  if not (Obs.metrics_enabled ()) then branch consider
-  else begin
-    let local = ref 0 in
-    branch (fun mapping ->
-        incr local;
-        consider mapping);
-    Obs.Counter.add c_mappings !local
-  end
+(* Non-empty submasks of [mask], ascending. *)
+let subsets_of mask =
+  let rec submasks s acc =
+    if s = 0 then acc else submasks ((s - 1) land mask) (s :: acc)
+  in
+  submasks mask []
 
-(* The enumeration tree split at the root: one independent branch per
-   end position of the *first* interval. Running the branches in index
-   order reproduces the historical sequential enumeration order exactly,
-   which is what keeps the parallel minimisation below bit-identical to
-   the sequential one (ties break by enumeration order). *)
-let root_branches (inst : Instance.t) =
-  let n = Application.n inst.app and p = Platform.p inst.platform in
-  if count_estimate ~n ~p > guard then
-    invalid_arg "Deal_exhaustive.iter: instance too large to enumerate";
-  (* Non-empty subsets of the free processor bitmask. *)
-  let subsets_of mask =
-    let rec submasks s acc = if s = 0 then acc else submasks ((s - 1) land mask) (s :: acc) in
-    submasks mask []
+(* A task is a prefix of the enumeration: the intervals assigned so far
+   (reversed), the next stage [d] and the free-processor mask. The
+   children of a prefix enumerate the next interval's (end, subset)
+   choices in the sequential order — end ascending, subsets ascending —
+   so concatenating children subtrees in index order reproduces the
+   parent's subtree verbatim, and the frontier's index order equals the
+   historical sequential enumeration order. *)
+type task = {
+  d : int;  (* next stage to map; complete when d > n *)
+  free : int;  (* bitmask of unassigned processors *)
+  acc_rev : (Interval.t * int list) list;
+}
+
+let procs_of_mask ~p mask =
+  let rec collect u acc =
+    if u >= p then List.rev acc
+    else collect (u + 1) (if mask land (1 lsl u) <> 0 then u :: acc else acc)
   in
-  let procs_of_mask mask =
-    let rec collect u acc =
-      if u >= p then List.rev acc
-      else collect (u + 1) (if mask land (1 lsl u) <> 0 then u :: acc else acc)
-    in
-    collect 0 []
-  in
+  collect 0 []
+
+let children ~n ~p task =
+  if task.d > n then [||]
+  else
+    let kids = ref [] in
+    for e = n downto task.d do
+      List.iter
+        (fun subset ->
+          kids :=
+            {
+              d = e + 1;
+              free = task.free lxor subset;
+              acc_rev =
+                (Interval.make ~first:task.d ~last:e, procs_of_mask ~p subset)
+                :: task.acc_rev;
+            }
+            :: !kids)
+        (List.rev (subsets_of task.free))
+    done;
+    Array.of_list !kids
+
+(* Sequential enumeration of one task's subtree, in canonical order. *)
+let run_task ~n ~p task consider =
   let rec assign d free acc consider =
     if d > n then consider (Deal_mapping.make ~n (List.rev acc))
     else
@@ -69,30 +85,53 @@ let root_branches (inst : Instance.t) =
           (fun subset ->
             assign (e + 1)
               (free lxor subset)
-              ((Interval.make ~first:d ~last:e, procs_of_mask subset) :: acc)
+              ((Interval.make ~first:d ~last:e, procs_of_mask ~p subset) :: acc)
               consider)
           (subsets_of free)
       done
   in
-  let full = (1 lsl p) - 1 in
-  Obs.Counter.add c_branches n;
-  Array.init n (fun i ->
-      let e = i + 1 in
-      counted (fun consider ->
-          List.iter
-            (fun subset ->
-              assign (e + 1)
-                (full lxor subset)
-                [ (Interval.make ~first:1 ~last:e, procs_of_mask subset) ]
-                consider)
-            (subsets_of full)))
+  assign task.d task.free task.acc_rev consider
+
+(* Task-local count, one flush per task: order-independent sums keep
+   the totals bit-identical at any [--jobs N]. *)
+let counted run consider =
+  if not (Obs.metrics_enabled ()) then run consider
+  else begin
+    let local = ref 0 in
+    run (fun mapping ->
+        incr local;
+        consider mapping);
+    Obs.Counter.add c_mappings !local
+  end
+
+let tasks (inst : Instance.t) =
+  let n = Application.n inst.app and p = Platform.p inst.platform in
+  if count_estimate ~n ~p > guard then
+    invalid_arg "Deal_exhaustive.iter: instance too large to enumerate";
+  let root = { d = 1; free = (1 lsl p) - 1; acc_rev = [] } in
+  let frontier = Pipeline_util.Pool.fan_out ~children:(children ~n ~p) [| root |] in
+  Obs.Counter.add c_branches (Array.length frontier);
+  (n, p, frontier)
 
 let iter (inst : Instance.t) consider =
-  Array.iter (fun branch -> branch consider) (root_branches inst)
+  let n, p, frontier = tasks inst in
+  Array.iter (fun task -> counted (run_task ~n ~p task) consider) frontier
+
+let parallel_fold (inst : Instance.t) ~init ~step ~merge =
+  let n, p, frontier = tasks inst in
+  let locals =
+    Pipeline_util.Pool.map
+      (fun task ->
+        let acc = ref init in
+        counted (run_task ~n ~p task) (fun mapping -> acc := step !acc mapping);
+        !acc)
+      frontier
+  in
+  Array.fold_left merge init locals
 
 let min_period (inst : Instance.t) =
-  (* First-seen-wins on (period, latency) ties, per branch; merging the
-     branch winners in index order applies the same rule, so the result
+  (* First-seen-wins on (period, latency) ties, per task; merging the
+     task winners in index order applies the same rule, so the result
      matches the sequential scan at any parallelism degree. *)
   let keep_acc (b : Deal_heuristic.solution) (c : Deal_heuristic.solution) =
     b.Deal_heuristic.period < c.Deal_heuristic.period
@@ -105,21 +144,17 @@ let min_period (inst : Instance.t) =
     | _, None -> acc
     | _ -> candidate
   in
-  let branch_best branch =
-    let best = ref None in
-    branch (fun mapping ->
-        let s = Deal_metrics.summary inst mapping in
-        let candidate =
-          {
-            Deal_heuristic.mapping;
-            period = s.Deal_metrics.period;
-            latency = s.Deal_metrics.latency;
-          }
-        in
-        best := merge !best (Some candidate));
-    !best
+  let step acc mapping =
+    let s = Deal_metrics.summary inst mapping in
+    let candidate =
+      {
+        Deal_heuristic.mapping;
+        period = s.Deal_metrics.period;
+        latency = s.Deal_metrics.latency;
+      }
+    in
+    merge acc (Some candidate)
   in
-  let locals = Pipeline_util.Pool.map branch_best (root_branches inst) in
-  match Array.fold_left merge None locals with
+  match parallel_fold inst ~init:None ~step ~merge with
   | Some sol -> sol
   | None -> assert false (* the single-interval single-replica mapping exists *)

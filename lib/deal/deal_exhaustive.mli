@@ -7,16 +7,32 @@
     (partitions × ordered set partitions of the processors), so a guard
     rejects instances beyond [10^6] enumerated mappings.
 
-    {!min_period} splits the enumeration at the root (one branch per end
-    of the first interval) and evaluates branches on
-    {!Pipeline_util.Pool}; branch results merge in branch order with
+    {!min_period} and {!parallel_fold} expand the enumeration tree
+    breadth-first into a deterministic frontier of subtree tasks
+    ({!Pipeline_util.Pool.fan_out}) and evaluate the frontier on the
+    domain pool; task results merge in frontier order with
     first-seen-wins ties, so the reported optimum is bit-identical to
-    the sequential scan at any pool width. *)
+    the sequential scan at any pool width and any frontier size
+    (DESIGN.md §14). *)
 
 open Pipeline_model
 
 val count_estimate : n:int -> p:int -> float
 (** Upper bound on the number of deal mappings enumerated. *)
+
+val parallel_fold :
+  Instance.t ->
+  init:'a ->
+  step:('a -> Deal_mapping.t -> 'a) ->
+  merge:('a -> 'a -> 'a) ->
+  'a
+(** Fold [step] over every deal mapping, task-parallel over the
+    enumeration frontier. Contract: merging contiguous segment folds in
+    enumeration order with [merge] must equal the one-pass sequential
+    fold — true for any first-seen-wins minimisation — and then the
+    result is bit-identical at any pool width. The tri-criteria oracle
+    ([Ft_exhaustive]) and {!min_period} are both built on this. Raises
+    [Invalid_argument] beyond the size guard. *)
 
 val iter : Instance.t -> (Deal_mapping.t -> unit) -> unit
 (** Apply a function to every deal mapping of the instance (every

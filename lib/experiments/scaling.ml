@@ -175,6 +175,96 @@ let write ~dir measurements =
   Pipeline_util.Csv.to_file path (to_csv measurements);
   [ path ]
 
+(* ------------------------------------------------------------------ *)
+(* The exact rung: Branch_bound on a paper-style application           *)
+(* ------------------------------------------------------------------ *)
+
+(* One rung per (n, p) of the anytime branch-and-bound — the solver the
+   task-tree rewrite parallelises (DESIGN.md §14). Sizes sit past the
+   subset-DP's p <= 16 ceiling, where speed symmetry plus the shared
+   incumbent are what keep the search tractable. Everything in the CSV
+   is deterministic at any --jobs: the wave schedule fixes the node and
+   prune counts, not domain timing. *)
+
+type bnb_row = {
+  bnb_n : int;
+  bnb_p : int;
+  bnb_period : float;
+  bnb_latency : float;
+  bnb_nodes : int;
+  bnb_proven : bool;
+}
+
+type bnb_measurement = { bnb_row : bnb_row; bnb_s : float }
+
+let bnb_ladder = function
+  | `Smoke -> [ (8, 40) ]
+  | `Quick -> [ (12, 100) ]
+  | `Full -> [ (12, 100); (14, 200) ]
+
+let bnb_budget = function
+  | `Smoke -> 50_000
+  | `Quick -> 500_000
+  | `Full -> 1_000_000
+
+let bnb_instance ~seed ~n ~p =
+  let tag = Hashtbl.hash (seed, "scaling-bnb", n, p) in
+  let rng = Rng.create tag in
+  let app = App_generator.generate rng (App_generator.e2 ~n) in
+  let platform = Platform_generator.comm_homogeneous rng ~p in
+  Instance.make ~id:0 ~seed:tag app platform
+
+let bnb_measure ?(clock = fun () -> 0.) ?(budget = 1_000_000) ~seed (n, p) =
+  let inst = bnb_instance ~seed ~n ~p in
+  let t0 = clock () in
+  let r = Pipeline_optimal.Branch_bound.min_period ~node_budget:budget inst in
+  let t1 = clock () in
+  {
+    bnb_row =
+      {
+        bnb_n = n;
+        bnb_p = p;
+        bnb_period = r.Pipeline_optimal.Branch_bound.solution.Pipeline_core.Solution.period;
+        bnb_latency = r.Pipeline_optimal.Branch_bound.solution.Pipeline_core.Solution.latency;
+        bnb_nodes = r.Pipeline_optimal.Branch_bound.nodes;
+        bnb_proven = r.Pipeline_optimal.Branch_bound.proven_optimal;
+      };
+    bnb_s = t1 -. t0;
+  }
+
+let bnb_run ?clock ?budget ?(seed = 2007) sizes =
+  List.map (bnb_measure ?clock ?budget ~seed) sizes
+
+let bnb_header = [ "n"; "p"; "period"; "latency"; "nodes"; "proven" ]
+
+let bnb_cells (r : bnb_row) =
+  [
+    string_of_int r.bnb_n;
+    string_of_int r.bnb_p;
+    Printf.sprintf "%.6f" r.bnb_period;
+    Printf.sprintf "%.6f" r.bnb_latency;
+    string_of_int r.bnb_nodes;
+    (if r.bnb_proven then "1" else "0");
+  ]
+
+let bnb_to_csv measurements =
+  Pipeline_util.Csv.csv_of_rows ~header:bnb_header
+    (List.map (fun m -> bnb_cells m.bnb_row) measurements)
+
+let bnb_write ~dir measurements =
+  let path = Filename.concat dir "scaling-bnb.csv" in
+  Pipeline_util.Csv.to_file path (bnb_to_csv measurements);
+  [ path ]
+
+let bnb_render measurements =
+  let header = bnb_header @ [ "bnb s" ] in
+  let rows =
+    List.map
+      (fun m -> bnb_cells m.bnb_row @ [ Printf.sprintf "%.3f" m.bnb_s ])
+      measurements
+  in
+  Table.render (header :: rows)
+
 (* Human-readable table with the (non-deterministic) wall-clocks — for
    stdout and EXPERIMENTS.md, never for golden artefacts. *)
 let render measurements =

@@ -76,3 +76,42 @@ val write : dir:string -> measurement list -> string list
 val render : measurement list -> string
 (** Table with wall-clock columns appended (stdout / EXPERIMENTS.md
     use only). *)
+
+(** {1 The exact rung}
+
+    {!Pipeline_optimal.Branch_bound} on a paper-style E2 application over
+    a comm-homogeneous platform, at sizes past the subset-DP's [p ≤ 16]
+    ceiling — the solver the deterministic task-tree rewrite parallelises
+    (DESIGN.md §14). The CSV rows (objective, node count, proven flag)
+    are bit-identical at any [--jobs]: the synchronous wave schedule — not
+    domain timing — decides every pruning bound. *)
+
+type bnb_row = {
+  bnb_n : int;
+  bnb_p : int;
+  bnb_period : float;
+  bnb_latency : float;
+  bnb_nodes : int;  (** deterministic: fixed by the wave schedule *)
+  bnb_proven : bool;  (** false when the node budget ran out *)
+}
+
+type bnb_measurement = { bnb_row : bnb_row; bnb_s : float }
+
+val bnb_ladder : [ `Smoke | `Quick | `Full ] -> (int * int) list
+val bnb_budget : [ `Smoke | `Quick | `Full ] -> int
+
+val bnb_instance : seed:int -> n:int -> p:int -> Pipeline_model.Instance.t
+(** Stream derived from [(seed, "scaling-bnb", n, p)], Workload-style. *)
+
+val bnb_run :
+  ?clock:(unit -> float) ->
+  ?budget:int ->
+  ?seed:int ->
+  (int * int) list ->
+  bnb_measurement list
+
+val bnb_to_csv : bnb_measurement list -> string
+val bnb_write : dir:string -> bnb_measurement list -> string list
+(** Write [scaling-bnb.csv] under [dir]. *)
+
+val bnb_render : bnb_measurement list -> string

@@ -20,96 +20,146 @@ let count_mappings ~n ~p =
 
 let guard = 1e7
 
+(* One diagnostic for every surface that re-checks the guard (CLI exit-2,
+   serve HTTP 400): the actual enumeration size next to the bound, and a
+   reminder that the bound is a property of the instance, not of the
+   parallelism. *)
+let oversized ~n ~p =
+  let count = count_mappings ~n ~p in
+  if count > guard then
+    Some
+      (Printf.sprintf
+         "instance too large for the exact solver on a fully heterogeneous \
+          platform: %.3g interval mappings exceed the %.0e enumeration guard \
+          (a --jobs-independent bound)"
+         count guard)
+  else None
+
 let c_mappings =
   Obs.Counter.make ~doc:"mappings enumerated by Optimal.Exhaustive"
     "optimal.exhaustive.mappings"
 
 let c_branches =
-  Obs.Counter.make ~doc:"root branches fanned out by Optimal.Exhaustive"
+  Obs.Counter.make ~doc:"frontier tasks fanned out by Optimal.Exhaustive"
     "optimal.exhaustive.branches"
 
-(* Count mappings branch-locally and flush one sum per branch: totals
-   are order-independent, hence identical at any [--jobs N], and the
-   enabled cost is one atomic add per root branch. *)
-let counted branch f =
-  if not (Obs.metrics_enabled ()) then branch f
+(* A task is a prefix of the enumeration tree: the interval count [m],
+   the cuts chosen so far (all cuts precede any processor choice, as in
+   the sequential enumeration), then the processors assigned to the
+   leading intervals. Expanding a task in ascending choice order and
+   concatenating the children's subtrees reproduces the parent's subtree
+   verbatim, which is what keeps the frontier's index order equal to the
+   historical sequential enumeration order — and therefore every
+   first-seen-wins fold below bit-identical at any [--jobs N]. *)
+type task = {
+  m : int;
+  cuts_rev : int list;  (* chosen internal cuts, reversed *)
+  k : int;  (* number of cuts chosen; complete at m - 1 *)
+  next_cut : int;  (* smallest admissible next cut *)
+  procs_rev : int list;  (* processors of intervals 1..j, reversed *)
+  j : int;  (* number of processors assigned; complete at m *)
+}
+
+let children ~n ~p task =
+  if task.k < task.m - 1 then begin
+    (* Next cut: every admissible position, ascending. *)
+    let remaining = task.m - 1 - task.k in
+    let last = n - 1 - (remaining - 1) in
+    if last < task.next_cut then [||]
+    else
+      Array.init
+        (last - task.next_cut + 1)
+        (fun i ->
+          let c = task.next_cut + i in
+          { task with cuts_rev = c :: task.cuts_rev; k = task.k + 1; next_cut = c + 1 })
+  end
+  else if task.j < task.m then begin
+    (* Next processor: every free index, ascending. *)
+    let used = Array.make p false in
+    List.iter (fun u -> used.(u) <- true) task.procs_rev;
+    let free = ref [] in
+    for u = p - 1 downto 0 do
+      if not used.(u) then free := u :: !free
+    done;
+    Array.of_list
+      (List.map
+         (fun u -> { task with procs_rev = u :: task.procs_rev; j = task.j + 1 })
+         !free)
+  end
+  else [||] (* a single fully-determined mapping *)
+
+(* Sequential enumeration of one task's subtree, in canonical order. *)
+let run_task ~n ~p task f =
+  let used = Array.make p false in
+  List.iter (fun u -> used.(u) <- true) task.procs_rev;
+  let rec assign j procs_rev cuts =
+    if j = task.m then f (Mapping.of_cuts ~n ~cuts ~procs:(List.rev procs_rev))
+    else
+      for u = 0 to p - 1 do
+        if not used.(u) then begin
+          used.(u) <- true;
+          assign (j + 1) (u :: procs_rev) cuts;
+          used.(u) <- false
+        end
+      done
+  in
+  let rec choose_cuts start chosen_rev remaining =
+    if remaining = 0 then assign task.j task.procs_rev (List.rev chosen_rev)
+    else
+      for c = start to n - 1 - (remaining - 1) do
+        choose_cuts (c + 1) (c :: chosen_rev) (remaining - 1)
+      done
+  in
+  choose_cuts task.next_cut task.cuts_rev (task.m - 1 - task.k)
+
+(* Count mappings task-locally and flush one sum per task: totals are
+   order-independent, hence identical at any [--jobs N], and the enabled
+   cost is one atomic add per frontier task. *)
+let counted run f =
+  if not (Obs.metrics_enabled ()) then run f
   else begin
     let local = ref 0 in
-    branch (fun mapping ->
+    run (fun mapping ->
         incr local;
         f mapping);
     Obs.Counter.add c_mappings !local
   end
 
-(* The enumeration tree, split at the root into independent branches:
-   one branch per interval count [m = 1] and per (m, first-cut) pair for
-   [m >= 2]. Branch [i] enumerates a subtree disjoint from every other
-   branch, and running the branches in index order visits exactly the
-   mappings of the historical sequential enumeration, in the same order
-   — which is what lets the parallel folds below reproduce the
-   sequential result bit-for-bit (ties are broken by enumeration
-   order). *)
-let root_branches (inst : Instance.t) =
+let tasks (inst : Instance.t) =
   let n = Application.n inst.app and p = Platform.p inst.platform in
   if count_mappings ~n ~p > guard then
     invalid_arg "Exhaustive.iter_mappings: instance too large to enumerate";
-  let with_cuts cuts f =
-    let m = List.length cuts + 1 in
-    let used = Array.make p false in
-    let rec assign k procs_rev =
-      if k = m then
-        f (Mapping.of_cuts ~n ~cuts ~procs:(List.rev procs_rev))
-      else
-        for u = 0 to p - 1 do
-          if not used.(u) then begin
-            used.(u) <- true;
-            assign (k + 1) (u :: procs_rev);
-            used.(u) <- false
-          end
-        done
-    in
-    assign 0 []
+  let roots =
+    Array.init (min n p) (fun i ->
+        { m = i + 1; cuts_rev = []; k = 0; next_cut = 1; procs_rev = []; j = 0 })
   in
-  (* Choose the internal cut positions: every subset of [1..n-1] of size
-     m-1 for every m up to min(n, p). *)
-  let rec choose_cuts start chosen_rev remaining f =
-    if remaining = 0 then with_cuts (List.rev chosen_rev) f
-    else
-      for c = start to n - 1 - (remaining - 1) do
-        choose_cuts (c + 1) (c :: chosen_rev) (remaining - 1) f
-      done
-  in
-  let branches = ref [] in
-  for m = min n p downto 1 do
-    if m = 1 then branches := (fun f -> with_cuts [] f) :: !branches
-    else
-      for c1 = n - 1 - (m - 2) downto 1 do
-        branches := (fun f -> choose_cuts (c1 + 1) [ c1 ] (m - 2) f) :: !branches
-      done
-  done;
-  Obs.Counter.add c_branches (List.length !branches);
-  Array.of_list (List.map (fun b -> counted b) !branches)
+  let frontier = Pipeline_util.Pool.fan_out ~children:(children ~n ~p) roots in
+  Obs.Counter.add c_branches (Array.length frontier);
+  (n, p, frontier)
 
 let iter_mappings (inst : Instance.t) f =
-  Array.iter (fun branch -> branch f) (root_branches inst)
+  let n, p, frontier = tasks inst in
+  Array.iter (fun task -> counted (run_task ~n ~p task) f) frontier
 
-(* Fan the root branches out across the domain pool, folding each branch
-   locally; [combine] must merge two branch-local accumulators such that
-   index-ordered merging equals the sequential fold (true for the
-   first-seen-wins "best" folds below). *)
+(* Fan the frontier tasks out across the domain pool, folding each
+   subtree locally; [combine] must merge two task-local accumulators
+   such that index-ordered merging equals the sequential fold (true for
+   the first-seen-wins "best" folds below). *)
 let parallel_fold inst f init combine =
+  let n, p, frontier = tasks inst in
   let locals =
     Pipeline_util.Pool.map
-      (fun branch ->
+      (fun task ->
         let acc = ref init in
-        branch (fun mapping -> acc := f !acc (Solution.of_mapping inst mapping));
+        counted (run_task ~n ~p task) (fun mapping ->
+            acc := f !acc (Solution.of_mapping inst mapping));
         !acc)
-      (root_branches inst)
+      frontier
   in
   Array.fold_left combine init locals
 
 (* First-seen-wins minimisation: the sequential fold keeps the earlier
-   solution on ties, so merging branch bests left-to-right with the same
+   solution on ties, so merging task bests left-to-right with the same
    rule reproduces it exactly. *)
 let keep_better measure acc candidate =
   match (acc, candidate) with
@@ -143,19 +193,21 @@ let min_period_under_latency inst ~latency =
     ~measure:(fun s -> s.Solution.period)
 
 let pareto inst =
-  (* Branch-local prepending reverses each branch; prepending whole
-     branch lists in index order then yields exactly the sequential
+  (* Task-local prepending reverses each subtree; prepending whole task
+     lists in index order then yields exactly the sequential
      (reversed-global) list, so the sort sees identical input. *)
+  let n, p, frontier = tasks inst in
   let points =
     Array.fold_left
-      (fun acc branch_points -> branch_points @ acc)
+      (fun acc task_points -> task_points @ acc)
       []
       (Pipeline_util.Pool.map
-         (fun branch ->
+         (fun task ->
            let acc = ref [] in
-           branch (fun mapping -> acc := Solution.of_mapping inst mapping :: !acc);
+           counted (run_task ~n ~p task) (fun mapping ->
+               acc := Solution.of_mapping inst mapping :: !acc);
            !acc)
-         (root_branches inst))
+         frontier)
   in
   let sorted =
     List.sort

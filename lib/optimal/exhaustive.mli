@@ -7,18 +7,31 @@
     [Σ_m C(n-1, m-1) · p!/(p-m)!]; a guard rejects instances whose
     estimated enumeration exceeds [10^7] mappings. Validation only.
 
-    The solvers split the enumeration at the root (one branch per
-    interval count [m] and first cut) and fan the branches out over
-    {!Pipeline_util.Pool}; branch-local results merge in branch order
-    with first-seen-wins tie-breaking, so every answer — including which
-    of several equal-cost optima is returned — is bit-identical to the
-    sequential enumeration at any pool width. *)
+    The solvers expand the enumeration tree breadth-first into a
+    deterministic frontier of independent subtree tasks
+    ({!Pipeline_util.Pool.fan_out}) and run the frontier on the domain
+    pool; task-local results merge in frontier order with
+    first-seen-wins tie-breaking, and the frontier preserves the
+    sequential enumeration order, so every answer — including which of
+    several equal-cost optima is returned — is bit-identical to the
+    sequential enumeration at any pool width and any frontier size
+    (DESIGN.md §14). *)
 
 open Pipeline_model
 open Pipeline_core
 
 val count_mappings : n:int -> p:int -> float
 (** Estimated number of interval mappings of the instance size. *)
+
+val guard : float
+(** Enumeration guard: instances whose {!count_mappings} estimate
+    exceeds this are rejected ([10^7]). A property of the instance
+    alone — independent of [--jobs]. *)
+
+val oversized : n:int -> p:int -> string option
+(** [Some diagnostic] when the instance size breaks {!guard} — the one
+    wording shared by the CLI's exit-2 rejection and the serve daemon's
+    HTTP 400 body; [None] when the enumeration is admissible. *)
 
 val iter_mappings : Instance.t -> (Mapping.t -> unit) -> unit
 (** Enumerate every interval mapping (raises [Invalid_argument] when the

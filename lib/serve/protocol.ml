@@ -269,18 +269,14 @@ let handle_metrics () = (200, "text/plain; version=0.0.4", Obs.exposition ())
 
 (* Fully-het exact answers come from the exhaustive oracle; its
    enumeration guard (10^7 mappings) is re-checked here so oversized
-   requests get a deliberate 400, not a 500. *)
-let exhaustive_cap = 1e7
-
+   requests get a deliberate 400, not a 500 — with the CLI's exact
+   exit-2 wording (Exhaustive.oversized). *)
 let check_exhaustive_size (inst : Instance.t) =
   let n = Application.n inst.Instance.app
   and p = Platform.p inst.Instance.platform in
-  let count = Pipeline_optimal.Exhaustive.count_mappings ~n ~p in
-  if count > exhaustive_cap then
-    reject 400
-      "instance too large for the exact solver on a fully heterogeneous \
-       platform (%.3g interval mappings, cap %.0e)"
-      count exhaustive_cap
+  match Pipeline_optimal.Exhaustive.oversized ~n ~p with
+  | Some diagnostic -> reject 400 "%s" diagnostic
+  | None -> ()
 
 let handle_solve t body =
   let request = instance_of_json body in

@@ -78,3 +78,89 @@ let map ?jobs:requested f xs =
   end
 
 let map_list ?jobs f xs = Array.to_list (map ?jobs f (Array.of_list xs))
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic task trees                                            *)
+(* ------------------------------------------------------------------ *)
+
+let default_tree_cap = 512
+let tree_cap_ref = Atomic.make default_tree_cap
+let set_tree_cap n = Atomic.set tree_cap_ref (max 1 n)
+let tree_cap () = Atomic.get tree_cap_ref
+
+(* Frontier sizes are a pure function of (roots, cap, depth), so the
+   totals are identical at any jobs setting — gate material. *)
+let c_tree_tasks =
+  Obs.Counter.make ~doc:"frontier tasks produced by Pool.fan_out"
+    "pool.tree.tasks"
+
+let c_tree_levels =
+  Obs.Counter.make ~doc:"breadth-first levels expanded by Pool.fan_out"
+    "pool.tree.levels"
+
+(* A cell remembers whether [children] already returned [||] for its
+   task, so leaves are classified exactly once. *)
+type 'a cell = Open of 'a | Leaf of 'a
+
+let fan_out ?cap ?(depth = max_int) ~children roots =
+  let cap = max 1 (Option.value cap ~default:(tree_cap ())) in
+  let cells = ref (List.map (fun t -> Open t) (Array.to_list roots)) in
+  let count = ref (Array.length roots) in
+  let any_open = ref (!count > 0) in
+  let level = ref 0 in
+  while !any_open && !level < depth && !count < cap do
+    incr level;
+    any_open := false;
+    let arr = Array.of_list !cells in
+    let len = Array.length arr in
+    let produced = ref 0 in
+    let out = ref [] in
+    Array.iteri
+      (fun i cell ->
+        (* Every unprocessed cell will emit at least one task, so stop
+           expanding as soon as the guaranteed level total reaches the
+           cap (left-to-right rule, deterministic): the frontier never
+           overshoots cap by more than one branching factor. *)
+        let remaining = len - i - 1 in
+        match cell with
+        | Leaf t ->
+          incr produced;
+          out := Leaf t :: !out
+        | Open t when !produced + remaining + 1 >= cap ->
+          any_open := true;
+          incr produced;
+          out := Open t :: !out
+        | Open t -> (
+          match children t with
+          | [||] ->
+            incr produced;
+            out := Leaf t :: !out
+          | kids ->
+            any_open := true;
+            produced := !produced + Array.length kids;
+            Array.iter (fun k -> out := Open k :: !out) kids))
+      arr;
+    cells := List.rev !out;
+    count := !produced
+  done;
+  Obs.Counter.add c_tree_tasks !count;
+  Obs.Counter.add c_tree_levels !level;
+  Array.of_list (List.map (function Open t | Leaf t -> t) !cells)
+
+let tree_map ?jobs ?cap ?depth ~children ~run roots =
+  map ?jobs run (fan_out ?cap ?depth ~children roots)
+
+(* ------------------------------------------------------------------ *)
+(* Shared monotone incumbent                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Incumbent = struct
+  type t = float Atomic.t
+
+  let make v = Atomic.make v
+  let get = Atomic.get
+
+  let rec lower_to t v =
+    let cur = Atomic.get t in
+    if v < cur && not (Atomic.compare_and_set t cur v) then lower_to t v
+end

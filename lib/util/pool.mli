@@ -56,3 +56,83 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map] over a list, preserving order ([List.map f xs] bit-for-bit). *)
+
+(** {1 Deterministic task trees}
+
+    Root-splitting an exhaustive search gives at most a handful of
+    wildly skewed chunks, so [--jobs 8] buys little exactly where the
+    exact solvers spend their time. The task-tree layer fixes the
+    granularity instead of the fan-out: {!fan_out} expands a search tree
+    breadth-first to a {e deterministic} frontier of hundreds–thousands
+    of independent subtree tasks, and {!tree_map} runs that frontier on
+    {!map}. The frontier depends only on the tree, [?cap] and [?depth] —
+    never on the jobs width — and preserves the tree's left-to-right
+    order, so folding the per-task results in index order reproduces the
+    sequential depth-first result bit-for-bit at any [--jobs N]
+    (DESIGN.md §14). *)
+
+val default_tree_cap : int
+(** Initial value of {!tree_cap} (512): enough tasks to keep
+    {!hard_cap} domains busy through heavy skew, few enough that
+    per-task overhead stays negligible. *)
+
+val set_tree_cap : int -> unit
+(** Set the process-wide default frontier size target used by
+    {!fan_out} when [?cap] is omitted. Clamped to [>= 1]. Frontier
+    shape is part of the deterministic-counter contract, so executables
+    leave this alone; tests lower it to probe tiny frontiers. *)
+
+val tree_cap : unit -> int
+(** Current process-wide default frontier size target. *)
+
+val fan_out :
+  ?cap:int -> ?depth:int -> children:('t -> 't array) -> 't array -> 't array
+(** [fan_out ~children roots] expands the task tree breadth-first:
+    level by level, every expandable task is replaced {e in place} by
+    its ordered children ([children t = [||]] marks [t] a leaf, kept
+    as-is), until the frontier reaches [cap] tasks (default
+    {!tree_cap}[ ()]), [depth] levels have been expanded (default:
+    unbounded), or only leaves remain. Within the level that crosses
+    [cap], tasks are expanded left-to-right and the remainder pass
+    through unexpanded, so the frontier never overshoots [cap] by more
+    than one task's branching factor. The result is a pure function of
+    [(roots, cap, depth)] — the jobs width never enters — and
+    concatenating the subtrees of the returned tasks in index order
+    yields exactly the depth-first traversal of the roots. *)
+
+val tree_map :
+  ?jobs:int ->
+  ?cap:int ->
+  ?depth:int ->
+  children:('t -> 't array) ->
+  run:('t -> 'r) ->
+  't array ->
+  'r array
+(** [tree_map ~children ~run roots] is
+    [map run (fan_out ~children roots)]: the work-stealing entry point
+    for the exact solvers. Runs sequentially (same results) when nested
+    inside a {!map} or [tree_map] worker — a task that itself fans out
+    falls back to the sequential path instead of raising or
+    oversubscribing domains. *)
+
+(** Shared monotone incumbent for branch-and-bound pruning: a
+    process-shared float that only ever decreases, safe to read from
+    every pool worker. Determinism protocol (DESIGN.md §14): workers
+    {e read} a frozen snapshot at deterministic synchronisation points
+    (wave boundaries) and the coordinator alone {!Incumbent.lower_to}s
+    it from the index-ordered merge of the per-task bests, so the value
+    observed by any task is a pure function of the wave schedule, never
+    of domain timing. *)
+module Incumbent : sig
+  type t
+
+  val make : float -> t
+  (** A fresh incumbent at the given initial bound. *)
+
+  val get : t -> float
+  (** Current bound (any domain). *)
+
+  val lower_to : t -> float -> unit
+  (** Lower the bound to [v] if [v] is smaller; never raises it
+      (monotone, lock-free). *)
+end

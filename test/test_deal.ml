@@ -287,19 +287,30 @@ let test_exhaustive_guard () =
        false
      with Invalid_argument _ -> true)
 
-(* The root-splitting fan-out must return the very same solution
-   (mapping included, ties and all) as the sequential scan. *)
+(* The task-tree fan-out must return the very same solution (mapping
+   included, ties and all) as the sequential scan — at every pool width
+   and every frontier size (DESIGN.md §14). *)
 let with_jobs jobs f =
   let saved = Pipeline_util.Pool.jobs () in
   Pipeline_util.Pool.set_jobs jobs;
   Fun.protect ~finally:(fun () -> Pipeline_util.Pool.set_jobs saved) f
 
+let with_tree_cap cap f =
+  let saved = Pipeline_util.Pool.tree_cap () in
+  Pipeline_util.Pool.set_tree_cap cap;
+  Fun.protect ~finally:(fun () -> Pipeline_util.Pool.set_tree_cap saved) f
+
 let prop_exhaustive_parallel_bit_identical =
-  Helpers.qtest ~count:25 "deal exhaustive: jobs=4 = jobs=1 (bit-for-bit)"
-    gen_tiny (fun inst ->
+  Helpers.qtest ~count:25
+    "deal exhaustive: any (tree cap, jobs) = sequential (bit-for-bit)"
+    QCheck2.Gen.(
+      triple gen_tiny (oneofl [ 1; 2; 9; 512 ]) (oneofl [ 1; 4; 8 ]))
+    (fun (inst, cap, jobs) ->
       Stdlib.compare
-        (with_jobs 1 (fun () -> Deal_exhaustive.min_period inst))
-        (with_jobs 4 (fun () -> Deal_exhaustive.min_period inst))
+        (with_tree_cap 1 (fun () ->
+             with_jobs 1 (fun () -> Deal_exhaustive.min_period inst)))
+        (with_tree_cap cap (fun () ->
+             with_jobs jobs (fun () -> Deal_exhaustive.min_period inst)))
       = 0)
 
 let () =

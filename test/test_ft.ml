@@ -115,6 +115,31 @@ let prop_oracle_solution_feasible =
       | None -> true
       | Some sol -> Ft_heuristic.feasible sol ~period ~failure)
 
+(* The tri-criteria oracle rides Deal_exhaustive's task-tree frontier:
+   its answer (tie witness included) may not depend on the pool width or
+   the frontier size (DESIGN.md §14). *)
+let with_jobs jobs f =
+  let saved = Pipeline_util.Pool.jobs () in
+  Pipeline_util.Pool.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pipeline_util.Pool.set_jobs saved) f
+
+let with_tree_cap cap f =
+  let saved = Pipeline_util.Pool.tree_cap () in
+  Pipeline_util.Pool.set_tree_cap cap;
+  Fun.protect ~finally:(fun () -> Pipeline_util.Pool.set_tree_cap saved) f
+
+let prop_oracle_parallel_bit_identical =
+  Helpers.qtest ~count:40
+    "oracle: any (tree cap, jobs) = sequential (bit-for-bit)"
+    QCheck2.Gen.(
+      triple gen_tri_case (oneofl [ 1; 2; 9; 512 ]) (oneofl [ 1; 4; 8 ]))
+    (fun ((inst, rel, period, failure), cap, jobs) ->
+      let solve () = Ft_exhaustive.min_latency inst rel ~period ~failure in
+      Stdlib.compare
+        (with_tree_cap 1 (fun () -> with_jobs 1 solve))
+        (with_tree_cap cap (fun () -> with_jobs jobs solve))
+      = 0)
+
 let test_ft_replicates_to_meet_bound () =
   (* small_instance with unreliable processors: the period bound is
      loose, so H1's single-processor shape would do — but its failure
@@ -341,6 +366,7 @@ let () =
         [
           prop_heuristic_sound_vs_oracle;
           prop_oracle_solution_feasible;
+          prop_oracle_parallel_bit_identical;
           Alcotest.test_case "replicates to meet bound" `Quick
             test_ft_replicates_to_meet_bound;
           Alcotest.test_case "infeasible bound" `Quick test_ft_infeasible_bound;

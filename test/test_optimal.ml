@@ -215,17 +215,31 @@ let test_exhaustive_works_on_het () =
   Alcotest.(check bool) "valid mapping" true
     (Mapping.valid_on sol.Solution.mapping pl)
 
-(* The root-splitting fan-out must return the very same solution objects
-   (mapping included, ties and all) as the sequential scan. *)
+(* The task-tree fan-out must return the very same solution objects
+   (mapping included, ties and all) as the sequential scan — at every
+   pool width AND every frontier size: the frontier preserves the
+   enumeration order and merges are first-seen-wins, so not even a
+   tie witness may move (DESIGN.md §14). *)
 let with_jobs jobs f =
   let saved = Pipeline_util.Pool.jobs () in
   Pipeline_util.Pool.set_jobs jobs;
   Fun.protect ~finally:(fun () -> Pipeline_util.Pool.set_jobs saved) f
 
+let with_tree_cap cap f =
+  let saved = Pipeline_util.Pool.tree_cap () in
+  Pipeline_util.Pool.set_tree_cap cap;
+  Fun.protect ~finally:(fun () -> Pipeline_util.Pool.set_tree_cap saved) f
+
+let gen_cap_jobs =
+  (* Frontier sizes from "no expansion" through mid to the default, at
+     the widths CI exercises. *)
+  QCheck2.Gen.(pair (oneofl [ 1; 2; 9; 512 ]) (oneofl [ 1; 4; 8 ]))
+
 let prop_exhaustive_parallel_bit_identical =
-  Helpers.qtest ~count:40 "exhaustive solvers: jobs=4 = jobs=1 (bit-for-bit)"
-    QCheck2.Gen.(int_range 0 10_000)
-    (fun seed ->
+  Helpers.qtest ~count:60
+    "exhaustive solvers: any (tree cap, jobs) = sequential (bit-for-bit)"
+    QCheck2.Gen.(pair (int_range 0 10_000) gen_cap_jobs)
+    (fun (seed, (cap, jobs)) ->
       let inst = Helpers.random_instance ~n_max:6 ~p_max:4 seed in
       let period =
         Instance.single_proc_period inst *. 0.7
@@ -237,7 +251,62 @@ let prop_exhaustive_parallel_bit_identical =
           Exhaustive.min_period_under_latency inst ~latency,
           Exhaustive.pareto inst )
       in
-      Stdlib.compare (with_jobs 1 all) (with_jobs 4 all) = 0)
+      Stdlib.compare
+        (with_tree_cap 1 (fun () -> with_jobs 1 all))
+        (with_tree_cap cap (fun () -> with_jobs jobs all))
+      = 0)
+
+let prop_exhaustive_het_parallel_bit_identical =
+  Helpers.qtest ~count:40
+    "exhaustive on fully-het platforms: any (tree cap, jobs) = sequential"
+    QCheck2.Gen.(pair (int_range 0 10_000) gen_cap_jobs)
+    (fun (seed, (cap, jobs)) ->
+      let inst = Helpers.random_het_instance ~n_max:6 ~p_max:4 seed in
+      let period = Instance.single_proc_period inst *. 0.7 in
+      let all () =
+        ( Exhaustive.min_period inst,
+          Exhaustive.min_latency_under_period inst ~period )
+      in
+      Stdlib.compare
+        (with_tree_cap 1 (fun () -> with_jobs 1 all))
+        (with_tree_cap cap (fun () -> with_jobs jobs all))
+      = 0)
+
+let prop_branch_bound_parallel_bit_identical =
+  Helpers.qtest ~count:40
+    "branch-bound: solution, nodes and proven flag ignore the pool width"
+    QCheck2.Gen.(pair (int_range 0 10_000) (oneofl [ 1; 2; 9; 512 ]))
+    (fun (seed, cap) ->
+      (* At a FIXED frontier cap the whole result record — witness
+         mapping, node count, prune-budget outcome — must be a pure
+         function of the wave schedule, never of domain timing. The
+         tiny budget exercises the budget-exhausted path, the default
+         one the proven path; both run multiple waves, so the shared
+         incumbent is live in each. *)
+      let inst = Helpers.random_instance ~n_max:7 ~p_max:6 seed in
+      let solve budget () = Branch_bound.min_period ~node_budget:budget inst in
+      with_tree_cap cap (fun () ->
+          List.for_all
+            (fun budget ->
+              let r1 = with_jobs 1 (solve budget) in
+              let r4 = with_jobs 4 (solve budget) in
+              let r8 = with_jobs 8 (solve budget) in
+              Stdlib.compare r1 r4 = 0 && Stdlib.compare r1 r8 = 0)
+            [ 400; 1_000_000 ]))
+
+let prop_branch_bound_optimum_ignores_frontier =
+  Helpers.qtest ~count:40
+    "branch-bound: the optimum period is frontier-cap-invariant"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      (* Node counts legitimately differ between caps (different prune
+         schedules); the proven optimum may not. *)
+      let inst = Helpers.random_instance ~n_max:7 ~p_max:5 seed in
+      let at cap =
+        with_tree_cap cap (fun () -> (Branch_bound.min_period inst).solution)
+      in
+      let r1 = at 1 and r512 = at 512 in
+      r1.Solution.period = r512.Solution.period)
 
 
 (* ------------------------------------------------------------------ *)
@@ -641,6 +710,8 @@ let () =
           prop_branch_bound_anytime_sound;
           Alcotest.test_case "p = 100" `Slow test_branch_bound_scales_to_p100;
           Alcotest.test_case "rejects het" `Quick test_branch_bound_rejects_het;
+          prop_branch_bound_parallel_bit_identical;
+          prop_branch_bound_optimum_ignores_frontier;
         ] );
       ( "exhaustive",
         [
@@ -650,5 +721,6 @@ let () =
           Alcotest.test_case "guard" `Quick test_exhaustive_guard;
           Alcotest.test_case "het platform" `Quick test_exhaustive_works_on_het;
           prop_exhaustive_parallel_bit_identical;
+          prop_exhaustive_het_parallel_bit_identical;
         ] );
     ]

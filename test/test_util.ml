@@ -605,6 +605,118 @@ let test_pool_empty_and_single () =
   Alcotest.(check bool) "empty" true (Pool.map ~jobs:4 succ [||] = [||]);
   Alcotest.(check bool) "singleton" true (Pool.map ~jobs:4 succ [| 7 |] = [| 8 |])
 
+(* Task-tree layer: the synthetic tree splits an integer range into 2–4
+   parts until singletons. Each task covers a contiguous range, so
+   concatenating the per-task ranges in frontier order must reproduce
+   the root range exactly — any reordering, loss or duplication in
+   fan_out shows up immediately. *)
+let range_children (lo, hi) =
+  if lo >= hi then [||]
+  else begin
+    let size = hi - lo + 1 in
+    let parts = min size (2 + (size mod 3)) in
+    let step = size / parts in
+    Array.init parts (fun k ->
+        let a = lo + (k * step) in
+        let b = if k = parts - 1 then hi else a + step - 1 in
+        (a, b))
+  end
+
+let range_concat tasks =
+  List.concat_map
+    (fun (lo, hi) -> List.init (hi - lo + 1) (fun i -> lo + i))
+    (Array.to_list tasks)
+
+let prop_fan_out_preserves_order =
+  Helpers.qtest ~count:100 "fan_out frontier concatenates to the root range"
+    QCheck2.Gen.(
+      triple (int_range 0 200) (int_range 1 64) (int_range 0 8))
+    (fun (n, cap, depth) ->
+      let frontier = Pool.fan_out ~cap ~depth ~children:range_children [| (0, n) |] in
+      range_concat frontier = List.init (n + 1) Fun.id)
+
+let prop_fan_out_deterministic_and_bounded =
+  Helpers.qtest ~count:60 "fan_out is a pure function of (roots, cap, depth)"
+    QCheck2.Gen.(pair (int_range 0 300) (int_range 1 64))
+    (fun (n, cap) ->
+      let run () = Pool.fan_out ~cap ~children:range_children [| (0, n) |] in
+      let a = run () in
+      (* Reproducible, and never overshoots cap by more than one task's
+         branching factor (4 here). *)
+      a = run () && Array.length a <= cap + 4)
+
+let test_fan_out_leaves_and_depth () =
+  (* Leaf roots pass through untouched. *)
+  let leaves = [| (3, 3); (7, 7) |] in
+  Alcotest.(check bool) "leaf roots unchanged" true
+    (Pool.fan_out ~children:range_children leaves = leaves);
+  (* depth:0 never expands; depth:1 expands exactly one level. *)
+  Alcotest.(check bool) "depth 0" true
+    (Pool.fan_out ~depth:0 ~children:range_children [| (0, 9) |] = [| (0, 9) |]);
+  Alcotest.(check bool) "depth 1" true
+    (Pool.fan_out ~depth:1 ~cap:1000 ~children:range_children [| (0, 9) |]
+    = range_children (0, 9))
+
+let prop_tree_map_equals_sequential =
+  Helpers.qtest ~count:60 "tree_map fold = sequential DFS fold at any width"
+    QCheck2.Gen.(
+      triple (int_range 0 150) (int_range 1 32) (oneofl [ 1; 4; 8 ]))
+    (fun (n, cap, jobs) ->
+      (* Per-task fold in subtree order, merged in index order: must be
+         bit-identical to the one-pass sequential fold. *)
+      let run (lo, hi) =
+        List.fold_left
+          (fun acc v -> (acc *. 1.003) +. (float_of_int v *. 0.37))
+          0.
+          (List.init (hi - lo + 1) (fun i -> lo + i))
+      in
+      let parts = Pool.tree_map ~jobs ~cap ~children:range_children ~run [| (0, n) |] in
+      let seq = run (0, n) in
+      (* The fold is not associative, so compare through the same merge
+         on the jobs:1 frontier instead of against [seq] directly — and
+         check the frontier itself ignores the width. *)
+      let parts1 =
+        Pool.tree_map ~jobs:1 ~cap ~children:range_children ~run [| (0, n) |]
+      in
+      parts = parts1 && (Array.length parts <> 1 || parts.(0) = seq))
+
+let test_tree_cap_knob () =
+  let prev = Pool.tree_cap () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_tree_cap prev)
+    (fun () ->
+      Alcotest.(check int) "default" Pool.default_tree_cap prev;
+      Pool.set_tree_cap 7;
+      Alcotest.(check int) "set" 7 (Pool.tree_cap ());
+      Pool.set_tree_cap 0;
+      Alcotest.(check int) "clamped" 1 (Pool.tree_cap ()))
+
+let test_pool_nested_tree_map () =
+  (* Satellite regression: a pool worker that itself fans out a task
+     tree must fall back to the sequential path and still be exact. *)
+  let inner i =
+    let run (lo, hi) = (hi - lo + 1) * (i + 1) in
+    Array.fold_left ( + ) 0
+      (Pool.tree_map ~jobs:4 ~cap:16 ~children:range_children ~run [| (0, 20) |])
+  in
+  Alcotest.(check bool) "nested tree_map = sequential" true
+    (Pool.map ~jobs:4 inner (Array.init 8 Fun.id)
+    = Array.map inner (Array.init 8 Fun.id))
+
+let test_incumbent_monotone () =
+  let inc = Pool.Incumbent.make 10. in
+  Pool.Incumbent.lower_to inc 5.;
+  Alcotest.(check (float 0.)) "lowered" 5. (Pool.Incumbent.get inc);
+  Pool.Incumbent.lower_to inc 7.;
+  Alcotest.(check (float 0.)) "never raised" 5. (Pool.Incumbent.get inc);
+  (* Concurrent lowers from pool workers: the minimum wins. *)
+  ignore
+    (Pool.map ~jobs:4
+       (fun v -> Pool.Incumbent.lower_to inc v)
+       (Array.init 64 (fun i -> 4. -. (float_of_int i /. 32.))));
+  Alcotest.(check (float 1e-12)) "min of all lowers" (4. -. (63. /. 32.))
+    (Pool.Incumbent.get inc)
+
 let prop_pool_rng_per_task =
   Helpers.qtest ~count:30 "per-task derived Rng streams are schedule-independent"
     QCheck2.Gen.(pair (int_range 2 8) (int_range 0 1000))
@@ -687,6 +799,14 @@ let () =
             test_pool_first_failing_chunk_wins;
           Alcotest.test_case "empty and singleton" `Quick test_pool_empty_and_single;
           prop_pool_rng_per_task;
+          prop_fan_out_preserves_order;
+          prop_fan_out_deterministic_and_bounded;
+          Alcotest.test_case "fan_out leaves and depth" `Quick
+            test_fan_out_leaves_and_depth;
+          prop_tree_map_equals_sequential;
+          Alcotest.test_case "tree cap knob" `Quick test_tree_cap_knob;
+          Alcotest.test_case "nested tree_map" `Quick test_pool_nested_tree_map;
+          Alcotest.test_case "incumbent monotone" `Quick test_incumbent_monotone;
         ] );
       ( "histogram",
         [
